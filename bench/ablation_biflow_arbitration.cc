@@ -1,0 +1,80 @@
+// Ablation A3: decomposing the uni/bi-flow gap (Fig. 14b) into its
+// mechanistic parts. The bi-flow core pays (a) an arbitration round trip
+// through the Coordinator Unit per window probe, and (b) structural
+// serialization of the two stream directions plus neighbor handshakes.
+// Sweeping the per-probe arbitration cost shows where the gap comes from:
+// with idealized 1-cycle probes the two flows do equal scan work per core
+// and the throughput gap collapses to ~1x — exactly the paper's "in
+// theory, both models are similar in their parallelization concept; the
+// simpler architecture in uni-flow brings superior performance" (§V). The
+// bi-directional flow's structural costs surface elsewhere: latency,
+// design complexity, I/O count and power.
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "core/harness.h"
+
+int main() {
+  using namespace hal;
+  using namespace hal::core;
+
+  bench::banner("Ablation A3",
+                "bi-flow coordinator cost sweep (16 JCs, W=2^10, V5 @100MHz)");
+
+  const auto& v5 = hw::virtex5_xc5vlx50t();
+  constexpr std::size_t kWindow = 1u << 10;
+
+  // Uni-flow reference point.
+  hw::UniflowConfig ucfg;
+  ucfg.num_cores = 16;
+  ucfg.window_size = kWindow;
+  ucfg.distribution = hw::NetworkKind::kLightweight;
+  ucfg.gathering = hw::NetworkKind::kLightweight;
+  MeasureOptions opts;
+  opts.num_tuples = 256;
+  opts.requested_mhz = 100.0;
+  const HwThroughput uni = measure_uniflow_throughput(ucfg, v5, opts);
+
+  Table table({"probe cost (cycles)", "store cost", "transfer cost",
+               "bi Mt/s", "uni/bi gap"});
+  std::map<std::uint32_t, double> gap;
+
+  for (const std::uint32_t probe : {1u, 2u, 4u, 8u}) {
+    hw::BiflowConfig bcfg;
+    bcfg.num_cores = 16;
+    bcfg.window_size = kWindow;
+    bcfg.costs.probe_cycles = probe;
+    bcfg.costs.store_cycles = probe;  // same arbitration path
+    bcfg.costs.transfer_cycles = probe == 1 ? 1 : 4;
+    bcfg.costs.accept_cycles = probe == 1 ? 1 : 2;
+    const HwThroughput bi = measure_biflow_throughput(bcfg, v5, opts);
+    gap[probe] = uni.mtuples_per_sec() / bi.mtuples_per_sec();
+    table.add_row({Table::integer(probe), Table::integer(probe),
+                   Table::integer(bcfg.costs.transfer_cycles),
+                   Table::num(bi.mtuples_per_sec(), 4),
+                   Table::num(gap[probe], 2) + "x"});
+  }
+  std::printf("uni-flow reference: %.4f Mt/s\n\n", uni.mtuples_per_sec());
+  table.print();
+
+  bench::claim(gap[8] > gap[4] && gap[4] > gap[2] && gap[2] > gap[1],
+               "the gap shrinks monotonically as arbitration gets cheaper");
+  // §V: "Although in theory, both models are similar in their
+  // parallelization concept, the simpler architecture in uni-flow brings
+  // superior performance." With idealized 1-cycle window access the two
+  // flows do equal work per core per tuple and the throughput gap
+  // collapses to ~1x — confirming the gap is the coordinator/buffer-
+  // manager machinery, while bi-flow's structural costs surface as
+  // latency, complexity, I/O count and power instead.
+  bench::claim(gap[1] > 0.7 && gap[1] < 1.5,
+               "with 1-cycle probes the throughput gap collapses to ~1x "
+               "(paper: 'in theory, both models are similar') — measured " +
+                   Table::num(gap[1], 2) + "x");
+  bench::claim(gap[8] >= 5.0,
+               "with the calibrated 8-cycle arbitration the gap reaches "
+               "the paper's order-of-magnitude band (measured " +
+                   Table::num(gap[8], 2) + "x)");
+
+  return bench::finish();
+}

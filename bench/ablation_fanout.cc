@@ -1,0 +1,57 @@
+// Ablation A2: DNode fan-out in the scalable distribution tree. §IV:
+// "Other fan-out sizes (e.g., 1→4) could be interesting to explore since
+// they reduce the height of the distribution network and lower
+// communication latency."
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "common/math_util.h"
+#include "core/harness.h"
+
+int main() {
+  using namespace hal;
+  using namespace hal::core;
+
+  bench::banner("Ablation A2",
+                "DNode fan-out 1→2 / 1→4 / 1→8 (uni-flow, 256 cores, V7)");
+
+  const auto& v7 = hw::virtex7_xc7vx485t();
+  constexpr std::uint32_t kCores = 256;
+
+  Table table({"fan-out", "tree depth", "DNodes", "latency (cycles)",
+               "F_max (MHz)", "latency (µs)"});
+  std::map<std::uint32_t, HwLatency> lat;
+  std::map<std::uint32_t, std::uint32_t> dnodes;
+
+  for (const std::uint32_t fanout : {2u, 4u, 8u}) {
+    hw::UniflowConfig cfg;
+    cfg.num_cores = kCores;
+    cfg.window_size = kCores * 64;
+    cfg.distribution = hw::NetworkKind::kScalable;
+    cfg.gathering = hw::NetworkKind::kScalable;
+    cfg.fanout = fanout;
+    MeasureOptions opts;
+    opts.requested_mhz = 1e9;
+    lat[fanout] = measure_uniflow_latency(cfg, v7, opts);
+    const hw::DesignStats stats = hw::UniflowEngine(cfg).design_stats();
+    dnodes[fanout] = stats.num_dnodes;
+    table.add_row({"1->" + std::to_string(fanout),
+                   Table::integer(ceil_log(kCores, fanout)),
+                   Table::integer(stats.num_dnodes),
+                   Table::integer(lat[fanout].cycles_to_last_result),
+                   Table::num(lat[fanout].fmax_mhz, 0),
+                   Table::num(lat[fanout].microseconds(), 3)});
+  }
+  table.print();
+
+  bench::claim(dnodes[8] < dnodes[4] && dnodes[4] < dnodes[2],
+               "wider fan-out needs fewer DNodes");
+  bench::claim(lat[8].cycles_to_last_result < lat[2].cycles_to_last_result,
+               "wider fan-out shortens the distribution pipeline "
+               "(fewer stages → lower latency), as §IV anticipates");
+  bench::claim(lat[8].fmax_mhz <= lat[2].fmax_mhz,
+               "...but pays in the widest net's fan-out, pressuring F_max");
+
+  return bench::finish();
+}

@@ -1,0 +1,80 @@
+// Ablation A5: join algorithm inside the uni-flow core — nested loop vs
+// hash (§IV: the join-core abstraction poses "no limitation on the chosen
+// join algorithm, e.g., nested-loop join or hash join").
+//
+// The crossover: nested loop costs O(W/N) cycles per tuple regardless of
+// selectivity; hash costs O(1 + same-key candidates). For a key equi-join,
+// hash wins by orders of magnitude on sparse keys and degrades toward the
+// nested loop as keys concentrate (every windowed tuple becomes a
+// candidate). The resource model charges the hash core an index bank per
+// sub-window — the flexibility/speed/area triangle of the paper's
+// algorithmic model.
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "core/harness.h"
+#include "stream/generator.h"
+
+int main() {
+  using namespace hal;
+  using namespace hal::core;
+
+  bench::banner("Ablation A5",
+                "nested-loop vs hash join cores (16 JCs, W=2^12, V7 "
+                "@300MHz, varying key skew)");
+
+  const auto& v7 = hw::virtex7_xc7vx485t();
+  Table table({"key domain", "algorithm", "Mt/s", "probes/tuple",
+               "BRAM36"});
+  std::map<std::pair<std::uint32_t, int>, double> mtps;
+
+  for (const std::uint32_t key_domain : {16u, 4096u, 1u << 20}) {
+    for (const hw::JoinAlgorithm alg :
+         {hw::JoinAlgorithm::kNestedLoop, hw::JoinAlgorithm::kHash}) {
+      hw::UniflowConfig cfg;
+      cfg.num_cores = 16;
+      cfg.window_size = 1u << 12;
+      cfg.algorithm = alg;
+      MeasureOptions opts;
+      opts.num_tuples = 512;
+      opts.requested_mhz = 300.0;
+      opts.key_domain = key_domain;
+      const HwThroughput t = measure_uniflow_throughput(cfg, v7, opts);
+      const bool is_hash = alg == hw::JoinAlgorithm::kHash;
+      mtps[{key_domain, is_hash}] = t.mtuples_per_sec();
+      // Probe activity: reconstruct from an instrumented engine run.
+      hw::UniflowEngine probe_engine(cfg);
+      probe_engine.program(stream::JoinSpec::equi_on_key());
+      probe_engine.run_to_quiescence(10'000);
+      stream::WorkloadConfig wl;
+      wl.seed = 4;
+      wl.key_domain = key_domain;
+      stream::WorkloadGenerator gen(wl);
+      probe_engine.prefill(gen.take(2u << 12));
+      const auto batch = gen.take(256);
+      probe_engine.offer(batch);
+      probe_engine.run_to_quiescence(100'000'000);
+      const double probes_per_tuple =
+          static_cast<double>(probe_engine.total_probes()) / 256.0;
+      table.add_row({Table::integer(key_domain), to_string(alg),
+                     Table::num(t.mtuples_per_sec(), 3),
+                     Table::num(probes_per_tuple, 1),
+                     Table::integer(t.usage.bram36)});
+    }
+  }
+  table.print();
+
+  bench::claim(mtps[{1u << 20, 1}] > 20.0 * mtps[{1u << 20, 0}],
+               "hash cores win by >20x on sparse keys (measured " +
+                   Table::num(mtps[{1u << 20, 1}] / mtps[{1u << 20, 0}],
+                              0) +
+                   "x)");
+  bench::claim(mtps[{16, 1}] < 4.0 * mtps[{16, 0}],
+               "the advantage collapses under heavy key skew (every "
+               "windowed tuple is a candidate)");
+  bench::claim(mtps[{4096, 1}] > mtps[{4096, 0}],
+               "hash still ahead at moderate selectivity");
+
+  return bench::finish();
+}

@@ -1,0 +1,82 @@
+// Ablation A6: ordering precision of the software handshake join.
+//
+// SplitJoin's title promise is "adjustable ordering precision"; the
+// bi-flow baseline has the same dial in the feeder queues: small end
+// queues keep the two streams' processing order close to arrival order
+// (tight window semantics), large queues decouple the feeder (higher
+// burst absorption) but let the R/S processing orders drift apart. We
+// quantify the drift as the fraction of the eager oracle's result set the
+// engine misses/adds at each queue depth.
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "bench_util.h"
+#include "stream/generator.h"
+#include "stream/reference_join.h"
+#include "sw/handshake_join.h"
+
+int main() {
+  using namespace hal;
+  using stream::ResultKey;
+
+  bench::banner("Ablation A6",
+                "sw handshake join: feeder queue depth vs window-semantics "
+                "drift (4 cores, W=256)");
+
+  constexpr std::size_t kWindow = 256;
+  stream::WorkloadConfig wl;
+  wl.seed = 13;
+  wl.key_domain = 24;
+  stream::WorkloadGenerator gen(wl);
+  const auto tuples = gen.take(8 * kWindow);
+
+  stream::ReferenceJoin oracle(kWindow, stream::JoinSpec::equi_on_key());
+  const auto oracle_keys = stream::normalize(oracle.process_all(tuples));
+  const std::set<ResultKey> oracle_set(oracle_keys.begin(),
+                                       oracle_keys.end());
+
+  Table table({"queue depth", "results", "oracle", "missing (%)",
+               "extra (%)", "symmetric diff (%)"});
+  double drift_small = 0.0;
+  double drift_large = 0.0;
+
+  for (const std::size_t depth : {2u, 4u, 16u, 64u, 256u}) {
+    sw::HandshakeJoinConfig cfg;
+    cfg.num_cores = 4;
+    cfg.window_size = kWindow;
+    cfg.input_queue_capacity = depth;
+    sw::HandshakeJoinEngine engine(cfg, stream::JoinSpec::equi_on_key());
+    engine.process(tuples);
+    const auto keys = stream::normalize(engine.results());
+    const std::set<ResultKey> got(keys.begin(), keys.end());
+
+    std::size_t missing = 0;
+    for (const auto& k : oracle_set) {
+      if (!got.contains(k)) ++missing;
+    }
+    std::size_t extra = 0;
+    for (const auto& k : got) {
+      if (!oracle_set.contains(k)) ++extra;
+    }
+    const double denom = static_cast<double>(oracle_set.size());
+    const double drift = 100.0 * static_cast<double>(missing + extra) / denom;
+    if (depth == 2) drift_small = drift;
+    if (depth == 256) drift_large = drift;
+    table.add_row({Table::integer(depth), Table::integer(got.size()),
+                   Table::integer(oracle_set.size()),
+                   Table::num(100.0 * static_cast<double>(missing) / denom, 2),
+                   Table::num(100.0 * static_cast<double>(extra) / denom, 2),
+                   Table::num(drift, 2)});
+  }
+  table.print();
+
+  bench::claim(drift_small < 40.0,
+               "shallow feeder queues keep the drift bounded (measured " +
+                   Table::num(drift_small, 1) + "% vs eager semantics)");
+  bench::claim(drift_large > drift_small,
+               "deep queues trade ordering precision away (drift grows to " +
+                   Table::num(drift_large, 1) + "%)");
+
+  return bench::finish();
+}

@@ -1,0 +1,38 @@
+// Shared helpers for the figure-reproduction binaries.
+//
+// Every bench prints: the paper artifact it regenerates, the measured
+// series as a table, and a PASS/FAIL line per qualitative claim the paper
+// makes about that artifact (the "shape" checks — who wins, scaling law,
+// crossover). EXPERIMENTS.md embeds this output.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/table.h"
+
+namespace hal::bench {
+
+inline int g_failures = 0;
+
+inline void banner(const char* artifact, const char* description) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s — %s\n", artifact, description);
+  std::printf("==============================================================\n");
+}
+
+inline void claim(bool ok, const std::string& text) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", text.c_str());
+  if (!ok) ++g_failures;
+}
+
+inline int finish() {
+  if (g_failures > 0) {
+    std::printf("\n%d claim check(s) FAILED\n", g_failures);
+    return 1;
+  }
+  std::printf("\nall claim checks passed\n");
+  return 0;
+}
+
+}  // namespace hal::bench

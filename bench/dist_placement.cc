@@ -1,0 +1,76 @@
+// System-model bench: deployment-mode crossovers on the active data path
+// (§II / Fig. 18). Sweeps the pushed-down filter's selectivity and finds
+// where each placement wins — the "partial or best-effort computation"
+// trade-off the paper describes for co-placement.
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "dist/deployments.h"
+
+int main() {
+  using namespace hal;
+  using namespace hal::dist;
+
+  bench::banner("Placement sweep",
+                "sustainable input rate vs filter selectivity, per "
+                "deployment mode");
+
+  PipelineParams base;
+  // A host an order of magnitude stronger than the default, so the
+  // co-placement/co-processor crossover falls inside the sweep.
+  base.cpu_join_tps = 2e6;
+  base.cpu_filter_tps = 4e6;
+
+  Table table({"selectivity", "cpu-only (Mt/s)", "co-placement",
+               "co-processor", "standalone"});
+  std::map<double, std::map<Deployment, double>> rates;
+
+  for (const double sel : {0.5, 0.2, 0.1, 0.05, 0.01, 0.001}) {
+    PipelineParams p = base;
+    p.filter_selectivity = sel;
+    std::vector<std::string> row{Table::num(sel, 3)};
+    for (const Deployment d :
+         {Deployment::kCpuOnly, Deployment::kCoPlacement,
+          Deployment::kCoProcessor, Deployment::kStandalone}) {
+      const double r = make_pipeline(d, p).sustainable_input_tps() / 1e6;
+      rates[sel][d] = r;
+      row.push_back(Table::num(r, 3));
+    }
+    table.add_row(row);
+  }
+  table.print();
+
+  bench::claim(rates[0.5][Deployment::kCoProcessor] >
+                   rates[0.5][Deployment::kCoPlacement],
+               "at loose selectivity, co-processor beats co-placement "
+               "(the host join still sees most of the traffic)");
+  bench::claim(rates[0.001][Deployment::kCoPlacement] >=
+                   rates[0.001][Deployment::kCoProcessor],
+               "at tight selectivity, co-placement catches up: filtering "
+               "on the path makes the weak host sufficient (crossover)");
+  bool standalone_always_best = true;
+  for (const auto& [sel, by_mode] : rates) {
+    for (const auto& [mode, r] : by_mode) {
+      if (r > by_mode.at(Deployment::kStandalone) + 1e-9) {
+        standalone_always_best = false;
+      }
+    }
+  }
+  bench::claim(standalone_always_best,
+               "standalone dominates throughput at every selectivity "
+               "(nothing crosses the host)");
+  bool cpu_flat = true;
+  const double cpu_ref = rates[0.5][Deployment::kCpuOnly];
+  for (const auto& [sel, by_mode] : rates) {
+    if (sel <= 0.05 &&
+        by_mode.at(Deployment::kCpuOnly) > 2.5 * cpu_ref) {
+      cpu_flat = false;
+    }
+  }
+  bench::claim(cpu_flat,
+               "cpu-only cannot exploit selectivity (its own filter is "
+               "the bottleneck)");
+
+  return bench::finish();
+}

@@ -1,0 +1,95 @@
+// Figure 14a: uni-flow hardware throughput vs. number of join cores on the
+// Virtex-5 (ML505) at 100 MHz, for per-stream windows of 2^11 and 2^13.
+//
+// Paper series (lightweight networks): near-linear speedup with the
+// number of join cores; 16 cores max out at W=2^13; 32/64 cores are only
+// realizable at W=2^11 (memory resources).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/harness.h"
+
+int main() {
+  using namespace hal;
+  using namespace hal::core;
+
+  bench::banner("Fig. 14a",
+                "uni-flow HW throughput vs #join cores (V5, 100 MHz)");
+
+  const auto& v5 = hw::virtex5_xc5vlx50t();
+  Table table({"window", "join cores", "fits V5", "cycles/tuple",
+               "throughput (Mtuples/s)", "paper shape"});
+
+  struct Point {
+    std::size_t window;
+    std::uint32_t cores;
+    double mtps;
+    bool fits;
+  };
+  std::vector<Point> points;
+
+  for (const std::size_t window : {std::size_t{1} << 11, std::size_t{1} << 13}) {
+    for (const std::uint32_t cores : {2u, 4u, 8u, 16u, 32u, 64u}) {
+      hw::UniflowConfig cfg;
+      cfg.num_cores = cores;
+      cfg.window_size = window;
+      cfg.distribution = hw::NetworkKind::kLightweight;
+      cfg.gathering = hw::NetworkKind::kLightweight;
+      MeasureOptions opts;
+      opts.num_tuples = 512;
+      opts.requested_mhz = 100.0;  // paper: "F:100MHz"
+      const HwThroughput t = measure_uniflow_throughput(cfg, v5, opts);
+      points.push_back({window, cores, t.mtuples_per_sec(), t.fits});
+      table.add_row({"2^" + std::to_string(window == (1u << 11) ? 11 : 13),
+                     Table::integer(cores), t.fits ? "yes" : "NO",
+                     Table::num(1.0 / t.tuples_per_cycle(), 1),
+                     Table::num(t.mtuples_per_sec(), 3),
+                     "N*F/W = " +
+                         Table::num(static_cast<double>(cores) * 100.0 /
+                                        static_cast<double>(window),
+                                    3)});
+    }
+  }
+  table.print();
+
+  // Claim checks.
+  auto find = [&](std::size_t w, std::uint32_t c) -> const Point& {
+    for (const auto& p : points) {
+      if (p.window == w && p.cores == c) return p;
+    }
+    std::abort();
+  };
+
+  // 1. Linear speedup with the number of join cores (§V: "We observe a
+  //    linear speedup with respects to the number of join cores").
+  bool linear = true;
+  for (const std::size_t w : {std::size_t{1} << 11, std::size_t{1} << 13}) {
+    for (std::uint32_t c = 2; c <= 32; c *= 2) {
+      const double ratio = find(w, 2 * c).mtps / find(w, c).mtps;
+      if (ratio < 1.8 || ratio > 2.2) linear = false;
+    }
+  }
+  bench::claim(linear, "linear speedup: doubling cores doubles throughput");
+
+  // 2. Anchor magnitudes: 64 cores @ W=2^11 ≈ 3 Mt/s; 16 @ 2^13 ≈ 0.2
+  //    (the top of Fig. 14a's axes).
+  const double top = find(1u << 11, 64).mtps;
+  bench::claim(top > 2.5 && top < 3.5,
+               "64 cores @ W=2^11 reaches ~3 Mtuples/s (measured " +
+                   Table::num(top, 2) + ")");
+  const double mid = find(1u << 13, 16).mtps;
+  bench::claim(mid > 0.15 && mid < 0.25,
+               "16 cores @ W=2^13 reaches ~0.2 Mtuples/s (measured " +
+                   Table::num(mid, 3) + ")");
+
+  // 3. Fit outcomes: 32/64 cores do not fit at W=2^13, do fit at 2^11.
+  bench::claim(!find(1u << 13, 32).fits && !find(1u << 13, 64).fits,
+               "32/64 cores at W=2^13 exceed the V5 (paper: could not "
+               "realize)");
+  bench::claim(find(1u << 11, 32).fits && find(1u << 11, 64).fits &&
+                   find(1u << 13, 16).fits,
+               "16@2^13 and 32/64@2^11 fit the V5 (paper realized them)");
+
+  return bench::finish();
+}

@@ -1,0 +1,96 @@
+// Figure 14b: uni-flow vs bi-flow hardware input throughput as the window
+// size grows (16 join cores, Virtex-5, 100 MHz).
+//
+// Paper series: both decline ∝ 1/W; uni-flow leads by "nearly an order of
+// magnitude" across the sweep; bi-flow could not even be instantiated at
+// W=2^13 (core complexity).
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "core/harness.h"
+
+int main() {
+  using namespace hal;
+  using namespace hal::core;
+
+  bench::banner("Fig. 14b",
+                "uni-flow vs bi-flow HW throughput vs window size "
+                "(16 JCs, V5, 100 MHz)");
+
+  const auto& v5 = hw::virtex5_xc5vlx50t();
+  constexpr std::uint32_t kCores = 16;
+
+  Table table({"window", "uni Mt/s", "uni fits", "bi Mt/s", "bi fits",
+               "uni/bi speedup"});
+  std::map<std::size_t, double> uni_mtps;
+  std::map<std::size_t, double> bi_mtps;
+  std::map<std::size_t, bool> bi_fits;
+
+  for (int exp = 7; exp <= 13; ++exp) {
+    const std::size_t window = std::size_t{1} << exp;
+
+    hw::UniflowConfig ucfg;
+    ucfg.num_cores = kCores;
+    ucfg.window_size = window;
+    ucfg.distribution = hw::NetworkKind::kLightweight;
+    ucfg.gathering = hw::NetworkKind::kLightweight;
+    MeasureOptions uopts;
+    uopts.num_tuples = 512;
+    uopts.requested_mhz = 100.0;
+    const HwThroughput uni = measure_uniflow_throughput(ucfg, v5, uopts);
+
+    hw::BiflowConfig bcfg;
+    bcfg.num_cores = kCores;
+    bcfg.window_size = window;
+    MeasureOptions bopts;
+    bopts.num_tuples = window >= (1u << 12) ? 96 : 192;
+    bopts.requested_mhz = 100.0;
+    const HwThroughput bi = measure_biflow_throughput(bcfg, v5, bopts);
+
+    uni_mtps[window] = uni.mtuples_per_sec();
+    bi_mtps[window] = bi.mtuples_per_sec();
+    bi_fits[window] = bi.fits;
+    table.add_row(
+        {"2^" + std::to_string(exp), Table::num(uni.mtuples_per_sec(), 3),
+         uni.fits ? "yes" : "NO", Table::num(bi.mtuples_per_sec(), 4),
+         bi.fits ? "yes" : "NO",
+         Table::num(uni.mtuples_per_sec() / bi.mtuples_per_sec(), 1) + "x"});
+  }
+  table.print();
+  std::printf(
+      "\n(bi-flow rows marked 'NO' are synthesis-report-only points, as in "
+      "the paper, which could not place-and-route 16 bi-flow cores at "
+      "W=2^13.)\n");
+
+  // Claim checks.
+  bool order_of_magnitude = true;
+  for (const auto& [w, u] : uni_mtps) {
+    const double ratio = u / bi_mtps[w];
+    if (ratio < 5.0 || ratio > 20.0) order_of_magnitude = false;
+  }
+  bench::claim(order_of_magnitude,
+               "uni-flow leads bi-flow by ~an order of magnitude (5-20x) "
+               "across all window sizes");
+
+  bool declines = true;
+  double prev_u = 1e30;
+  double prev_b = 1e30;
+  for (const auto& [w, u] : uni_mtps) {
+    if (u >= prev_u || bi_mtps[w] >= prev_b) declines = false;
+    prev_u = u;
+    prev_b = bi_mtps[w];
+  }
+  bench::claim(declines, "throughput declines monotonically with window size"
+                         " for both models");
+
+  const double top_uni = uni_mtps[1u << 7];
+  bench::claim(top_uni > 8.0 && top_uni < 14.0,
+               "uni-flow @ W=2^7 reaches ~10+ Mtuples/s (measured " +
+                   Table::num(top_uni, 1) + ")");
+  bench::claim(!bi_fits[1u << 13] && bi_fits[1u << 12],
+               "bi-flow fits at W=2^12 but not at W=2^13 (paper could not "
+               "instantiate the latter)");
+
+  return bench::finish();
+}

@@ -1,0 +1,77 @@
+// Figure 16: software SplitJoin latency (milliseconds) vs. number of join
+// cores for windows 2^17, 2^18, 2^19.
+//
+// Paper observations: tens-of-milliseconds latencies — about two orders of
+// magnitude above the hardware realization (Fig. 15) — dominated by the
+// per-tuple scan of W/N main-memory-resident window entries per core.
+// Host substitution: with one hardware thread the cores time-share, so
+// adding join cores cannot reduce wall-clock latency here; the
+// window-size ordering (larger W → larger latency) is the reproducible
+// shape.
+#include <cstdio>
+#include <map>
+#include <thread>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "stream/generator.h"
+#include "sw/splitjoin.h"
+
+int main() {
+  using namespace hal;
+
+  bench::banner("Fig. 16", "software SplitJoin latency vs #join cores (ms)");
+  std::printf("host hardware threads: %u (paper: 32)\n",
+              std::thread::hardware_concurrency());
+
+  Table table({"window", "join cores", "latency p50 (ms)",
+               "latency mean (ms)"});
+  std::map<int, std::map<std::uint32_t, double>> p50;
+
+  for (const int exp : {17, 18, 19}) {
+    for (const std::uint32_t cores : {12u, 16u, 20u, 24u, 28u, 32u}) {
+      const std::size_t window =
+          (std::size_t{1} << exp) / cores * cores;  // multiple of cores
+      sw::SplitJoinConfig cfg;
+      cfg.num_cores = cores;
+      cfg.window_size = window;
+      cfg.collect_results = false;
+      sw::SplitJoinEngine engine(cfg, stream::JoinSpec::equi_on_key());
+
+      stream::WorkloadConfig wl;
+      wl.seed = 7;
+      wl.key_domain = 1u << 24;
+      stream::WorkloadGenerator gen(wl);
+      engine.prefill(gen.take(2 * window));
+
+      LatencyRecorder rec;
+      for (int rep = 0; rep < 7; ++rep) {
+        stream::Tuple probe = gen.next();
+        rec.record(engine.measure_tuple_latency_seconds(probe) * 1e3);
+      }
+      p50[exp][cores] = rec.percentile(50);
+      table.add_row({"2^" + std::to_string(exp), Table::integer(cores),
+                     Table::num(rec.percentile(50), 2),
+                     Table::num(rec.mean(), 2)});
+    }
+  }
+  table.print();
+
+  // Larger windows cost more, at every core count.
+  bool ordered = true;
+  for (const std::uint32_t cores : {12u, 20u, 28u}) {
+    if (!(p50[17][cores] < p50[18][cores] &&
+          p50[18][cores] < p50[19][cores])) {
+      ordered = false;
+    }
+  }
+  bench::claim(ordered, "latency grows with window size at every core "
+                        "count (Fig. 16 series ordering)");
+
+  bench::claim(p50[18][28] > 1.0,
+               "milliseconds-scale latency (vs the hardware engine's µs in "
+               "Fig. 15) — measured " +
+                   Table::num(p50[18][28], 2) + " ms at 28 cores, W=2^18");
+
+  return bench::finish();
+}

@@ -1,0 +1,76 @@
+// Figure 17: maximum clock frequency vs. number of join cores, for the
+// lightweight realization on the Virtex-5, and the lightweight and
+// scalable ("V7s") realizations on the Virtex-7.
+//
+// Paper observations reproduced: the V5 shows no significant drop (and an
+// uptick at 16 cores from the mapper heuristics — footnote 3); the faster
+// V7 fabric is sensitive to the lightweight broadcast's fan-out, dropping
+// noticeably already at 8-16 cores; the scalable tree keeps the frequency
+// flat all the way to 512 cores.
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "core/harness.h"
+#include "hw/uniflow/engine.h"
+
+int main() {
+  using namespace hal;
+  using namespace hal::core;
+
+  bench::banner("Fig. 17", "clock frequency vs #join cores (MHz)");
+
+  auto stats_for = [](std::uint32_t cores, std::size_t window,
+                      hw::NetworkKind net) {
+    hw::UniflowConfig cfg;
+    cfg.num_cores = cores;
+    cfg.window_size = window;
+    cfg.distribution = net;
+    cfg.gathering = net;
+    return hw::UniflowEngine(cfg).design_stats();
+  };
+
+  Table table({"join cores", "W:2^13 V5 (MHz)", "W:2^18 V7 (MHz)",
+               "W:2^18 V7s (MHz)"});
+  std::map<std::uint32_t, double> v5;
+  std::map<std::uint32_t, double> v7l;
+  std::map<std::uint32_t, double> v7s;
+
+  for (std::uint32_t cores = 2; cores <= 512; cores *= 2) {
+    v5[cores] = evaluate_design(stats_for(cores, std::size_t{1} << 13,
+                                          hw::NetworkKind::kLightweight),
+                                hw::virtex5_xc5vlx50t())
+                    .fmax_mhz;
+    v7l[cores] = evaluate_design(stats_for(cores, std::size_t{1} << 18,
+                                           hw::NetworkKind::kLightweight),
+                                 hw::virtex7_xc7vx485t())
+                     .fmax_mhz;
+    v7s[cores] = evaluate_design(stats_for(cores, std::size_t{1} << 18,
+                                           hw::NetworkKind::kScalable),
+                                 hw::virtex7_xc7vx485t())
+                     .fmax_mhz;
+    table.add_row({Table::integer(cores), Table::num(v5[cores], 1),
+                   Table::num(v7l[cores], 1), Table::num(v7s[cores], 1)});
+  }
+  table.print();
+
+  bench::claim(v5[2] > 95 && v5[16] > v5[8],
+               "V5 holds ~100 MHz with the footnote-3 uptick at 16 cores");
+
+  bool v7_drops = true;
+  for (std::uint32_t c = 16; c <= 512; c *= 2) {
+    if (v7l[c] >= v7l[c / 2]) v7_drops = false;
+  }
+  bench::claim(v7_drops && v7l[16] < v7l[8],
+               "V7 lightweight drops monotonically, noticeable already at "
+               "8→16 cores");
+  bench::claim(v7l[512] < 0.75 * v7l[8],
+               "V7 lightweight loses >25% of its clock by 512 cores "
+               "(measured " +
+                   Table::num(v7l[512], 0) + " vs " +
+                   Table::num(v7l[8], 0) + " MHz)");
+  bench::claim(v7s[512] > 0.95 * v7s[2] && v7s[2] > 280,
+               "V7 scalable stays flat near 300 MHz up to 512 cores");
+
+  return bench::finish();
+}

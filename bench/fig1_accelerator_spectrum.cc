@@ -1,0 +1,112 @@
+// Figure 1 ("Envisioned acceleration technology outlook"): the paper's
+// opening landscape places general-purpose processors at high latency /
+// modest throughput, GPUs above them in throughput but still latency-
+// bound (batching), and FPGAs/ASICs in the microsecond real-time corner.
+//
+// This bench reproduces that qualitative placement with the three engine
+// families of this repository on one workload (equi-join, W=2^12/stream):
+//   CPU streaming  — software SplitJoin, per-tuple processing;
+//   GPU-style batch — BatchJoinEngine, data-parallel kernels per batch;
+//   FPGA           — the uni-flow engine on the simulated Virtex-7.
+#include <cstdio>
+#include <thread>
+
+#include "bench_util.h"
+#include "core/harness.h"
+#include "stream/generator.h"
+#include "sw/batch_join.h"
+#include "sw/splitjoin.h"
+
+int main() {
+  using namespace hal;
+
+  bench::banner("Fig. 1", "accelerator spectrum: throughput vs latency "
+                          "(equi-join, W=2^12 per stream)");
+  std::printf("host hardware threads: %u\n\n",
+              std::thread::hardware_concurrency());
+
+  constexpr std::size_t kWindow = 1u << 12;
+  constexpr std::uint32_t kWorkers = 4;
+  stream::WorkloadConfig wl;
+  wl.seed = 8;
+  wl.key_domain = 1u << 20;
+
+  // --- CPU streaming ------------------------------------------------------
+  double cpu_mtps = 0.0;
+  double cpu_latency_us = 0.0;
+  {
+    sw::SplitJoinConfig cfg;
+    cfg.num_cores = kWorkers;
+    cfg.window_size = kWindow;
+    cfg.collect_results = false;
+    sw::SplitJoinEngine engine(cfg, stream::JoinSpec::equi_on_key());
+    stream::WorkloadGenerator gen(wl);
+    engine.prefill(gen.take(2 * kWindow));
+    const auto report = engine.process(gen.take(4'000));
+    cpu_mtps = report.throughput_tuples_per_sec() / 1e6;
+    LatencyRecorder rec;
+    for (int i = 0; i < 9; ++i) {
+      rec.record(engine.measure_tuple_latency_seconds(gen.next()) * 1e6);
+    }
+    cpu_latency_us = rec.percentile(50);
+  }
+
+  // --- GPU-style batch ----------------------------------------------------
+  double gpu_mtps = 0.0;
+  double gpu_latency_us = 0.0;
+  {
+    sw::BatchJoinConfig cfg;
+    cfg.num_workers = kWorkers;
+    cfg.window_size = kWindow;
+    cfg.batch_size = kWindow / 2;
+    sw::BatchJoinEngine engine(cfg, stream::JoinSpec::equi_on_key());
+    stream::WorkloadGenerator gen(wl);
+    engine.process(gen.take(2 * kWindow));  // warm windows
+    const auto report = engine.process(gen.take(8 * kWindow));
+    gpu_mtps = report.throughput_tuples_per_sec() / 1e6;
+    gpu_latency_us =
+        engine.batch_latency_seconds(report.throughput_tuples_per_sec()) *
+        1e6;
+  }
+
+  // --- FPGA (simulated V7) -------------------------------------------------
+  hw::UniflowConfig hw_cfg;
+  hw_cfg.num_cores = 64;
+  hw_cfg.window_size = kWindow;
+  hw_cfg.distribution = hw::NetworkKind::kScalable;
+  hw_cfg.gathering = hw::NetworkKind::kScalable;
+  core::MeasureOptions opts;
+  opts.num_tuples = 512;
+  opts.requested_mhz = 300.0;
+  const core::HwThroughput fpga = core::measure_uniflow_throughput(
+      hw_cfg, hw::virtex7_xc7vx485t(), opts);
+  const core::HwLatency fpga_lat = core::measure_uniflow_latency(
+      hw_cfg, hw::virtex7_xc7vx485t(), opts);
+
+  Table table({"technology", "throughput (Mt/s)", "latency", "regime"});
+  table.add_row({"CPU streaming (SplitJoin)", Table::num(cpu_mtps, 3),
+                 Table::num(cpu_latency_us / 1e3, 2) + " ms",
+                 "1 ... 100 milliseconds (Fig. 1)"});
+  table.add_row({"GPU-style batch", Table::num(gpu_mtps, 3),
+                 Table::num(gpu_latency_us / 1e3, 2) + " ms",
+                 "batch-bound"});
+  table.add_row({"FPGA uni-flow (64 JC, V7)",
+                 Table::num(fpga.mtuples_per_sec(), 3),
+                 Table::num(fpga_lat.microseconds(), 2) + " µs",
+                 "< 1 ... 100 microseconds (Fig. 1)"});
+  table.print();
+
+  bench::claim(gpu_mtps > cpu_mtps,
+               "batched data-parallel processing out-runs per-tuple CPU "
+               "streaming (" +
+                   Table::num(gpu_mtps / cpu_mtps, 1) + "x)");
+  bench::claim(gpu_latency_us > cpu_latency_us,
+               "...but pays for it in latency (batch accumulation)");
+  bench::claim(fpga.mtuples_per_sec() > gpu_mtps,
+               "the FPGA engine leads the spectrum in throughput");
+  bench::claim(fpga_lat.microseconds() < cpu_latency_us / 10.0,
+               "and sits orders of magnitude lower in latency "
+               "(microseconds vs milliseconds)");
+
+  return bench::finish();
+}

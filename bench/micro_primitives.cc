@@ -1,0 +1,77 @@
+// google-benchmark micro-benchmarks for the library's hot primitives:
+// the cycle-simulation kernel's step rate (which bounds how much hardware
+// we can simulate per wall-second), the SPSC ring the software engines
+// communicate over, the reference join's probe rate, and workload
+// generation.
+#include <benchmark/benchmark.h>
+
+#include "common/spsc_queue.h"
+#include "hw/uniflow/engine.h"
+#include "stream/generator.h"
+#include "stream/reference_join.h"
+
+namespace {
+
+using namespace hal;
+
+void BM_SimulatorStep_Uniflow16(benchmark::State& state) {
+  hw::UniflowConfig cfg;
+  cfg.num_cores = 16;
+  cfg.window_size = 1024;
+  hw::UniflowEngine engine(cfg);
+  engine.program(stream::JoinSpec::equi_on_key());
+  stream::WorkloadConfig wl;
+  stream::WorkloadGenerator gen(wl);
+  engine.offer(gen.take(1'000'000));
+  for (auto _ : state) {
+    engine.step(64);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+  state.SetLabel("simulated cycles");
+}
+BENCHMARK(BM_SimulatorStep_Uniflow16);
+
+void BM_SpscQueue_PushPop(benchmark::State& state) {
+  SpscQueue<std::uint64_t> q(1024);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.try_push(v));
+    benchmark::DoNotOptimize(q.try_pop(v));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpscQueue_PushPop);
+
+void BM_ReferenceJoin_Probe(benchmark::State& state) {
+  const auto window = static_cast<std::size_t>(state.range(0));
+  stream::ReferenceJoin join(window, stream::JoinSpec::equi_on_key());
+  stream::WorkloadConfig wl;
+  wl.key_domain = 1u << 20;
+  stream::WorkloadGenerator gen(wl);
+  std::vector<stream::ResultTuple> out;
+  for (const auto& t : gen.take(2 * window)) join.process(t, out);
+  for (auto _ : state) {
+    out.clear();
+    join.process(gen.next(), out);
+  }
+  state.SetItemsProcessed(state.iterations() * window);
+  state.SetLabel("window probes");
+}
+BENCHMARK(BM_ReferenceJoin_Probe)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_WorkloadGenerator(benchmark::State& state) {
+  stream::WorkloadConfig wl;
+  wl.distribution = state.range(0) == 0 ? stream::KeyDistribution::kUniform
+                                        : stream::KeyDistribution::kZipf;
+  wl.key_domain = 1u << 16;
+  stream::WorkloadGenerator gen(wl);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WorkloadGenerator)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Algorithmic-trading monitor (the fpga-ToPSS motivation of §II): join an
+// order stream against a quote stream over zipf-skewed instruments, and
+// re-program the join operator at runtime — from an exact instrument match
+// to a ±2 price-band match — without stopping the engine, exercising the
+// two-segment operator instruction of Fig. 12 through the public API.
+#include <cstdio>
+
+#include "core/stream_join.h"
+#include "stream/generator.h"
+
+int main() {
+  using namespace hal;
+
+  core::EngineConfig cfg;
+  cfg.backend = core::Backend::kHwUniflow;
+  cfg.num_cores = 8;
+  cfg.window_size = 2048;
+  cfg.spec = stream::JoinSpec::equi_on_key();  // same instrument
+  auto engine = core::make_engine(cfg);
+
+  stream::WorkloadConfig wl = stream::trading_workload(/*instruments=*/512,
+                                                       /*seed=*/3);
+  stream::WorkloadGenerator gen(wl);
+
+  // Phase 1: exact-instrument matching (orders ⋈ quotes).
+  const core::RunReport phase1 = engine->process(gen.take(8'000));
+  std::printf("phase 1 (equi on instrument): %llu matches, %.3f Mt/s\n",
+              static_cast<unsigned long long>(phase1.results_emitted),
+              phase1.throughput_tuples_per_sec() / 1e6);
+
+  // Re-program in-stream: the uni-flow engine accepts the two-segment
+  // operator instruction between tuples — no drain, no re-synthesis.
+  engine->program(stream::JoinSpec::band_on_key(2));
+
+  // Phase 2: band matching (nearby instruments, e.g. related listings).
+  const core::RunReport phase2 = engine->process(gen.take(8'000));
+  std::printf("phase 2 (band ±2 after live re-program): %llu matches, "
+              "%.3f Mt/s\n",
+              static_cast<unsigned long long>(phase2.results_emitted),
+              phase2.throughput_tuples_per_sec() / 1e6);
+
+  // The band join necessarily matches at least as often as the equi-join
+  // on the same distribution.
+  const double rate1 = static_cast<double>(phase1.results_emitted);
+  const double rate2 = static_cast<double>(phase2.results_emitted);
+  std::printf("match-rate ratio band/equi: %.2fx (expected > 1)\n",
+              rate2 / rate1);
+  return rate2 > rate1 ? 0 : 1;
+}

@@ -1,0 +1,51 @@
+// Lightweight assertion macros used across the hal library.
+//
+// HAL_ASSERT is active in all build types (these simulators are correctness
+// critical and the cost is negligible next to the simulated work).
+// HAL_CHECK is for user-facing precondition violations and throws, so API
+// misuse is reportable rather than fatal.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace hal {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "HAL_ASSERT failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] != '\0' ? " — " : "", msg);
+  std::abort();
+}
+
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+}  // namespace hal
+
+#define HAL_ASSERT(expr)                                    \
+  do {                                                      \
+    if (!(expr)) {                                          \
+      ::hal::assert_fail(#expr, __FILE__, __LINE__, "");    \
+    }                                                       \
+  } while (false)
+
+#define HAL_ASSERT_MSG(expr, msg)                           \
+  do {                                                      \
+    if (!(expr)) {                                          \
+      ::hal::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                       \
+  } while (false)
+
+// Throwing precondition check for public API entry points.
+#define HAL_CHECK(expr, msg)                                               \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      throw ::hal::PreconditionError(std::string("precondition failed: ") + \
+                                     (msg));                               \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,38 @@
+// Small integer math helpers shared by the simulator and the models.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "common/assert.h"
+
+namespace hal {
+
+// ⌈log2(x)⌉ for x >= 1.
+[[nodiscard]] constexpr std::uint32_t ceil_log2(std::uint64_t x) noexcept {
+  if (x <= 1) return 0;
+  return 64 - static_cast<std::uint32_t>(std::countl_zero(x - 1));
+}
+
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+[[nodiscard]] constexpr std::uint64_t ceil_div(std::uint64_t a,
+                                               std::uint64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+// ⌈log_k(x)⌉ for k >= 2, x >= 1: depth of a k-ary tree with x leaves.
+[[nodiscard]] constexpr std::uint32_t ceil_log(std::uint64_t x,
+                                               std::uint64_t k) noexcept {
+  std::uint32_t depth = 0;
+  std::uint64_t reach = 1;
+  while (reach < x) {
+    reach *= k;
+    ++depth;
+  }
+  return depth;
+}
+
+}  // namespace hal

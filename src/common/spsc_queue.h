@@ -1,0 +1,87 @@
+// Bounded lock-free single-producer/single-consumer ring buffer.
+//
+// This is the communication primitive of the software stream-join engines
+// (hal::sw): the distributor thread is the single producer for each join
+// core's inbox, and each join core is the single producer of its result
+// outbox. Capacity is rounded up to a power of two so index wrapping is a
+// mask. False sharing between the producer and consumer indices is avoided
+// with cache-line alignment.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <new>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace hal {
+
+// A fixed 64 bytes rather than std::hardware_destructive_interference_size:
+// the stdlib constant is flagged by GCC as ABI-unstable across tuning
+// flags, and 64 is correct for every platform this library targets.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(std::size_t min_capacity)
+      : capacity_(std::bit_ceil(std::max<std::size_t>(min_capacity, 2))),
+        mask_(capacity_ - 1),
+        slots_(capacity_) {}
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  // Producer side. Returns false when full.
+  [[nodiscard]] bool try_push(T value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_cache_;
+    if (head - tail >= capacity_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head - tail_cache_ >= capacity_) return false;
+    }
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Returns false when empty.
+  [[nodiscard]] bool try_pop(T& out) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_cache_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail == head_cache_) return false;
+    }
+    out = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer-side view without popping.
+  [[nodiscard]] bool empty() const noexcept {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  // Approximate size; exact only when called from a quiescent state.
+  [[nodiscard]] std::size_t size_approx() const noexcept {
+    return head_.load(std::memory_order_acquire) -
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  std::vector<T> slots_;
+
+  alignas(kCacheLineSize) std::atomic<std::size_t> head_{0};
+  alignas(kCacheLineSize) std::size_t tail_cache_ = 0;  // producer-owned
+  alignas(kCacheLineSize) std::atomic<std::size_t> tail_{0};
+  alignas(kCacheLineSize) std::size_t head_cache_ = 0;  // consumer-owned
+};
+
+}  // namespace hal

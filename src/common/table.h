@@ -1,0 +1,33 @@
+// Fixed-width ASCII table printer for bench output.
+//
+// Every bench binary prints the paper's figure/table as rows; this helper
+// keeps the formatting uniform and diff-friendly (EXPERIMENTS.md embeds the
+// output verbatim).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hal {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  // Convenience formatters.
+  static std::string num(double v, int precision = 3);
+  static std::string integer(std::uint64_t v);
+  static std::string si(double v, int precision = 3);  // 1.25M, 3.1k, ...
+
+  [[nodiscard]] std::string to_string() const;
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hal

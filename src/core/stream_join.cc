@@ -1,0 +1,322 @@
+#include "core/stream_join.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "hw/biflow/engine.h"
+#include "hw/uniflow/engine.h"
+#include "sw/batch_join.h"
+#include "sw/handshake_join.h"
+#include "sw/splitjoin.h"
+
+namespace hal::core {
+
+namespace {
+
+using stream::ResultTuple;
+using stream::Tuple;
+
+// Generous default: benches/tests that need tighter control use the
+// engines directly.
+constexpr std::uint64_t kMaxCyclesPerBatchTuple = 1u << 22;
+
+class HwUniflowAdapter final : public StreamJoinEngine {
+ public:
+  explicit HwUniflowAdapter(const EngineConfig& cfg) : cfg_(cfg) {
+    hw::UniflowConfig hw_cfg;
+    hw_cfg.num_cores = cfg.num_cores;
+    hw_cfg.window_size = cfg.window_size;
+    hw_cfg.distribution = cfg.distribution;
+    hw_cfg.gathering = cfg.gathering;
+    engine_ = std::make_unique<hw::UniflowEngine>(hw_cfg);
+    engine_->set_record_injections(false);
+    engine_->program(cfg.spec);
+  }
+
+  RunReport process(const std::vector<Tuple>& tuples) override {
+    const std::uint64_t start = engine_->cycle();
+    engine_->offer(tuples);
+    engine_->run_to_quiescence(kMaxCyclesPerBatchTuple *
+                               std::max<std::uint64_t>(tuples.size(), 1));
+    RunReport report;
+    report.tuples_processed = tuples.size();
+    report.cycles = engine_->cycle() - start;
+    report.elapsed_seconds =
+        static_cast<double>(*report.cycles) / (cfg_.clock_mhz * 1e6);
+    report.results_emitted = engine_->results().size() - taken_;
+    return report;
+  }
+
+  void prefill(const std::vector<Tuple>& tuples) override {
+    engine_->prefill(tuples);
+  }
+
+  void program(const stream::JoinSpec& spec) override {
+    engine_->program(spec);
+  }
+
+  std::vector<ResultTuple> take_results() override {
+    auto all = engine_->result_tuples();
+    std::vector<ResultTuple> fresh(all.begin() + static_cast<std::ptrdiff_t>(
+                                                     taken_),
+                                   all.end());
+    taken_ = all.size();
+    return fresh;
+  }
+
+  [[nodiscard]] Backend backend() const noexcept override {
+    return Backend::kHwUniflow;
+  }
+  [[nodiscard]] std::optional<hw::DesignStats> design_stats() const override {
+    return engine_->design_stats();
+  }
+
+ private:
+  EngineConfig cfg_;
+  std::unique_ptr<hw::UniflowEngine> engine_;
+  std::size_t taken_ = 0;
+};
+
+class HwBiflowAdapter final : public StreamJoinEngine {
+ public:
+  explicit HwBiflowAdapter(const EngineConfig& cfg) : cfg_(cfg) {
+    hw::BiflowConfig hw_cfg;
+    hw_cfg.num_cores = cfg.num_cores;
+    hw_cfg.window_size = cfg.window_size;
+    hw_cfg.gathering = cfg.gathering;
+    engine_ = std::make_unique<hw::BiflowEngine>(hw_cfg);
+    engine_->set_record_injections(false);
+    engine_->program(cfg.spec);
+  }
+
+  RunReport process(const std::vector<Tuple>& tuples) override {
+    const std::uint64_t start = engine_->cycle();
+    engine_->offer(tuples);
+    engine_->run_to_quiescence(kMaxCyclesPerBatchTuple *
+                               std::max<std::uint64_t>(tuples.size(), 1));
+    RunReport report;
+    report.tuples_processed = tuples.size();
+    report.cycles = engine_->cycle() - start;
+    report.elapsed_seconds =
+        static_cast<double>(*report.cycles) / (cfg_.clock_mhz * 1e6);
+    report.results_emitted = engine_->results().size() - taken_;
+    return report;
+  }
+
+  void prefill(const std::vector<Tuple>& tuples) override {
+    engine_->prefill(tuples);
+  }
+
+  void program(const stream::JoinSpec& spec) override {
+    engine_->program(spec);
+  }
+
+  std::vector<ResultTuple> take_results() override {
+    auto all = engine_->result_tuples();
+    std::vector<ResultTuple> fresh(all.begin() + static_cast<std::ptrdiff_t>(
+                                                     taken_),
+                                   all.end());
+    taken_ = all.size();
+    return fresh;
+  }
+
+  [[nodiscard]] Backend backend() const noexcept override {
+    return Backend::kHwBiflow;
+  }
+  [[nodiscard]] std::optional<hw::DesignStats> design_stats() const override {
+    return engine_->design_stats();
+  }
+
+ private:
+  EngineConfig cfg_;
+  std::unique_ptr<hw::BiflowEngine> engine_;
+  std::size_t taken_ = 0;
+};
+
+class SwSplitJoinAdapter final : public StreamJoinEngine {
+ public:
+  explicit SwSplitJoinAdapter(const EngineConfig& cfg) : spec_(cfg.spec) {
+    sw::SplitJoinConfig sw_cfg;
+    sw_cfg.num_cores = cfg.num_cores;
+    sw_cfg.window_size = cfg.window_size;
+    sw_cfg.collect_results = cfg.collect_results;
+    engine_ = std::make_unique<sw::SplitJoinEngine>(sw_cfg, spec_);
+  }
+
+  RunReport process(const std::vector<Tuple>& tuples) override {
+    const sw::SwRunReport r = engine_->process(tuples);
+    RunReport report;
+    report.tuples_processed = r.tuples_processed;
+    report.results_emitted = r.results_emitted - last_emitted_;
+    last_emitted_ = r.results_emitted;
+    report.elapsed_seconds = r.elapsed_seconds;
+    return report;
+  }
+
+  void prefill(const std::vector<Tuple>& tuples) override {
+    engine_->prefill(tuples);
+  }
+
+  void program(const stream::JoinSpec& spec) override {
+    // The software engine binds the spec at construction (each probe reads
+    // it); rebuild preserving nothing — reprogramming software SplitJoin
+    // mid-stream is out of the paper's scope.
+    HAL_CHECK(false,
+              "kSwSplitJoin does not support runtime re-programming; "
+              "construct a new engine");
+    (void)spec;
+  }
+
+  std::vector<ResultTuple> take_results() override {
+    auto out = engine_->results();
+    engine_->clear_results();
+    return out;
+  }
+
+  [[nodiscard]] Backend backend() const noexcept override {
+    return Backend::kSwSplitJoin;
+  }
+  [[nodiscard]] std::optional<hw::DesignStats> design_stats() const override {
+    return std::nullopt;
+  }
+
+ private:
+  stream::JoinSpec spec_;
+  std::unique_ptr<sw::SplitJoinEngine> engine_;
+  std::uint64_t last_emitted_ = 0;
+};
+
+class SwHandshakeAdapter final : public StreamJoinEngine {
+ public:
+  explicit SwHandshakeAdapter(const EngineConfig& cfg) {
+    sw::HandshakeJoinConfig sw_cfg;
+    sw_cfg.num_cores = cfg.num_cores;
+    sw_cfg.window_size = cfg.window_size;
+    engine_ = std::make_unique<sw::HandshakeJoinEngine>(sw_cfg, cfg.spec);
+  }
+
+  RunReport process(const std::vector<Tuple>& tuples) override {
+    const sw::SwRunReport r = engine_->process(tuples);
+    RunReport report;
+    report.tuples_processed = r.tuples_processed;
+    report.results_emitted = r.results_emitted - last_emitted_;
+    last_emitted_ = r.results_emitted;
+    report.elapsed_seconds = r.elapsed_seconds;
+    return report;
+  }
+
+  void prefill(const std::vector<Tuple>& tuples) override {
+    HAL_CHECK(tuples.empty(),
+              "kSwHandshake does not support prefill (chain layout is "
+              "flow-dependent); stream the warmup instead");
+  }
+
+  void program(const stream::JoinSpec& spec) override {
+    HAL_CHECK(false,
+              "kSwHandshake does not support runtime re-programming; "
+              "construct a new engine");
+    (void)spec;
+  }
+
+  std::vector<ResultTuple> take_results() override {
+    auto all = engine_->results();
+    std::vector<ResultTuple> fresh(
+        all.begin() + static_cast<std::ptrdiff_t>(taken_), all.end());
+    taken_ = all.size();
+    return fresh;
+  }
+
+  [[nodiscard]] Backend backend() const noexcept override {
+    return Backend::kSwHandshake;
+  }
+  [[nodiscard]] std::optional<hw::DesignStats> design_stats() const override {
+    return std::nullopt;
+  }
+
+ private:
+  std::unique_ptr<sw::HandshakeJoinEngine> engine_;
+  std::size_t taken_ = 0;
+  std::uint64_t last_emitted_ = 0;
+};
+
+class SwBatchAdapter final : public StreamJoinEngine {
+ public:
+  explicit SwBatchAdapter(const EngineConfig& cfg) {
+    sw::BatchJoinConfig sw_cfg;
+    sw_cfg.num_workers = cfg.num_cores;
+    sw_cfg.window_size = cfg.window_size;
+    sw_cfg.batch_size = std::min(cfg.batch_size, cfg.window_size);
+    engine_ = std::make_unique<sw::BatchJoinEngine>(sw_cfg, cfg.spec);
+  }
+
+  RunReport process(const std::vector<Tuple>& tuples) override {
+    const sw::SwRunReport r = engine_->process(tuples);
+    RunReport report;
+    report.tuples_processed = r.tuples_processed;
+    report.results_emitted = r.results_emitted;
+    report.elapsed_seconds = r.elapsed_seconds;
+    return report;
+  }
+
+  void prefill(const std::vector<Tuple>& tuples) override {
+    // The batch engine warms up by streaming: batching makes the fill
+    // cheap enough that no state-injection shortcut is needed.
+    (void)engine_->process(tuples);
+    engine_->clear_results();
+  }
+
+  void program(const stream::JoinSpec& spec) override {
+    HAL_CHECK(false,
+              "kSwBatch does not support runtime re-programming; construct "
+              "a new engine");
+    (void)spec;
+  }
+
+  std::vector<ResultTuple> take_results() override {
+    auto out = engine_->results();
+    engine_->clear_results();
+    return out;
+  }
+
+  [[nodiscard]] Backend backend() const noexcept override {
+    return Backend::kSwBatch;
+  }
+  [[nodiscard]] std::optional<hw::DesignStats> design_stats() const override {
+    return std::nullopt;
+  }
+
+ private:
+  std::unique_ptr<sw::BatchJoinEngine> engine_;
+};
+
+}  // namespace
+
+const char* to_string(Backend b) noexcept {
+  switch (b) {
+    case Backend::kHwUniflow: return "hw-uniflow";
+    case Backend::kHwBiflow: return "hw-biflow";
+    case Backend::kSwSplitJoin: return "sw-splitjoin";
+    case Backend::kSwHandshake: return "sw-handshake";
+    case Backend::kSwBatch: return "sw-batch";
+  }
+  return "?";
+}
+
+std::unique_ptr<StreamJoinEngine> make_engine(const EngineConfig& config) {
+  switch (config.backend) {
+    case Backend::kHwUniflow:
+      return std::make_unique<HwUniflowAdapter>(config);
+    case Backend::kHwBiflow:
+      return std::make_unique<HwBiflowAdapter>(config);
+    case Backend::kSwSplitJoin:
+      return std::make_unique<SwSplitJoinAdapter>(config);
+    case Backend::kSwHandshake:
+      return std::make_unique<SwHandshakeAdapter>(config);
+    case Backend::kSwBatch:
+      return std::make_unique<SwBatchAdapter>(config);
+  }
+  HAL_ASSERT_MSG(false, "unknown backend");
+  return nullptr;
+}
+
+}  // namespace hal::core

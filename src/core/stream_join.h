@@ -1,0 +1,107 @@
+// hal::core — the library's public facade.
+//
+// One interface, four interchangeable realizations of the paper's
+// flow-based parallel stream join:
+//
+//   Backend::kHwUniflow  — SplitJoin micro-architecture on the cycle
+//                          simulator (Figs. 9/11/12/13)
+//   Backend::kHwBiflow   — handshake-join / OP-Chain micro-architecture on
+//                          the cycle simulator (Figs. 8a/10)
+//   Backend::kSwSplitJoin — SplitJoin on std::thread (the paper's
+//                           software comparison system, Figs. 14d/16)
+//   Backend::kSwHandshake — handshake join on std::thread
+//
+// Hardware backends report simulated cycles and convert to wall-clock time
+// at the configured clock; software backends report measured wall-clock
+// time. `RunReport` is deliberately common so examples and benches can
+// compare backends side by side, which is the paper's whole exercise.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hw/model/design_stats.h"
+#include "stream/join_spec.h"
+#include "stream/tuple.h"
+
+namespace hal::core {
+
+enum class Backend : std::uint8_t {
+  kHwUniflow,
+  kHwBiflow,
+  kSwSplitJoin,
+  kSwHandshake,
+  kSwBatch,  // GPU/CellJoin-style batched kernels
+};
+
+[[nodiscard]] const char* to_string(Backend b) noexcept;
+
+struct EngineConfig {
+  Backend backend = Backend::kHwUniflow;
+  std::uint32_t num_cores = 4;
+  // Per-stream sliding-window size (multiple of num_cores).
+  std::size_t window_size = 1 << 10;
+  stream::JoinSpec spec = stream::JoinSpec::equi_on_key();
+
+  // Hardware backends only.
+  hw::NetworkKind distribution = hw::NetworkKind::kScalable;
+  hw::NetworkKind gathering = hw::NetworkKind::kScalable;
+  double clock_mhz = 100.0;  // operating point for cycle→time conversion
+
+  // Software backends only: keep full result tuples (disable for large
+  // throughput runs).
+  bool collect_results = true;
+
+  // kSwBatch only: tuples per data-parallel kernel dispatch.
+  std::size_t batch_size = 1 << 10;
+};
+
+struct RunReport {
+  std::uint64_t tuples_processed = 0;
+  std::uint64_t results_emitted = 0;
+  double elapsed_seconds = 0.0;            // wall (sw) or cycles/clock (hw)
+  std::optional<std::uint64_t> cycles;     // hw backends only
+
+  [[nodiscard]] double throughput_tuples_per_sec() const noexcept {
+    return elapsed_seconds > 0.0
+               ? static_cast<double>(tuples_processed) / elapsed_seconds
+               : 0.0;
+  }
+};
+
+// Unified stream-join engine. Feed tuples with process(); matches
+// accumulate and can be taken with take_results().
+class StreamJoinEngine {
+ public:
+  virtual ~StreamJoinEngine() = default;
+
+  // Processes a batch to completion and reports timing for this batch.
+  virtual RunReport process(const std::vector<stream::Tuple>& tuples) = 0;
+
+  // Warm-start the sliding windows without timing (see engine prefill
+  // docs). Must precede the first process() call.
+  virtual void prefill(const std::vector<stream::Tuple>& tuples) = 0;
+
+  // Re-program the join operator at runtime. Hardware uni-flow programs
+  // in-stream (no drain); other backends require a drained engine, which
+  // process() guarantees on return.
+  virtual void program(const stream::JoinSpec& spec) = 0;
+
+  // All results emitted since the last take_results() call.
+  virtual std::vector<stream::ResultTuple> take_results() = 0;
+
+  [[nodiscard]] virtual Backend backend() const noexcept = 0;
+
+  // Hardware backends expose their design descriptor for the model layer;
+  // software backends return nullopt.
+  [[nodiscard]] virtual std::optional<hw::DesignStats> design_stats()
+      const = 0;
+};
+
+[[nodiscard]] std::unique_ptr<StreamJoinEngine> make_engine(
+    const EngineConfig& config);
+
+}  // namespace hal::core

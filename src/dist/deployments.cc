@@ -1,0 +1,57 @@
+#include "dist/deployments.h"
+
+namespace hal::dist {
+
+PathModel make_pipeline(Deployment d, const PipelineParams& p) {
+  PathModel path(to_string(d));
+  path.add_stage({"ingress link", p.ingress_link_tps, p.ingress_latency_us,
+                  1.0});
+
+  switch (d) {
+    case Deployment::kCpuOnly:
+      path.add_stage({"switch (passive)", p.switch_tps, p.switch_latency_us,
+                      1.0});
+      path.add_stage({"host NIC", p.nic_tps, p.nic_latency_us, 1.0});
+      path.add_stage({"cpu filter", p.cpu_filter_tps,
+                      p.cpu_filter_latency_us, p.filter_selectivity});
+      path.add_stage({"cpu join", p.cpu_join_tps, p.cpu_join_latency_us,
+                      p.join_selectivity});
+      break;
+
+    case Deployment::kStandalone:
+      // The whole engine is embedded at the switch; only results continue.
+      path.add_stage({"switch FPGA filter", p.fpga_filter_tps,
+                      p.fpga_filter_latency_us, p.filter_selectivity});
+      path.add_stage({"switch FPGA join", p.fpga_join_tps,
+                      p.fpga_join_latency_us, p.join_selectivity});
+      path.add_stage({"host NIC (results)", p.nic_tps, p.nic_latency_us,
+                      1.0});
+      break;
+
+    case Deployment::kCoPlacement:
+      // Best-effort filtering on the path; the join stays on the host.
+      path.add_stage({"switch FPGA filter", p.fpga_filter_tps,
+                      p.fpga_filter_latency_us, p.filter_selectivity});
+      path.add_stage({"host NIC", p.nic_tps, p.nic_latency_us, 1.0});
+      path.add_stage({"cpu join", p.cpu_join_tps, p.cpu_join_latency_us,
+                      p.join_selectivity});
+      break;
+
+    case Deployment::kCoProcessor:
+      // Everything reaches the host, which ships work to its FPGA over
+      // PCIe (filter + join on the card) and reads results back.
+      path.add_stage({"switch (passive)", p.switch_tps, p.switch_latency_us,
+                      1.0});
+      path.add_stage({"host NIC", p.nic_tps, p.nic_latency_us, 1.0});
+      path.add_stage({"PCIe to card", p.pcie_tps, p.pcie_latency_us, 1.0});
+      path.add_stage({"card filter", p.fpga_filter_tps,
+                      p.fpga_filter_latency_us, p.filter_selectivity});
+      path.add_stage({"card join", p.fpga_join_tps, p.fpga_join_latency_us,
+                      p.join_selectivity});
+      path.add_stage({"PCIe results", p.pcie_tps, p.pcie_latency_us, 1.0});
+      break;
+  }
+  return path;
+}
+
+}  // namespace hal::dist

@@ -1,0 +1,79 @@
+// The three acceleration deployment modes of the system model (§II,
+// Fig. 4 top layer; Fig. 18), instantiated for a canonical IoT analytics
+// pipeline:
+//
+//   sensors → ingress link → datacenter switch → host NIC/PCIe → compute
+//
+// * kCpuOnly       — passive path, join runs in software on the host.
+// * kStandalone    — the entire engine lives on an FPGA at the switch
+//                    ("the entire software stack is embedded on
+//                    hardware"); filtered results travel to the consumer.
+// * kCoPlacement   — an accelerator *on the data path* (at the switch)
+//                    performs partial/best-effort filtering (selection
+//                    pushdown); the host joins the surviving traffic
+//                    (IBM Netezza style).
+// * kCoProcessor   — the host offloads the join to an attached FPGA
+//                    across PCIe (Amazon F1 style [41]): full line rate to
+//                    the host, plus a PCIe round trip on the offload.
+//
+// Throughput/latency parameters for the engine stages come from this
+// repository's own measurements and models (uni-flow engine throughput,
+// software SplitJoin, timing model clocks), so the comparison composes
+// the case study's results into the landscape's top layer.
+#pragma once
+
+#include "dist/path_model.h"
+
+namespace hal::dist {
+
+enum class Deployment : std::uint8_t {
+  kCpuOnly,
+  kStandalone,
+  kCoPlacement,
+  kCoProcessor,
+};
+
+[[nodiscard]] constexpr const char* to_string(Deployment d) noexcept {
+  switch (d) {
+    case Deployment::kCpuOnly: return "cpu-only";
+    case Deployment::kStandalone: return "standalone";
+    case Deployment::kCoPlacement: return "co-placement";
+    case Deployment::kCoProcessor: return "co-processor";
+  }
+  return "?";
+}
+
+struct PipelineParams {
+  // Infrastructure.
+  double ingress_link_tps = 50e6;    // sensor aggregation link
+  double ingress_latency_us = 200.0; // WAN/edge hop
+  double switch_tps = 100e6;         // line rate through the switch
+  double switch_latency_us = 5.0;
+  double nic_tps = 30e6;             // host NIC + kernel path
+  double nic_latency_us = 20.0;
+  double pcie_latency_us = 3.0;      // one PCIe crossing
+  double pcie_tps = 60e6;
+
+  // Workload: fraction of traffic that survives the selection predicate
+  // (pushed down when an accelerator sits on the path).
+  double filter_selectivity = 0.05;
+  // Join output per input tuple after filtering.
+  double join_selectivity = 0.2;
+
+  // Engine capacities (tuples/s), typically taken from this repo's
+  // harness: hardware uni-flow = N*F/W; software SplitJoin = measured.
+  double fpga_join_tps = 5e6;
+  double fpga_filter_tps = 100e6;  // selection at line rate (Ibex-style)
+  double cpu_join_tps = 0.2e6;
+  double cpu_filter_tps = 2e6;
+  double fpga_join_latency_us = 2.0;   // Fig. 15 scale
+  double cpu_join_latency_us = 2000.0; // Fig. 16 scale
+  double cpu_filter_latency_us = 50.0;
+  double fpga_filter_latency_us = 1.0;
+};
+
+// Builds the end-to-end path for a deployment mode.
+[[nodiscard]] PathModel make_pipeline(Deployment d,
+                                      const PipelineParams& params);
+
+}  // namespace hal::dist

@@ -1,0 +1,47 @@
+#include "dist/path_model.h"
+
+#include <limits>
+
+namespace hal::dist {
+
+double PathModel::sustainable_input_tps() const {
+  HAL_CHECK(!stages_.empty(), "empty path");
+  double rate = std::numeric_limits<double>::infinity();
+  double volume = 1.0;  // traffic per unit input reaching the next stage
+  for (const Stage& s : stages_) {
+    rate = std::min(rate, s.capacity_tps / volume);
+    volume *= s.selectivity;
+  }
+  return rate;
+}
+
+double PathModel::end_to_end_latency_us() const {
+  HAL_CHECK(!stages_.empty(), "empty path");
+  double total = 0.0;
+  for (const Stage& s : stages_) total += s.latency_us;
+  return total;
+}
+
+const Stage& PathModel::bottleneck() const {
+  HAL_CHECK(!stages_.empty(), "empty path");
+  const Stage* worst = &stages_.front();
+  double worst_rate = std::numeric_limits<double>::infinity();
+  double volume = 1.0;
+  for (const Stage& s : stages_) {
+    const double rate = s.capacity_tps / volume;
+    if (rate < worst_rate) {
+      worst_rate = rate;
+      worst = &s;
+    }
+    volume *= s.selectivity;
+  }
+  return *worst;
+}
+
+double PathModel::delivered_fraction() const {
+  double volume = 1.0;
+  for (const Stage& s : stages_) volume *= s.selectivity;
+  return volume;
+}
+
+}  // namespace hal::dist

@@ -1,0 +1,78 @@
+// Active data path modeling (§II, system model layer).
+//
+// "In a distributed setting, each piece of data travels from a source
+// (data producer) to a destination (data consumer), passing through the
+// network and temporarily residing in storage and memory of intermediate
+// nodes. Usually, the actual data computation task is performed close to
+// the destination using CPUs. Instead, an active data path distributes
+// processing tasks along the entire length to various network, storage,
+// and memory components by making them 'active', i.e., coupled with an
+// accelerator."
+//
+// A PathModel is a pipeline of stages (links, switches, storage hops,
+// compute elements), each with a processing capacity, a traversal
+// latency, and a selectivity (the fraction of traffic it lets through —
+// an *active* stage with a pushed-down filter has selectivity < 1, a
+// passive hop has 1). The composition rules:
+//
+//   sustainable input rate  R* = min_j  capacity_j / Π_{i<j} selectivity_i
+//   end-to-end latency      L  = Σ_j latency_j
+//
+// i.e., filtering early multiplies every downstream stage's effective
+// capacity — the quantitative core of the paper's co-placement argument.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace hal::dist {
+
+struct Stage {
+  std::string name;
+  // Tuples/s this stage can process at its input (link bandwidth, switch
+  // line rate, engine throughput, ...).
+  double capacity_tps = 0.0;
+  // Added traversal latency in microseconds (wire + processing).
+  double latency_us = 0.0;
+  // Fraction of input traffic forwarded downstream (1.0 = passive hop).
+  double selectivity = 1.0;
+};
+
+class PathModel {
+ public:
+  explicit PathModel(std::string name) : name_(std::move(name)) {}
+
+  PathModel& add_stage(Stage s) {
+    HAL_CHECK(s.capacity_tps > 0.0, "stage capacity must be positive");
+    HAL_CHECK(s.selectivity > 0.0 && s.selectivity <= 1.0,
+              "selectivity must be in (0, 1]");
+    stages_.push_back(std::move(s));
+    return *this;
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<Stage>& stages() const noexcept {
+    return stages_;
+  }
+
+  // Maximum source rate the path sustains without any stage saturating.
+  [[nodiscard]] double sustainable_input_tps() const;
+
+  // One-tuple traversal latency, source to consumer.
+  [[nodiscard]] double end_to_end_latency_us() const;
+
+  // The stage that saturates first at the sustainable rate.
+  [[nodiscard]] const Stage& bottleneck() const;
+
+  // Traffic arriving at the consumer per unit input (Π selectivity).
+  [[nodiscard]] double delivered_fraction() const;
+
+ private:
+  std::string name_;
+  std::vector<Stage> stages_;
+};
+
+}  // namespace hal::dist

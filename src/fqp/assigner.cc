@@ -1,0 +1,265 @@
+#include "fqp/assigner.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "common/assert.h"
+
+namespace hal::fqp {
+
+namespace {
+
+[[nodiscard]] bool block_can_run(const OpBlock& block, const PlanNode& op) {
+  if (op.kind == PlanNode::Kind::kJoin) {
+    const auto& join = std::get<JoinInstruction>(op.instr);
+    return join.window_size <= block.join_window_capacity();
+  }
+  return true;
+}
+
+// Distance of one edge under a (possibly partial) placement. Unplaced
+// endpoints contribute 0 (used by the greedy's incremental scoring).
+[[nodiscard]] double edge_cost(
+    const Topology& topology,
+    const std::map<const PlanNode*, std::size_t>& placement,
+    const PlanNode* producer, const PlanNode* consumer) {
+  const double entry = -1.0;  // distributor position
+  const double exit = static_cast<double>(topology.size());  // collector
+  double from = entry;
+  double to = exit;
+  if (producer != nullptr) {
+    const auto it = placement.find(producer);
+    if (it == placement.end()) return 0.0;
+    from = static_cast<double>(topology.block(it->second).position());
+  }
+  if (consumer != nullptr) {
+    const auto it = placement.find(consumer);
+    if (it == placement.end()) return 0.0;
+    to = static_cast<double>(topology.block(it->second).position());
+  }
+  return std::abs(to - from);
+}
+
+}  // namespace
+
+void Assigner::collect(const std::vector<Query>& queries,
+                       std::vector<const PlanNode*>& ops,
+                       std::vector<Edge>& edges) {
+  std::set<const PlanNode*> seen;
+  std::set<std::pair<const PlanNode*, const PlanNode*>> seen_edges;
+
+  auto add_edge = [&](const PlanNode* producer, const PlanNode* consumer) {
+    if (seen_edges.insert({producer, consumer}).second) {
+      edges.push_back(Edge{producer, consumer});
+    }
+  };
+
+  // Post-order walk: children placed before parents.
+  auto walk = [&](auto&& self, const PlanNode* node) -> void {
+    if (node == nullptr || node->kind == PlanNode::Kind::kSource) return;
+    self(self, node->left.get());
+    self(self, node->right.get());
+    if (!seen.insert(node).second) return;  // shared sub-plan: once
+    ops.push_back(node);
+    auto child_edge = [&](const PlanNode* child) {
+      if (child == nullptr) return;
+      add_edge(child->kind == PlanNode::Kind::kSource ? nullptr : child,
+               node);
+    };
+    child_edge(node->left.get());
+    child_edge(node->right.get());
+  };
+  for (const Query& q : queries) {
+    HAL_CHECK(q.root && q.root->kind != PlanNode::Kind::kSource,
+              "a query must contain at least one operator");
+    walk(walk, q.root.get());
+    add_edge(q.root.get(), nullptr);  // root → collector
+  }
+}
+
+double Assigner::cost_of(
+    const Topology& topology, const std::vector<Query>& queries,
+    const std::map<const PlanNode*, std::size_t>& placement) const {
+  std::vector<const PlanNode*> ops;
+  std::vector<Edge> edges;
+  collect(queries, ops, edges);
+  double total = 0.0;
+  for (const Edge& e : edges) {
+    total += edge_cost(topology, placement, e.producer, e.consumer);
+  }
+  return total;
+}
+
+Assignment Assigner::assign(const Topology& topology,
+                            const std::vector<Query>& queries,
+                            Strategy strategy) const {
+  std::vector<const PlanNode*> ops;
+  std::vector<Edge> edges;
+  collect(queries, ops, edges);
+
+  Assignment result;
+  if (ops.size() > topology.size()) {
+    result.reason = "not enough OP-Blocks: need " +
+                    std::to_string(ops.size()) + ", have " +
+                    std::to_string(topology.size());
+    return result;
+  }
+  for (const PlanNode* op : ops) {
+    bool any = false;
+    for (std::size_t b = 0; b < topology.size(); ++b) {
+      if (block_can_run(topology.block(b), *op)) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) {
+      result.reason = "no OP-Block can host an operator (join window "
+                      "exceeds every block's capacity)";
+      return result;
+    }
+  }
+
+  // Greedy: place each operator (children first) on the free feasible
+  // block minimizing the cost of its already-placeable edges.
+  auto greedy = [&]() -> std::map<const PlanNode*, std::size_t> {
+    std::map<const PlanNode*, std::size_t> placement;
+    std::vector<bool> used(topology.size(), false);
+    for (const PlanNode* op : ops) {
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t best_block = topology.size();
+      for (std::size_t b = 0; b < topology.size(); ++b) {
+        if (used[b] || !block_can_run(topology.block(b), *op)) continue;
+        placement[op] = b;
+        double local = 0.0;
+        for (const Edge& e : edges) {
+          if (e.producer == op || e.consumer == op) {
+            local += edge_cost(topology, placement, e.producer, e.consumer);
+          }
+        }
+        placement.erase(op);
+        if (local < best) {
+          best = local;
+          best_block = b;
+        }
+      }
+      HAL_ASSERT(best_block < topology.size());
+      placement[op] = best_block;
+      used[best_block] = true;
+    }
+    return placement;
+  };
+
+  result.placement = greedy();
+  result.cost = cost_of(topology, queries, result.placement);
+  result.feasible = true;
+
+  if (strategy == Strategy::kExhaustive) {
+    // Branch-and-bound over all injective placements, seeded with the
+    // greedy incumbent. Placement order = dependency order, so partial
+    // cost is monotone.
+    std::map<const PlanNode*, std::size_t> current;
+    std::vector<bool> used(topology.size(), false);
+    double best_cost = result.cost;
+    auto best_placement = result.placement;
+
+    auto recurse = [&](auto&& self, std::size_t i, double cost_so_far) -> void {
+      if (cost_so_far >= best_cost) return;  // bound
+      if (i == ops.size()) {
+        best_cost = cost_so_far;
+        best_placement = current;
+        return;
+      }
+      const PlanNode* op = ops[i];
+      for (std::size_t b = 0; b < topology.size(); ++b) {
+        if (used[b] || !block_can_run(topology.block(b), *op)) continue;
+        current[op] = b;
+        used[b] = true;
+        double delta = 0.0;
+        for (const Edge& e : edges) {
+          // Count an edge when its later endpoint is placed (all earlier
+          // endpoints already are, by dependency order; collector edges
+          // close when the producer is placed).
+          const bool closes =
+              (e.consumer == op) ||
+              (e.producer == op && e.consumer == nullptr);
+          if (closes) {
+            delta += edge_cost(topology, current, e.producer, e.consumer);
+          }
+        }
+        self(self, i + 1, cost_so_far + delta);
+        used[b] = false;
+        current.erase(op);
+      }
+    };
+    recurse(recurse, 0, 0.0);
+    result.placement = best_placement;
+    result.cost = best_cost;
+  }
+  return result;
+}
+
+Assigner::TopologySuggestion Assigner::suggest_topology(
+    const std::vector<Query>& queries, std::size_t headroom_blocks) {
+  std::vector<const PlanNode*> ops;
+  std::vector<Edge> edges;
+  collect(queries, ops, edges);
+  TopologySuggestion s;
+  s.num_blocks = ops.size() + headroom_blocks;
+  s.join_window_capacity = 1;  // blocks are useful even for pure selections
+  for (const PlanNode* op : ops) {
+    if (op->kind == PlanNode::Kind::kJoin) {
+      s.join_window_capacity =
+          std::max(s.join_window_capacity,
+                   std::get<JoinInstruction>(op->instr).window_size);
+    }
+  }
+  return s;
+}
+
+void Assigner::apply(Topology& topology, const std::vector<Query>& queries,
+                     const Assignment& assignment) const {
+  HAL_CHECK(assignment.feasible, "cannot apply an infeasible assignment");
+  topology.reset();
+
+  std::vector<const PlanNode*> ops;
+  std::vector<Edge> edges;
+  collect(queries, ops, edges);
+
+  for (const PlanNode* op : ops) {
+    const std::size_t b = assignment.placement.at(op);
+    topology.block(b).program(op->instr);
+  }
+
+  // Wire children into parents. Port convention: a join's left child
+  // feeds port 0 and its right child port 1; unary operators use port 0.
+  std::set<std::tuple<std::string, std::size_t, std::uint8_t>> stream_wired;
+  std::set<std::tuple<std::size_t, std::size_t, std::uint8_t>> block_wired;
+  auto wire_child = [&](const PlanNode* parent, const PlanNode* child,
+                        std::uint8_t port) {
+    if (child == nullptr) return;
+    const std::size_t pb = assignment.placement.at(parent);
+    if (child->kind == PlanNode::Kind::kSource) {
+      if (stream_wired.insert({child->stream_name, pb, port}).second) {
+        topology.route_stream(child->stream_name, PortRef{pb, port});
+      }
+    } else {
+      const std::size_t cb = assignment.placement.at(child);
+      if (block_wired.insert({cb, pb, port}).second) {
+        topology.route_block(cb, Destination::to_block(pb, port));
+      }
+    }
+  };
+  for (const PlanNode* op : ops) {
+    wire_child(op, op->left.get(), 0);
+    if (op->kind == PlanNode::Kind::kJoin) {
+      wire_child(op, op->right.get(), 1);
+    }
+  }
+  for (const Query& q : queries) {
+    topology.route_block(assignment.placement.at(q.root.get()),
+                         Destination::to_output(q.output_name));
+  }
+}
+
+}  // namespace hal::fqp

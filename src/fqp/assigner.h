@@ -1,0 +1,81 @@
+// Query-to-OP-Block assignment (open problems 1-3 of §VI).
+//
+// Given a synthesized topology and a set of query plans, choose which
+// OP-Block runs which operator. A poor assignment "may increase query
+// execution time, leave some blocks un-utilized ... and degrade the
+// overall processing performance" (open problem 1); we formalize the cost
+// model of open problem 2 as total wire distance on the linear fabric:
+//
+//   cost = Σ_edges distance(producer, consumer)
+//
+// where streams enter at the distributor (before position 0), results
+// leave at the collector (after the last position), and block-to-block
+// hops cost their position distance. Two strategies are provided: a
+// locality-greedy heuristic and exhaustive branch-and-bound (the general
+// problem contains quadratic assignment, hence NP-hard — the paper's
+// complexity question).
+//
+// Operator nodes shared between queries (same PlanNode) are placed once
+// and their output fanned out through the bridge — the multi-query
+// sharing of the paper's Rete-like global query plan discussion.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fqp/query.h"
+#include "fqp/topology.h"
+
+namespace hal::fqp {
+
+enum class Strategy : std::uint8_t { kGreedy, kExhaustive };
+
+struct Assignment {
+  bool feasible = false;
+  std::string reason;  // set when infeasible
+  double cost = 0.0;
+  std::map<const PlanNode*, std::size_t> placement;  // operator → block
+};
+
+class Assigner {
+ public:
+  // Computes an assignment; does not modify the topology.
+  [[nodiscard]] Assignment assign(const Topology& topology,
+                                  const std::vector<Query>& queries,
+                                  Strategy strategy) const;
+
+  // Wire-distance cost of a complete placement.
+  [[nodiscard]] double cost_of(
+      const Topology& topology, const std::vector<Query>& queries,
+      const std::map<const PlanNode*, std::size_t>& placement) const;
+
+  // Programs blocks and bridge routing per the assignment. The topology's
+  // previous program/routing is cleared first.
+  void apply(Topology& topology, const std::vector<Query>& queries,
+             const Assignment& assignment) const;
+
+  // Open problem 3: "What is the best initial topology given a sample
+  // query workload?" — sizes a fabric for the workload. `headroom_blocks`
+  // reserves spare OP-Blocks for future queries (maximizing utilization
+  // vs. leaving room to grow is exactly the trade-off the paper poses).
+  struct TopologySuggestion {
+    std::size_t num_blocks = 0;
+    std::size_t join_window_capacity = 0;
+  };
+  [[nodiscard]] static TopologySuggestion suggest_topology(
+      const std::vector<Query>& queries, std::size_t headroom_blocks = 0);
+
+ private:
+  struct Edge {
+    const PlanNode* producer;  // nullptr = stream entry (distributor)
+    const PlanNode* consumer;  // nullptr = collector
+  };
+
+  // Unique operator nodes in dependency order, plus the data edges.
+  static void collect(const std::vector<Query>& queries,
+                      std::vector<const PlanNode*>& ops,
+                      std::vector<Edge>& edges);
+};
+
+}  // namespace hal::fqp

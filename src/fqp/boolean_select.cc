@@ -1,0 +1,145 @@
+#include "fqp/boolean_select.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace hal::fqp {
+
+namespace {
+
+[[nodiscard]] bool atom_equal(const SelectCondition& a,
+                              const SelectCondition& b) noexcept {
+  return a.field == b.field && a.op == b.op && a.operand == b.operand;
+}
+
+[[nodiscard]] bool eval_condition(const SelectCondition& c,
+                                  const Record& r) {
+  SelectInstruction one;
+  one.conjuncts = {c};
+  return one.matches(r);
+}
+
+}  // namespace
+
+BoolExpr BoolExpr::atom(std::size_t field, stream::CmpOp op,
+                        std::uint32_t operand) {
+  BoolExpr e;
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kAtom;
+  node->cond = SelectCondition{field, op, operand};
+  e.root_ = std::move(node);
+  return e;
+}
+
+BoolExpr BoolExpr::conjunction(BoolExpr a, BoolExpr b) {
+  BoolExpr e;
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kAnd;
+  node->left = std::move(a.root_);
+  node->right = std::move(b.root_);
+  e.root_ = std::move(node);
+  return e;
+}
+
+BoolExpr BoolExpr::disjunction(BoolExpr a, BoolExpr b) {
+  BoolExpr e;
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kOr;
+  node->left = std::move(a.root_);
+  node->right = std::move(b.root_);
+  e.root_ = std::move(node);
+  return e;
+}
+
+BoolExpr BoolExpr::negation(BoolExpr a) {
+  BoolExpr e;
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kNot;
+  node->left = std::move(a.root_);
+  e.root_ = std::move(node);
+  return e;
+}
+
+bool BoolExpr::eval_node(const Node& n, const Record& r) {
+  switch (n.kind) {
+    case Kind::kAtom: return eval_condition(n.cond, r);
+    case Kind::kAnd: return eval_node(*n.left, r) && eval_node(*n.right, r);
+    case Kind::kOr: return eval_node(*n.left, r) || eval_node(*n.right, r);
+    case Kind::kNot: return !eval_node(*n.left, r);
+  }
+  return false;
+}
+
+bool BoolExpr::evaluate(const Record& r) const {
+  HAL_CHECK(root_ != nullptr, "empty boolean expression");
+  return eval_node(*root_, r);
+}
+
+bool BoolExpr::eval_node_forced(
+    const Node& n, const std::function<bool(const SelectCondition&)>& oracle) {
+  switch (n.kind) {
+    case Kind::kAtom: return oracle(n.cond);
+    case Kind::kAnd:
+      return eval_node_forced(*n.left, oracle) &&
+             eval_node_forced(*n.right, oracle);
+    case Kind::kOr:
+      return eval_node_forced(*n.left, oracle) ||
+             eval_node_forced(*n.right, oracle);
+    case Kind::kNot: return !eval_node_forced(*n.left, oracle);
+  }
+  return false;
+}
+
+bool BoolExpr::evaluate_forced(
+    const std::function<bool(const SelectCondition&)>& oracle) const {
+  HAL_CHECK(root_ != nullptr, "empty boolean expression");
+  return eval_node_forced(*root_, oracle);
+}
+
+void BoolExpr::collect_atoms(const Node& n,
+                             std::vector<SelectCondition>& out) {
+  if (n.kind == Kind::kAtom) {
+    for (const auto& existing : out) {
+      if (atom_equal(existing, n.cond)) return;
+    }
+    out.push_back(n.cond);
+    return;
+  }
+  if (n.left) collect_atoms(*n.left, out);
+  if (n.right) collect_atoms(*n.right, out);
+}
+
+std::vector<SelectCondition> BoolExpr::atoms() const {
+  HAL_CHECK(root_ != nullptr, "empty boolean expression");
+  std::vector<SelectCondition> out;
+  collect_atoms(*root_, out);
+  return out;
+}
+
+TruthTableInstruction compile_boolean(const BoolExpr& expr) {
+  TruthTableInstruction out;
+  out.atoms = expr.atoms();
+  HAL_CHECK(out.atoms.size() <= TruthTableInstruction::kMaxAtoms,
+            "expression uses more atoms than the synthesized LUT holds");
+
+  // Enumerate every combination of atom outcomes and record the
+  // expression's value. (Combinations of mutually unsatisfiable atoms get
+  // table entries too — they are simply unreachable addresses in
+  // operation.)
+  const std::size_t k = out.atoms.size();
+  out.table.assign(std::size_t{1} << k, false);
+  for (std::size_t address = 0; address < out.table.size(); ++address) {
+    out.table[address] =
+        expr.evaluate_forced([&](const SelectCondition& c) -> bool {
+          for (std::size_t i = 0; i < out.atoms.size(); ++i) {
+            if (atom_equal(out.atoms[i], c)) return (address >> i) & 1u;
+          }
+          HAL_ASSERT_MSG(false, "atom not collected");
+          return false;
+        });
+  }
+  return out;
+}
+
+}  // namespace hal::fqp

@@ -1,0 +1,71 @@
+// Ibex-style Boolean selection (§II): "To avoid designing complex
+// adaptive circuitry, Ibex proposes precomputation of a truth table for
+// Boolean expressions in software first and transfer the truth table into
+// hardware during FPGA configuration when a new query is inserted."
+//
+// An arbitrary Boolean expression over atomic comparisons (field <op>
+// constant) is compiled *in software* into a truth table indexed by the
+// atoms' outcomes; the "hardware" then needs only k comparators and a
+// 2^k-entry lookup — no expression-specific logic. This extends OP-Block
+// selection beyond plain conjunctions (OR / NOT become expressible) while
+// keeping the block's circuit fixed, exactly the hardware/software
+// co-operation pattern the paper classifies under the algorithmic model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "fqp/op_block.h"
+#include "fqp/record.h"
+
+namespace hal::fqp {
+
+// Expression tree over SelectCondition atoms.
+class BoolExpr {
+ public:
+  [[nodiscard]] static BoolExpr atom(std::size_t field, stream::CmpOp op,
+                                     std::uint32_t operand);
+  [[nodiscard]] static BoolExpr conjunction(BoolExpr a, BoolExpr b);
+  [[nodiscard]] static BoolExpr disjunction(BoolExpr a, BoolExpr b);
+  [[nodiscard]] static BoolExpr negation(BoolExpr a);
+
+  // Direct (software) evaluation — the specification the compiled truth
+  // table is validated against.
+  [[nodiscard]] bool evaluate(const Record& r) const;
+
+  // Evaluation with atom outcomes supplied by an oracle instead of a
+  // record; the truth-table compiler uses this to enumerate combinations.
+  [[nodiscard]] bool evaluate_forced(
+      const std::function<bool(const SelectCondition&)>& oracle) const;
+
+  // Distinct atoms in first-appearance order.
+  [[nodiscard]] std::vector<SelectCondition> atoms() const;
+
+ private:
+  enum class Kind : std::uint8_t { kAtom, kAnd, kOr, kNot };
+
+  struct Node {
+    Kind kind;
+    SelectCondition cond;  // kAtom
+    std::shared_ptr<const Node> left;
+    std::shared_ptr<const Node> right;  // null for kNot
+  };
+
+  [[nodiscard]] static bool eval_node(const Node& n, const Record& r);
+  [[nodiscard]] static bool eval_node_forced(
+      const Node& n,
+      const std::function<bool(const SelectCondition&)>& oracle);
+  static void collect_atoms(const Node& n,
+                            std::vector<SelectCondition>& out);
+
+  std::shared_ptr<const Node> root_;
+};
+
+// Software precomputation: enumerates all 2^k atom outcomes and evaluates
+// the expression once per combination. Throws if the expression uses more
+// than kMaxAtoms distinct atoms (the size of the synthesized LUT).
+[[nodiscard]] TruthTableInstruction compile_boolean(const BoolExpr& expr);
+
+}  // namespace hal::fqp

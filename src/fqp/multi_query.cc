@@ -1,0 +1,90 @@
+#include "fqp/multi_query.h"
+
+#include <memory>
+
+namespace hal::fqp {
+
+namespace {
+
+// Shallow equality given already-canonicalized children (pointer compare).
+[[nodiscard]] bool shallow_equal(const PlanNode& a, const PlanNode& b) {
+  if (a.kind != b.kind) return false;
+  if (a.kind == PlanNode::Kind::kSource) {
+    return a.stream_name == b.stream_name &&
+           a.schema.width() == b.schema.width();
+  }
+  return a.instr == b.instr && a.left == b.left && a.right == b.right;
+}
+
+class Canonicalizer {
+ public:
+  PlanPtr canonical(const PlanPtr& node) {
+    if (node == nullptr) return nullptr;
+    const PlanPtr left = canonical(node->left);
+    const PlanPtr right = canonical(node->right);
+
+    // Rebuild only if a child was replaced.
+    PlanPtr candidate = node;
+    if (left != node->left || right != node->right) {
+      auto rebuilt = std::make_shared<PlanNode>(*node);
+      rebuilt->left = left;
+      rebuilt->right = right;
+      candidate = rebuilt;
+    }
+    for (const PlanPtr& existing : canon_) {
+      if (shallow_equal(*existing, *candidate)) return existing;
+    }
+    canon_.push_back(candidate);
+    return candidate;
+  }
+
+ private:
+  std::vector<PlanPtr> canon_;
+};
+
+}  // namespace
+
+bool plans_equal(const PlanNode& a, const PlanNode& b) {
+  if (a.kind != b.kind) return false;
+  if (a.kind == PlanNode::Kind::kSource) {
+    return a.stream_name == b.stream_name &&
+           a.schema.width() == b.schema.width();
+  }
+  if (!(a.instr == b.instr)) return false;
+  const bool left_ok =
+      (a.left == nullptr) == (b.left == nullptr) &&
+      (a.left == nullptr || plans_equal(*a.left, *b.left));
+  const bool right_ok =
+      (a.right == nullptr) == (b.right == nullptr) &&
+      (a.right == nullptr || plans_equal(*a.right, *b.right));
+  return left_ok && right_ok;
+}
+
+SharingReport share_common_subplans(std::vector<Query>& queries) {
+  SharingReport report;
+  for (const Query& q : queries) {
+    report.operators_before += q.root->operator_count();
+  }
+
+  Canonicalizer canon;
+  for (Query& q : queries) {
+    q.root = canon.canonical(q.root);
+  }
+
+  // Count unique operators in the rewritten global plan.
+  std::vector<const PlanNode*> seen;
+  auto count = [&](auto&& self, const PlanNode* n) -> void {
+    if (n == nullptr || n->kind == PlanNode::Kind::kSource) return;
+    for (const PlanNode* s : seen) {
+      if (s == n) return;
+    }
+    seen.push_back(n);
+    self(self, n->left.get());
+    self(self, n->right.get());
+  };
+  for (const Query& q : queries) count(count, q.root.get());
+  report.operators_after = seen.size();
+  return report;
+}
+
+}  // namespace hal::fqp

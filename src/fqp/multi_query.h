@@ -1,0 +1,40 @@
+// Multi-query optimization: Rete-like sharing of common sub-plans (§II:
+// "to support multi-query optimization, a global query plan based on a
+// Rete-like network is constructed to exploit both inter- and intra-query
+// parallelism").
+//
+// The Assigner already places a *pointer-shared* sub-plan once; this pass
+// goes further and detects *structurally equal* sub-plans across
+// independently built queries (same operator, same parameters, same
+// inputs) and rewrites the queries to share one node — turning a set of
+// separate plans into the global plan whose common prefixes execute once
+// per tuple on one OP-Block, with the bridge fanning the output out to
+// every consumer.
+#pragma once
+
+#include <vector>
+
+#include "fqp/query.h"
+
+namespace hal::fqp {
+
+// Structural equality of plans (operator kind + instruction + recursively
+// equal children; sources compare by stream name).
+[[nodiscard]] bool plans_equal(const PlanNode& a, const PlanNode& b);
+
+struct SharingReport {
+  // Operator count before/after sharing (sources excluded).
+  std::size_t operators_before = 0;
+  std::size_t operators_after = 0;
+
+  [[nodiscard]] std::size_t saved() const noexcept {
+    return operators_before - operators_after;
+  }
+};
+
+// Rewrites `queries` in place so that structurally equal sub-plans are
+// represented by a single shared node. Returns how many operators the
+// global plan saved.
+SharingReport share_common_subplans(std::vector<Query>& queries);
+
+}  // namespace hal::fqp

@@ -1,0 +1,127 @@
+#include "fqp/op_block.h"
+
+namespace hal::fqp {
+
+namespace {
+
+[[nodiscard]] bool compare(std::uint32_t lhs, stream::CmpOp op,
+                           std::uint32_t rhs) noexcept {
+  switch (op) {
+    case stream::CmpOp::Eq: return lhs == rhs;
+    case stream::CmpOp::Ne: return lhs != rhs;
+    case stream::CmpOp::Lt: return lhs < rhs;
+    case stream::CmpOp::Le: return lhs <= rhs;
+    case stream::CmpOp::Gt: return lhs > rhs;
+    case stream::CmpOp::Ge: return lhs >= rhs;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool SelectInstruction::matches(const Record& r) const {
+  for (const auto& c : conjuncts) {
+    if (!compare(r.at(c.field), c.op, c.operand)) return false;
+  }
+  return true;
+}
+
+bool TruthTableInstruction::matches(const Record& r) const {
+  // The hardware path: k parallel comparators form the LUT address.
+  std::size_t address = 0;
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    SelectInstruction one;
+    one.conjuncts = {atoms[i]};
+    if (one.matches(r)) address |= std::size_t{1} << i;
+  }
+  HAL_ASSERT(address < table.size());
+  return table[address];
+}
+
+const char* to_string(OpKind k) noexcept {
+  switch (k) {
+    case OpKind::kUnprogrammed: return "unprogrammed";
+    case OpKind::kSelect: return "select";
+    case OpKind::kProject: return "project";
+    case OpKind::kJoin: return "join";
+    case OpKind::kTruthTableSelect: return "truth-table-select";
+  }
+  return "?";
+}
+
+void OpBlock::program(Instruction instr) {
+  if (const auto* join = std::get_if<JoinInstruction>(&instr)) {
+    HAL_CHECK(join->window_size <= join_window_capacity_,
+              "join window exceeds this OP-Block's synthesized capacity");
+  }
+  instr_ = std::move(instr);
+  window_left_.clear();
+  window_right_.clear();
+}
+
+OpKind OpBlock::kind() const noexcept {
+  if (std::holds_alternative<SelectInstruction>(instr_)) {
+    return OpKind::kSelect;
+  }
+  if (std::holds_alternative<ProjectInstruction>(instr_)) {
+    return OpKind::kProject;
+  }
+  if (std::holds_alternative<JoinInstruction>(instr_)) return OpKind::kJoin;
+  if (std::holds_alternative<TruthTableInstruction>(instr_)) {
+    return OpKind::kTruthTableSelect;
+  }
+  return OpKind::kUnprogrammed;
+}
+
+std::vector<Record> OpBlock::process(const Record& r, std::uint8_t port) {
+  ++tuples_processed_;
+  std::vector<Record> out;
+  if (const auto* sel = std::get_if<SelectInstruction>(&instr_)) {
+    HAL_CHECK(port == 0, "selection blocks have a single input port");
+    if (sel->matches(r)) out.push_back(r);
+    return out;
+  }
+  if (const auto* tt = std::get_if<TruthTableInstruction>(&instr_)) {
+    HAL_CHECK(port == 0, "selection blocks have a single input port");
+    if (tt->matches(r)) out.push_back(r);
+    return out;
+  }
+  if (const auto* proj = std::get_if<ProjectInstruction>(&instr_)) {
+    HAL_CHECK(port == 0, "projection blocks have a single input port");
+    Record projected;
+    projected.seq = r.seq;
+    projected.fields.reserve(proj->keep.size());
+    for (const std::size_t f : proj->keep) projected.fields.push_back(r.at(f));
+    out.push_back(std::move(projected));
+    return out;
+  }
+  if (const auto* join = std::get_if<JoinInstruction>(&instr_)) {
+    HAL_CHECK(port <= 1, "join blocks have two input ports");
+    const bool is_left = port == 0;
+    auto& own = is_left ? window_left_ : window_right_;
+    const auto& other = is_left ? window_right_ : window_left_;
+    const std::size_t own_field =
+        is_left ? join->left_field : join->right_field;
+    const std::size_t other_field =
+        is_left ? join->right_field : join->left_field;
+    for (const Record& o : other) {
+      if (r.at(own_field) == o.at(other_field)) {
+        const Record& left = is_left ? r : o;
+        const Record& right = is_left ? o : r;
+        Record joined;
+        joined.seq = std::max(left.seq, right.seq);
+        joined.fields = left.fields;
+        joined.fields.insert(joined.fields.end(), right.fields.begin(),
+                             right.fields.end());
+        out.push_back(std::move(joined));
+      }
+    }
+    own.push_back(r);
+    if (own.size() > join->window_size) own.pop_front();
+    return out;
+  }
+  HAL_CHECK(false, "tuple routed to an unprogrammed OP-Block");
+  return out;
+}
+
+}  // namespace hal::fqp

@@ -1,0 +1,142 @@
+// Online-Programmable Block (OP-Block) — the processing element of the
+// Flexible Query Processor (§II, [13][15]).
+//
+// An OP-Block is synthesized once and from then on programmed at runtime:
+// its instruction registers select which SQL operator it executes
+// (selection, projection, or windowed equi-join) and with which
+// parameters. Re-programming takes effect between tuples — the
+// "microseconds, not re-synthesis" path of Fig. 6's flexible pipeline,
+// versus hours of synthesis for a static circuit. These are the *micro*
+// changes of the parametrized-circuits level of the representational
+// model; re-wiring blocks into a different query shape is the
+// ProgrammableBridge's job (parametrized topology).
+//
+// This layer models FQP's programming/assignment problem functionally
+// (tuple-in/tuples-out); the cycle-level behavior of a hardware join core
+// is the subject of hal::hw.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/assert.h"
+#include "fqp/record.h"
+#include "stream/join_spec.h"
+
+namespace hal::fqp {
+
+// Selection: conjunction of comparisons field <op> constant.
+struct SelectCondition {
+  std::size_t field = 0;
+  stream::CmpOp op = stream::CmpOp::Eq;
+  std::uint32_t operand = 0;
+
+  friend bool operator==(const SelectCondition&,
+                         const SelectCondition&) = default;
+};
+
+struct SelectInstruction {
+  std::vector<SelectCondition> conjuncts;
+
+  [[nodiscard]] bool matches(const Record& r) const;
+
+  friend bool operator==(const SelectInstruction&,
+                         const SelectInstruction&) = default;
+};
+
+// Ibex-style compiled Boolean selection: k comparators address a
+// 2^k-entry lookup table precomputed in software (see
+// fqp/boolean_select.h for the expression language and compiler). This is
+// how an OP-Block supports arbitrary Boolean conditions — OR and NOT, not
+// just conjunctions — with a fixed circuit.
+struct TruthTableInstruction {
+  std::vector<SelectCondition> atoms;  // k ≤ kMaxAtoms
+  std::vector<bool> table;             // 2^k entries
+
+  static constexpr std::size_t kMaxAtoms = 16;
+
+  [[nodiscard]] bool matches(const Record& r) const;
+
+  friend bool operator==(const TruthTableInstruction&,
+                         const TruthTableInstruction&) = default;
+};
+
+// Projection: keep the listed fields, in order.
+struct ProjectInstruction {
+  std::vector<std::size_t> keep;
+
+  friend bool operator==(const ProjectInstruction&,
+                         const ProjectInstruction&) = default;
+};
+
+// Windowed equi-join over one field per side (count-based windows, the
+// case-study semantics). Port 0 carries the left stream, port 1 the right.
+struct JoinInstruction {
+  std::size_t left_field = 0;
+  std::size_t right_field = 0;
+  std::size_t window_size = 1024;
+
+  friend bool operator==(const JoinInstruction&,
+                         const JoinInstruction&) = default;
+};
+
+using Instruction =
+    std::variant<std::monostate, SelectInstruction, ProjectInstruction,
+                 JoinInstruction, TruthTableInstruction>;
+
+enum class OpKind : std::uint8_t {
+  kUnprogrammed,
+  kSelect,
+  kProject,
+  kJoin,
+  kTruthTableSelect,
+};
+
+[[nodiscard]] const char* to_string(OpKind k) noexcept;
+
+class OpBlock {
+ public:
+  // `position` is the block's physical location on the fabric; the
+  // assigner's routing cost is measured in position distance.
+  // `join_window_capacity` is the block's synthesized window memory; a
+  // JoinInstruction with a larger window cannot be mapped onto it (the
+  // resource constraint of open problem 1).
+  OpBlock(std::string name, std::uint32_t position,
+          std::size_t join_window_capacity)
+      : name_(std::move(name)),
+        position_(position),
+        join_window_capacity_(join_window_capacity) {}
+
+  // Runtime programming; clears operator state (join windows).
+  void program(Instruction instr);
+
+  [[nodiscard]] OpKind kind() const noexcept;
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::uint32_t position() const noexcept { return position_; }
+  [[nodiscard]] std::size_t join_window_capacity() const noexcept {
+    return join_window_capacity_;
+  }
+
+  // Processes one record arriving on `port` (0 unless kJoin), returning
+  // the records the block emits.
+  [[nodiscard]] std::vector<Record> process(const Record& r,
+                                            std::uint8_t port);
+
+  [[nodiscard]] std::uint64_t tuples_processed() const noexcept {
+    return tuples_processed_;
+  }
+
+ private:
+  std::string name_;
+  std::uint32_t position_;
+  std::size_t join_window_capacity_;
+  Instruction instr_;
+  std::deque<Record> window_left_;
+  std::deque<Record> window_right_;
+  std::uint64_t tuples_processed_ = 0;
+};
+
+}  // namespace hal::fqp

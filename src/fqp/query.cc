@@ -1,0 +1,198 @@
+#include "fqp/query.h"
+
+#include "common/assert.h"
+
+namespace hal::fqp {
+
+std::size_t PlanNode::operator_count() const {
+  std::size_t count = kind == Kind::kSource ? 0 : 1;
+  if (left) count += left->operator_count();
+  if (right) count += right->operator_count();
+  return count;
+}
+
+QueryBuilder QueryBuilder::from(const std::string& stream, Schema schema) {
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanNode::Kind::kSource;
+  node->stream_name = stream;
+  node->schema = std::move(schema);
+  QueryBuilder b;
+  b.node_ = std::move(node);
+  return b;
+}
+
+QueryBuilder& QueryBuilder::select(const std::string& field,
+                                   stream::CmpOp op, std::uint32_t operand) {
+  const auto idx = node_->schema.index_of(field);
+  HAL_CHECK(idx.has_value(), "unknown attribute in select: " + field);
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanNode::Kind::kSelect;
+  node->schema = node_->schema;
+  SelectInstruction instr;
+  instr.conjuncts.push_back(SelectCondition{*idx, op, operand});
+  // Merge consecutive selections into one conjunction (one OP-Block).
+  if (node_->kind == PlanNode::Kind::kSelect) {
+    const auto& prev = std::get<SelectInstruction>(node_->instr);
+    instr.conjuncts.insert(instr.conjuncts.begin(), prev.conjuncts.begin(),
+                           prev.conjuncts.end());
+    node->left = node_->left;
+  } else {
+    node->left = node_;
+  }
+  node->instr = std::move(instr);
+  node_ = std::move(node);
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::select_where(const BoolExpr& expr) {
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanNode::Kind::kTruthSelect;
+  node->schema = node_->schema;
+  TruthTableInstruction instr = compile_boolean(expr);
+  for (const auto& atom : instr.atoms) {
+    HAL_CHECK(atom.field < node_->schema.width(),
+              "boolean atom references a field outside the schema");
+  }
+  node->instr = std::move(instr);
+  node->left = node_;
+  node_ = std::move(node);
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::project(const std::vector<std::string>& fields) {
+  ProjectInstruction instr;
+  std::vector<std::string> names;
+  for (const auto& f : fields) {
+    const auto idx = node_->schema.index_of(f);
+    HAL_CHECK(idx.has_value(), "unknown attribute in project: " + f);
+    instr.keep.push_back(*idx);
+    names.push_back(f);
+  }
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanNode::Kind::kProject;
+  node->schema = Schema(node_->schema.name() + "_proj", std::move(names));
+  node->instr = std::move(instr);
+  node->left = node_;
+  node_ = std::move(node);
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::join(const QueryBuilder& right,
+                                 const std::string& left_field,
+                                 const std::string& right_field,
+                                 std::size_t window) {
+  const auto li = node_->schema.index_of(left_field);
+  const auto ri = right.node_->schema.index_of(right_field);
+  HAL_CHECK(li.has_value(), "unknown left join attribute: " + left_field);
+  HAL_CHECK(ri.has_value(), "unknown right join attribute: " + right_field);
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanNode::Kind::kJoin;
+  node->schema = Schema::joined(node_->schema, right.node_->schema);
+  node->instr = JoinInstruction{*li, *ri, window};
+  node->left = node_;
+  node->right = right.node_;
+  node_ = std::move(node);
+  return *this;
+}
+
+Query QueryBuilder::output(const std::string& name) const {
+  HAL_CHECK(node_ != nullptr, "empty plan");
+  return Query{node_, name};
+}
+
+PlanInterpreter::PlanInterpreter(std::vector<Query> queries)
+    : queries_(std::move(queries)) {}
+
+std::vector<Record> PlanInterpreter::evaluate(const PlanNode* node,
+                                              const std::string& stream,
+                                              const Record& r) {
+  switch (node->kind) {
+    case PlanNode::Kind::kSource:
+      return node->stream_name == stream ? std::vector<Record>{r}
+                                         : std::vector<Record>{};
+    case PlanNode::Kind::kSelect: {
+      const auto& instr = std::get<SelectInstruction>(node->instr);
+      std::vector<Record> out;
+      for (const Record& e : evaluate(node->left.get(), stream, r)) {
+        if (instr.matches(e)) out.push_back(e);
+      }
+      return out;
+    }
+    case PlanNode::Kind::kTruthSelect: {
+      const auto& instr = std::get<TruthTableInstruction>(node->instr);
+      std::vector<Record> out;
+      for (const Record& e : evaluate(node->left.get(), stream, r)) {
+        if (instr.matches(e)) out.push_back(e);
+      }
+      return out;
+    }
+    case PlanNode::Kind::kProject: {
+      const auto& instr = std::get<ProjectInstruction>(node->instr);
+      std::vector<Record> out;
+      for (const Record& e : evaluate(node->left.get(), stream, r)) {
+        Record projected;
+        projected.seq = e.seq;
+        for (const std::size_t f : instr.keep) {
+          projected.fields.push_back(e.at(f));
+        }
+        out.push_back(std::move(projected));
+      }
+      return out;
+    }
+    case PlanNode::Kind::kJoin: {
+      const auto& instr = std::get<JoinInstruction>(node->instr);
+      JoinState& state = join_state_[node];
+      std::vector<Record> out;
+      auto probe_and_store = [&](const Record& e, bool from_left) {
+        auto& own = from_left ? state.left : state.right;
+        const auto& other = from_left ? state.right : state.left;
+        const std::size_t own_field =
+            from_left ? instr.left_field : instr.right_field;
+        const std::size_t other_field =
+            from_left ? instr.right_field : instr.left_field;
+        for (const Record& o : other) {
+          if (e.at(own_field) == o.at(other_field)) {
+            const Record& l = from_left ? e : o;
+            const Record& rr = from_left ? o : e;
+            Record joined;
+            joined.seq = std::max(l.seq, rr.seq);
+            joined.fields = l.fields;
+            joined.fields.insert(joined.fields.end(), rr.fields.begin(),
+                                 rr.fields.end());
+            out.push_back(std::move(joined));
+          }
+        }
+        own.push_back(e);
+        if (own.size() > instr.window_size) own.pop_front();
+      };
+      // A single arrival can reach both sides only if both sub-plans
+      // consume the same stream; process left first, then right, matching
+      // the topology's routing order.
+      for (const Record& e : evaluate(node->left.get(), stream, r)) {
+        probe_and_store(e, /*from_left=*/true);
+      }
+      for (const Record& e : evaluate(node->right.get(), stream, r)) {
+        probe_and_store(e, /*from_left=*/false);
+      }
+      return out;
+    }
+  }
+  return {};
+}
+
+void PlanInterpreter::process(const std::string& stream, const Record& r) {
+  for (const Query& q : queries_) {
+    for (Record& e : evaluate(q.root.get(), stream, r)) {
+      outputs_[q.output_name].push_back(std::move(e));
+    }
+  }
+}
+
+const std::vector<Record>& PlanInterpreter::output(
+    const std::string& name) const {
+  static const std::vector<Record> kEmpty;
+  const auto it = outputs_.find(name);
+  return it == outputs_.end() ? kEmpty : it->second;
+}
+
+}  // namespace hal::fqp

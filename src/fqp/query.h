@@ -1,0 +1,106 @@
+// Declarative query plans for FQP, and a reference interpreter.
+//
+// The programming-model layer of the landscape (§II): users express
+// SQL-like continuous queries; a compiler maps them onto the fabric at
+// runtime (the FQP path of Fig. 4, in contrast to Glacier's synthesize-
+// per-query path). A QueryPlan is a small operator tree over named
+// streams; the builder resolves attribute names against stream schemas.
+// PlanInterpreter executes plans directly in software — it is the oracle
+// the assigned topology is validated against.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fqp/boolean_select.h"
+#include "fqp/op_block.h"
+#include "fqp/record.h"
+
+namespace hal::fqp {
+
+struct PlanNode {
+  enum class Kind : std::uint8_t {
+    kSource,
+    kSelect,
+    kTruthSelect,  // Ibex-style compiled Boolean selection
+    kProject,
+    kJoin,
+  };
+
+  Kind kind = Kind::kSource;
+  Schema schema;  // output schema of this node
+
+  // kSource:
+  std::string stream_name;
+  // kSelect / kProject / kJoin — instruction resolved against child
+  // schema(s):
+  Instruction instr;
+
+  std::shared_ptr<const PlanNode> left;
+  std::shared_ptr<const PlanNode> right;
+
+  // Number of operator nodes (excludes sources).
+  [[nodiscard]] std::size_t operator_count() const;
+};
+
+using PlanPtr = std::shared_ptr<const PlanNode>;
+
+struct Query {
+  PlanPtr root;
+  std::string output_name;
+};
+
+// Fluent builder; throws PreconditionError on unknown attribute names.
+class QueryBuilder {
+ public:
+  // Starts from a named input stream with the given schema.
+  static QueryBuilder from(const std::string& stream, Schema schema);
+
+  QueryBuilder& select(const std::string& field, stream::CmpOp op,
+                       std::uint32_t operand);
+  // Arbitrary Boolean selection (OR/NOT supported), compiled to an
+  // Ibex-style truth table in software (fqp/boolean_select.h). The
+  // expression's atoms reference fields by index into this plan's schema.
+  QueryBuilder& select_where(const BoolExpr& expr);
+  QueryBuilder& project(const std::vector<std::string>& fields);
+  // Windowed equi-join with another sub-plan.
+  QueryBuilder& join(const QueryBuilder& right, const std::string& left_field,
+                     const std::string& right_field, std::size_t window);
+
+  [[nodiscard]] Query output(const std::string& name) const;
+  [[nodiscard]] PlanPtr plan() const noexcept { return node_; }
+
+ private:
+  PlanPtr node_;
+};
+
+// Reference execution of a set of queries, independent of the topology
+// machinery (per-join windows keyed by plan node).
+class PlanInterpreter {
+ public:
+  explicit PlanInterpreter(std::vector<Query> queries);
+
+  void process(const std::string& stream, const Record& r);
+
+  [[nodiscard]] const std::vector<Record>& output(
+      const std::string& name) const;
+
+ private:
+  struct JoinState {
+    std::deque<Record> left;
+    std::deque<Record> right;
+  };
+
+  // Pushes `r` (arriving from `stream`) through `node`; returns the
+  // records the node emits for this arrival.
+  std::vector<Record> evaluate(const PlanNode* node, const std::string& stream,
+                               const Record& r);
+
+  std::vector<Query> queries_;
+  std::map<const PlanNode*, JoinState> join_state_;
+  std::map<std::string, std::vector<Record>> outputs_;
+};
+
+}  // namespace hal::fqp

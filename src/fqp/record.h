@@ -1,0 +1,73 @@
+// Multi-attribute records for the FQP layer.
+//
+// The stream-join case study (hal::hw, hal::sw) uses the paper's 64-bit
+// evaluation tuples; FQP queries (Fig. 7: Customer/Product streams with
+// Age, Gender, ProductID attributes) need named attributes. A Record is a
+// flat vector of 32-bit fields described by a Schema — the hardware
+// analogue being the parametrized data segments that let FQP support
+// schemas of varying size on a fixed wiring budget (§II).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace hal::fqp {
+
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::string name, std::vector<std::string> fields)
+      : name_(std::move(name)), fields_(std::move(fields)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t width() const noexcept { return fields_.size(); }
+  [[nodiscard]] const std::vector<std::string>& fields() const noexcept {
+    return fields_;
+  }
+
+  [[nodiscard]] std::optional<std::size_t> index_of(
+      const std::string& field) const {
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (fields_[i] == field) return i;
+    }
+    return std::nullopt;
+  }
+
+  // Schema of a join result: concatenation, fields prefixed by source.
+  [[nodiscard]] static Schema joined(const Schema& left,
+                                     const Schema& right) {
+    std::vector<std::string> fields;
+    for (const auto& f : left.fields()) fields.push_back(left.name() + "." + f);
+    for (const auto& f : right.fields()) {
+      fields.push_back(right.name() + "." + f);
+    }
+    return Schema(left.name() + "x" + right.name(), std::move(fields));
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::string> fields_;
+};
+
+struct Record {
+  std::vector<std::uint32_t> fields;
+  std::uint64_t seq = 0;
+
+  Record() = default;
+  Record(std::initializer_list<std::uint32_t> f, std::uint64_t s = 0)
+      : fields(f), seq(s) {}
+
+  [[nodiscard]] std::uint32_t at(std::size_t i) const {
+    HAL_ASSERT(i < fields.size());
+    return fields[i];
+  }
+
+  friend bool operator==(const Record&, const Record&) = default;
+};
+
+}  // namespace hal::fqp

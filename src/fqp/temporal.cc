@@ -1,0 +1,82 @@
+#include "fqp/temporal.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace hal::fqp {
+
+TemporalSchedule temporal_schedule(const std::vector<Query>& queries,
+                                   std::size_t num_blocks) {
+  TemporalSchedule schedule;
+
+  // Collect unique operators in dependency (post-) order.
+  std::vector<const PlanNode*> ops;
+  std::set<const PlanNode*> seen;
+  auto walk = [&](auto&& self, const PlanNode* n) -> void {
+    if (n == nullptr || n->kind == PlanNode::Kind::kSource) return;
+    self(self, n->left.get());
+    self(self, n->right.get());
+    if (seen.insert(n).second) ops.push_back(n);
+  };
+  for (const Query& q : queries) walk(walk, q.root.get());
+  schedule.operators_total = ops.size();
+
+  for (const PlanNode* op : ops) {
+    if (op->kind == PlanNode::Kind::kJoin) {
+      schedule.pinned_joins.push_back(op);
+    }
+  }
+  if (schedule.pinned_joins.size() > num_blocks) {
+    schedule.reason = "more stateful joins (" +
+                      std::to_string(schedule.pinned_joins.size()) +
+                      ") than OP-Blocks (" + std::to_string(num_blocks) +
+                      "): joins cannot be time-multiplexed without losing "
+                      "their windows";
+    return schedule;
+  }
+  const std::size_t temporal_blocks =
+      num_blocks - schedule.pinned_joins.size();
+
+  // Stateless operators, dependency-ordered.
+  std::vector<const PlanNode*> stateless;
+  for (const PlanNode* op : ops) {
+    if (op->kind != PlanNode::Kind::kJoin) stateless.push_back(op);
+  }
+  if (!stateless.empty() && temporal_blocks == 0) {
+    schedule.reason = "every block is pinned to a join; no temporal pool "
+                      "left for the stateless operators";
+    return schedule;
+  }
+
+  // Round assignment: an operator runs in the earliest round after all of
+  // its stateless producers, subject to the per-round capacity.
+  std::map<const PlanNode*, std::size_t> round_of;
+  std::vector<std::size_t> load;  // operators per round
+  for (const PlanNode* op : stateless) {
+    std::size_t earliest = 0;
+    for (const PlanNode* child : {op->left.get(), op->right.get()}) {
+      if (child == nullptr || child->kind == PlanNode::Kind::kSource ||
+          child->kind == PlanNode::Kind::kJoin) {
+        continue;  // joins are resident every round
+      }
+      earliest = std::max(earliest, round_of.at(child) + 1);
+    }
+    while (earliest < load.size() && load[earliest] >= temporal_blocks) {
+      ++earliest;
+    }
+    if (earliest >= load.size()) load.resize(earliest + 1, 0);
+    round_of[op] = earliest;
+    ++load[earliest];
+  }
+
+  schedule.rounds.assign(std::max<std::size_t>(load.size(), 1), {});
+  for (const PlanNode* op : stateless) {
+    schedule.rounds[round_of.at(op)].push_back(op);
+  }
+  if (stateless.empty()) schedule.rounds.assign(1, {});
+  schedule.feasible = true;
+  return schedule;
+}
+
+}  // namespace hal::fqp

@@ -1,0 +1,63 @@
+// Q100-style temporal/spatial instruction scheduling (the
+// "Temporal/Spatial Instructions (Q100)" entry of the representational
+// model, Fig. 4): "Q100 supports query plans of arbitrary size by
+// horizontally partitioning them into fixed sets of pipelined stages of
+// SQL operators using the proposed temporal and spatial instructions."
+//
+// When a workload needs more operators than the fabric has OP-Blocks, the
+// plan is partitioned into *rounds*: stateful operators (windowed joins)
+// are pinned to dedicated blocks for the workload's lifetime (spatial —
+// their windows must survive), while the stateless operators (σ, π) are
+// time-multiplexed over the remaining blocks, re-programmed between
+// rounds (temporal). The schedule respects dependencies (an operator runs
+// no earlier than the round after its producers), and the cost model
+// prices the re-programming overhead against the batch period — the
+// quantitative form of the flexibility/size trade Q100 makes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fqp/query.h"
+
+namespace hal::fqp {
+
+struct TemporalSchedule {
+  bool feasible = false;
+  std::string reason;  // when infeasible
+
+  // Operators pinned to dedicated blocks for the whole workload.
+  std::vector<const PlanNode*> pinned_joins;
+  // Stateless operators per round, dependency-ordered.
+  std::vector<std::vector<const PlanNode*>> rounds;
+
+  [[nodiscard]] std::size_t num_rounds() const noexcept {
+    return rounds.size();
+  }
+  // Blocks a single-pass (purely spatial) mapping would need.
+  std::size_t operators_total = 0;
+
+  // Throughput multiplier ≥ 1 relative to a fabric large enough for a
+  // single pass: each extra round costs one re-programming sweep of the
+  // temporal blocks plus a pass over the batch.
+  [[nodiscard]] double overhead_factor(double reprogram_us_per_block,
+                                       std::size_t temporal_blocks,
+                                       double batch_period_us) const {
+    if (rounds.size() <= 1) return 1.0;
+    const double reprogram =
+        static_cast<double>(rounds.size() - 1) *
+        static_cast<double>(temporal_blocks) * reprogram_us_per_block;
+    const double passes =
+        static_cast<double>(rounds.size()) * batch_period_us;
+    return (passes + reprogram) / batch_period_us;
+  }
+};
+
+// Schedules `queries` onto a fabric of `num_blocks` OP-Blocks. Feasible
+// iff every pinned join gets a dedicated block and at least one block
+// remains for the temporal pool (or no stateless operators exist).
+[[nodiscard]] TemporalSchedule temporal_schedule(
+    const std::vector<Query>& queries, std::size_t num_blocks);
+
+}  // namespace hal::fqp

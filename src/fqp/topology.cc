@@ -1,0 +1,76 @@
+#include "fqp/topology.h"
+
+#include "common/assert.h"
+
+namespace hal::fqp {
+
+Topology::Topology(std::size_t num_blocks, std::size_t join_window_capacity) {
+  HAL_CHECK(num_blocks >= 1, "a topology needs at least one OP-Block");
+  blocks_.reserve(num_blocks);
+  for (std::size_t i = 0; i < num_blocks; ++i) {
+    blocks_.emplace_back("op" + std::to_string(i),
+                         static_cast<std::uint32_t>(i),
+                         join_window_capacity);
+  }
+  block_routes_.resize(num_blocks);
+}
+
+void Topology::route_stream(const std::string& stream, PortRef dst) {
+  HAL_CHECK(dst.block < blocks_.size(), "route to nonexistent block");
+  stream_routes_[stream].push_back(dst);
+}
+
+void Topology::route_block(std::size_t block, Destination dst) {
+  HAL_CHECK(block < blocks_.size(), "route from nonexistent block");
+  if (dst.kind == Destination::Kind::kBlock) {
+    HAL_CHECK(dst.ref.block < blocks_.size(), "route to nonexistent block");
+    // The bridge is feed-forward: data flows toward the collector, so a
+    // destination block must sit strictly downstream. This structurally
+    // excludes routing cycles.
+    HAL_CHECK(dst.ref.block != block, "block cannot feed itself");
+  }
+  block_routes_[block].push_back(std::move(dst));
+}
+
+void Topology::clear_routing() {
+  stream_routes_.clear();
+  for (auto& routes : block_routes_) routes.clear();
+}
+
+void Topology::reset() {
+  clear_routing();
+  outputs_.clear();
+  for (auto& b : blocks_) b.program(Instruction{});
+}
+
+void Topology::deliver(const PortRef& dst, const Record& r,
+                       std::size_t depth) {
+  // Depth bounds the path length through the fabric; with one operator per
+  // block a legal route can traverse each block at most once.
+  HAL_CHECK(depth <= blocks_.size(),
+            "routing loop detected in the programmable bridge");
+  std::vector<Record> emitted = blocks_[dst.block].process(r, dst.port);
+  for (const Record& e : emitted) {
+    for (const Destination& next : block_routes_[dst.block]) {
+      if (next.kind == Destination::Kind::kOutput) {
+        outputs_[next.output].push_back(e);
+      } else {
+        deliver(next.ref, e, depth + 1);
+      }
+    }
+  }
+}
+
+void Topology::process(const std::string& stream, const Record& r) {
+  const auto it = stream_routes_.find(stream);
+  if (it == stream_routes_.end()) return;  // unrouted stream: dropped
+  for (const PortRef& dst : it->second) deliver(dst, r, 1);
+}
+
+const std::vector<Record>& Topology::output(const std::string& name) const {
+  static const std::vector<Record> kEmpty;
+  const auto it = outputs_.find(name);
+  return it == outputs_.end() ? kEmpty : it->second;
+}
+
+}  // namespace hal::fqp

@@ -1,0 +1,110 @@
+// FQP topology: a synthesized fabric of OP-Blocks plus the custom blocks
+// around them (Fig. 5: Distributor, Programmable Bridge, Result
+// Collector).
+//
+// The fabric is fixed at synthesis time: the number of OP-Blocks, their
+// physical positions, and their window memory capacities. Everything else
+// is runtime state: which operator each block runs (micro changes) and how
+// streams and block outputs are wired to block inputs and external outputs
+// (macro changes through the programmable bridge) — the *parametrized
+// topology* level of the representational model, which is what lets FQP
+// "map new operators and apply them in microseconds" (Fig. 6) instead of
+// re-synthesizing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fqp/op_block.h"
+#include "fqp/record.h"
+
+namespace hal::fqp {
+
+struct PortRef {
+  std::size_t block = 0;
+  std::uint8_t port = 0;
+
+  friend bool operator==(const PortRef&, const PortRef&) = default;
+};
+
+// A routing destination of the programmable bridge: another block's input
+// port, or a named external output at the result collector.
+struct Destination {
+  enum class Kind : std::uint8_t { kBlock, kOutput } kind = Kind::kBlock;
+  PortRef ref;
+  std::string output;
+
+  static Destination to_block(std::size_t block, std::uint8_t port) {
+    Destination d;
+    d.kind = Kind::kBlock;
+    d.ref = PortRef{block, port};
+    return d;
+  }
+  static Destination to_output(std::string name) {
+    Destination d;
+    d.kind = Kind::kOutput;
+    d.output = std::move(name);
+    return d;
+  }
+};
+
+class Topology {
+ public:
+  // A linear fabric of `num_blocks` OP-Blocks at positions 0..n-1, each
+  // synthesized with `join_window_capacity` window memory.
+  Topology(std::size_t num_blocks, std::size_t join_window_capacity);
+
+  [[nodiscard]] std::size_t size() const noexcept { return blocks_.size(); }
+  [[nodiscard]] OpBlock& block(std::size_t i) { return blocks_.at(i); }
+  [[nodiscard]] const OpBlock& block(std::size_t i) const {
+    return blocks_.at(i);
+  }
+
+  // -- programmable bridge (runtime re-wiring) --
+  void route_stream(const std::string& stream, PortRef dst);
+  void route_block(std::size_t block, Destination dst);
+  void clear_routing();
+  // Un-programs every block and clears routing.
+  void reset();
+
+  [[nodiscard]] const std::vector<Destination>& routes_of(
+      std::size_t block) const {
+    return block_routes_.at(block);
+  }
+  [[nodiscard]] const std::map<std::string, std::vector<PortRef>>&
+  stream_routes() const noexcept {
+    return stream_routes_;
+  }
+
+  // -- execution --
+  // Feeds one record from the named external stream; all records reaching
+  // named outputs are appended to the collector.
+  void process(const std::string& stream, const Record& r);
+
+  [[nodiscard]] const std::vector<Record>& output(
+      const std::string& name) const;
+  void clear_outputs() { outputs_.clear(); }
+
+  // Utilization statistics (open problem 1: a poor assignment may "leave
+  // some blocks un-utilized"): fraction of blocks that processed at least
+  // one tuple, and per-block tuple counts.
+  [[nodiscard]] double utilization() const {
+    std::size_t active = 0;
+    for (const auto& b : blocks_) {
+      if (b.tuples_processed() > 0) ++active;
+    }
+    return static_cast<double>(active) / static_cast<double>(blocks_.size());
+  }
+
+ private:
+  void deliver(const PortRef& dst, const Record& r, std::size_t depth);
+
+  std::vector<OpBlock> blocks_;
+  std::map<std::string, std::vector<PortRef>> stream_routes_;
+  std::vector<std::vector<Destination>> block_routes_;
+  std::map<std::string, std::vector<Record>> outputs_;
+};
+
+}  // namespace hal::fqp

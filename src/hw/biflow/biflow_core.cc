@@ -1,0 +1,166 @@
+#include "hw/biflow/biflow_core.h"
+
+#include "common/assert.h"
+
+namespace hal::hw {
+
+using stream::StreamId;
+using stream::Tuple;
+
+BiflowJoinCore::BiflowJoinCore(std::string name,
+                               std::size_t sub_window_capacity,
+                               BiflowCosts costs,
+                               sim::Fifo<Tuple>& r_entry,
+                               sim::Fifo<Tuple>& s_entry,
+                               sim::Fifo<Tuple>* r_outgoing,
+                               sim::Fifo<Tuple>* s_outgoing,
+                               sim::Fifo<stream::ResultTuple>& results)
+    : Module(std::move(name)),
+      costs_(costs),
+      win_r_(sub_window_capacity),
+      win_s_(sub_window_capacity),
+      r_entry_(r_entry),
+      s_entry_(s_entry),
+      r_outgoing_(r_outgoing),
+      s_outgoing_(s_outgoing),
+      results_(results) {}
+
+void BiflowJoinCore::begin_entry(const Tuple& t) {
+  current_ = t;
+  ++entries_processed_;
+  if (record_acceptance_) acceptance_log_.push_back(t);
+  state_ = BiflowState::kAccept;
+  countdown_ = costs_.accept_cycles;
+}
+
+void BiflowJoinCore::eval() {
+  switch (state_) {
+    case BiflowState::kIdle: {
+      // Toggle priority between the two entry ports (the coordinator's
+      // alternating grant between the R and S directions). An entry is
+      // accepted only when its eventual eviction has a free slot in the
+      // outgoing buffer — the reservation that keeps the chain's locking
+      // protocol deadlock-free (see HandshakeChannel).
+      const bool can_r = r_entry_.can_pop() &&
+                         (r_outgoing_ == nullptr || r_outgoing_->can_push());
+      const bool can_s = s_entry_.can_pop() &&
+                         (s_outgoing_ == nullptr || s_outgoing_->can_push());
+      const bool r_first = prefer_r_;
+      prefer_r_ = !prefer_r_;
+      if (can_r && (r_first || !can_s)) {
+        begin_entry(r_entry_.pop());
+      } else if (can_s) {
+        begin_entry(s_entry_.pop());
+      }
+      break;
+    }
+    case BiflowState::kAccept: {
+      if (--countdown_ > 0) break;
+      // Latch the scan set: the opposite sub-window plus the opposite
+      // outgoing buffer (still logically resident).
+      HAL_ASSERT(current_.has_value());
+      const bool is_r = current_->origin == StreamId::R;
+      const SubWindow& opposite = is_r ? win_s_ : win_r_;
+      const sim::Fifo<Tuple>* opp_out = is_r ? s_outgoing_ : r_outgoing_;
+      outgoing_snapshot_.clear();
+      if (opp_out != nullptr) {
+        for (std::size_t i = 0; i < opp_out->size(); ++i) {
+          outgoing_snapshot_.push_back(opp_out->peek(i));
+        }
+      }
+      scan_window_len_ = opposite.size();
+      scan_idx_ = 0;
+      if (scan_window_len_ + outgoing_snapshot_.size() == 0) {
+        state_ = BiflowState::kStore;
+        countdown_ = costs_.store_cycles;
+      } else {
+        state_ = BiflowState::kScan;
+        countdown_ = costs_.probe_cycles;
+      }
+      break;
+    }
+    case BiflowState::kScan: {
+      if (--countdown_ > 0) break;
+      HAL_ASSERT(current_.has_value());
+      const bool is_r = current_->origin == StreamId::R;
+      const SubWindow& opposite = is_r ? win_s_ : win_r_;
+      const std::size_t total =
+          scan_window_len_ + outgoing_snapshot_.size();
+      HAL_ASSERT(scan_idx_ < total);
+      const Tuple& candidate =
+          scan_idx_ < scan_window_len_
+              ? opposite.at(scan_idx_)
+              : outgoing_snapshot_[scan_idx_ - scan_window_len_];
+      ++scan_idx_;
+      ++probes_;
+      const Tuple& r = is_r ? *current_ : candidate;
+      const Tuple& s = is_r ? candidate : *current_;
+      if (spec_.matches(r, s)) {
+        ++matches_;
+        emit_pending_ = stream::ResultTuple{r, s};
+        state_ = BiflowState::kEmitResult;
+      } else if (scan_idx_ == total) {
+        state_ = BiflowState::kStore;
+        countdown_ = costs_.store_cycles;
+      } else {
+        countdown_ = costs_.probe_cycles;
+      }
+      break;
+    }
+    case BiflowState::kEmitResult: {
+      HAL_ASSERT(emit_pending_.has_value());
+      if (!results_.can_push()) break;  // stall until the gatherer drains
+      results_.push(*emit_pending_);
+      emit_pending_.reset();
+      if (scan_idx_ == scan_window_len_ + outgoing_snapshot_.size()) {
+        state_ = BiflowState::kStore;
+        countdown_ = costs_.store_cycles;
+      } else {
+        state_ = BiflowState::kScan;
+        countdown_ = costs_.probe_cycles;
+      }
+      break;
+    }
+    case BiflowState::kStore: {
+      if (countdown_ > 1) {
+        --countdown_;
+        break;
+      }
+      // Completion may stall if the eviction target buffer is full (the
+      // handshake channel has not drained it yet); retry every cycle.
+      const bool is_r = current_->origin == StreamId::R;
+      SubWindow& own = is_r ? win_r_ : win_s_;
+      sim::Fifo<Tuple>* own_out = is_r ? r_outgoing_ : s_outgoing_;
+      if (own.size() == own.capacity() && own_out != nullptr &&
+          !own_out->can_push()) {
+        break;
+      }
+      finish_store();
+      break;
+    }
+  }
+}
+
+void BiflowJoinCore::finish_store() {
+  HAL_ASSERT(current_.has_value());
+  const bool is_r = current_->origin == StreamId::R;
+  SubWindow& own = is_r ? win_r_ : win_s_;
+  sim::Fifo<Tuple>* own_out = is_r ? r_outgoing_ : s_outgoing_;
+
+  if (own.size() == own.capacity()) {
+    // The oldest resident leaves toward the next core — or, at the chain
+    // end, has traversed the whole window and expires.
+    const Tuple evicted = own.at(0);
+    if (own_out != nullptr) {
+      HAL_ASSERT(own_out->can_push());  // checked by the caller
+      own_out->push(evicted);
+    } else {
+      ++expired_;
+    }
+  }
+  own.insert(*current_);
+  current_.reset();
+  state_ = BiflowState::kIdle;
+}
+
+}  // namespace hal::hw

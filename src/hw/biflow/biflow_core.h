@@ -1,0 +1,131 @@
+// Bi-flow join core (Fig. 10): the handshake-join processing element used
+// by the OP-Chain realization of FQP.
+//
+// Topology: cores form a linear chain. R tuples enter the chain at core 0
+// and flow left-to-right; S tuples enter at core N-1 and flow right-to-left
+// (Fig. 8a). Each core keeps one sub-window per stream. A tuple *entering*
+// a core — whether fresh from the input or handed over by a neighbor — is
+// compared against the core's opposite-stream sub-window (and against the
+// opposite stream's outgoing buffer, whose occupants are still logically
+// resident), then stored in its own stream's sub-window; the tuple evicted
+// by that store waits in the outgoing buffer for the handshake channel.
+// Tuples evicted past the chain ends have traveled the full window and
+// expire.
+//
+// This entry-scan-plus-serialized-crossing discipline guarantees each R/S
+// pair within the window meets exactly once (the channel never lets two
+// tuples cross a boundary simultaneously, which is the race the paper's
+// "locks needed to avoid race conditions" prevent). Results may be emitted
+// later than in the eager uni-flow semantics — the latency cost inherent
+// to the bi-directional flow that §III describes.
+//
+// Every operation runs through the Coordinator Unit's arbitration and its
+// cycle costs (BiflowCosts). One operation is in flight at a time: the
+// processing unit, the two buffer managers and the neighbor handshakes all
+// share the coordinator, which serializes the two stream directions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/assert.h"
+#include "hw/biflow/costs.h"
+#include "hw/common/sub_window.h"
+#include "sim/fifo.h"
+#include "sim/module.h"
+#include "stream/join_spec.h"
+#include "stream/tuple.h"
+
+namespace hal::hw {
+
+enum class BiflowState : std::uint8_t {
+  kIdle,
+  kAccept,      // latching an entry from a neighbor/input port
+  kScan,        // arbitrated probes of the opposite sub-window
+  kEmitResult,  // pushing a match into the result gathering network
+  kStore,       // arbitrated insert + eviction into the outgoing buffer
+};
+
+class BiflowJoinCore final : public sim::Module {
+ public:
+  // `r_entry` / `s_entry`: depth-1 delivery ports (from the left/right
+  // handshake channel or the stream inputs at the chain ends).
+  // `r_outgoing` / `s_outgoing`: eviction buffers drained by the channels;
+  // null at the chain ends, where an evicted tuple has left the window and
+  // simply expires.
+  BiflowJoinCore(std::string name, std::size_t sub_window_capacity,
+                 BiflowCosts costs, sim::Fifo<stream::Tuple>& r_entry,
+                 sim::Fifo<stream::Tuple>& s_entry,
+                 sim::Fifo<stream::Tuple>* r_outgoing,
+                 sim::Fifo<stream::Tuple>* s_outgoing,
+                 sim::Fifo<stream::ResultTuple>& results);
+
+  void eval() override;
+
+  void program(const stream::JoinSpec& spec) { spec_ = spec; }
+
+  // Simulation-state injection for bench warm-start: places a tuple in
+  // this core's own-stream sub-window. Only valid while quiescent.
+  void prefill(const stream::Tuple& t) {
+    HAL_CHECK(quiescent(), "prefill requires a quiescent core");
+    (t.origin == stream::StreamId::R ? win_r_ : win_s_).insert(t);
+  }
+
+  [[nodiscard]] BiflowState state() const noexcept { return state_; }
+  [[nodiscard]] bool quiescent() const noexcept {
+    return state_ == BiflowState::kIdle;
+  }
+  [[nodiscard]] const SubWindow& window(stream::StreamId id) const noexcept {
+    return id == stream::StreamId::R ? win_r_ : win_s_;
+  }
+  [[nodiscard]] std::uint64_t probes() const noexcept { return probes_; }
+  [[nodiscard]] std::uint64_t matches() const noexcept { return matches_; }
+  [[nodiscard]] std::uint64_t entries_processed() const noexcept {
+    return entries_processed_;
+  }
+  [[nodiscard]] std::uint64_t expired() const noexcept { return expired_; }
+
+  // Test hook: record the order in which entries were accepted, so tests
+  // can replay the exact sequence against the reference oracle.
+  void set_record_acceptance(bool on) noexcept { record_acceptance_ = on; }
+  [[nodiscard]] const std::vector<stream::Tuple>& acceptance_log()
+      const noexcept {
+    return acceptance_log_;
+  }
+
+ private:
+  void begin_entry(const stream::Tuple& t);
+  void finish_store();
+
+  const BiflowCosts costs_;
+  SubWindow win_r_;
+  SubWindow win_s_;
+  sim::Fifo<stream::Tuple>& r_entry_;
+  sim::Fifo<stream::Tuple>& s_entry_;
+  sim::Fifo<stream::Tuple>* r_outgoing_;
+  sim::Fifo<stream::Tuple>* s_outgoing_;
+  sim::Fifo<stream::ResultTuple>& results_;
+
+  stream::JoinSpec spec_;
+  BiflowState state_ = BiflowState::kIdle;
+  bool prefer_r_ = true;  // toggle priority between the two entry ports
+
+  std::uint32_t countdown_ = 0;  // remaining cycles of the current step
+  std::optional<stream::Tuple> current_;
+  // Snapshot of the opposite outgoing buffer taken when the scan begins
+  // (its occupants are logically still in the window).
+  std::vector<stream::Tuple> outgoing_snapshot_;
+  std::size_t scan_idx_ = 0;
+  std::size_t scan_window_len_ = 0;
+  std::optional<stream::ResultTuple> emit_pending_;
+
+  std::uint64_t probes_ = 0;
+  std::uint64_t matches_ = 0;
+  std::uint64_t entries_processed_ = 0;
+  std::uint64_t expired_ = 0;
+  bool record_acceptance_ = false;
+  std::vector<stream::Tuple> acceptance_log_;
+};
+
+}  // namespace hal::hw

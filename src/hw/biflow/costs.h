@@ -1,0 +1,41 @@
+// Cycle costs of the bi-flow join core's arbitrated operations.
+//
+// The bi-flow core (Fig. 10) funnels every window access and every
+// neighbor transfer through its Coordinator Unit, which "controls
+// permissions and priorities to manage data communication requests". The
+// paper attributes the uni-flow model's ~order-of-magnitude throughput
+// advantage (Fig. 14b) to the removal of exactly this machinery: in the
+// uni-flow core the processing unit reads its BRAM-coupled sub-window
+// directly, one tuple per cycle, while the bi-flow core pays an
+// arbitration round trip per access and serializes the two stream
+// directions through one coordinator.
+//
+// The constants below are the per-operation cycle counts of that
+// arbitration, structured as: request to the coordinator (1) + grant wait
+// under round-robin/toggle priority among the three requestors
+// (BufferManager-R, BufferManager-S, Processing Unit) + address/read
+// through the buffer manager + the operation itself. They are calibrated
+// (and documented in EXPERIMENTS.md) so the simulated 16-core Virtex-5
+// uni/bi gap lands in the paper's "nearly an order of magnitude" band;
+// the *scaling shape* (cost ∝ window size, gap roughly constant across
+// window sizes) is produced by the micro-architecture, not by the
+// constants.
+#pragma once
+
+#include <cstdint>
+
+namespace hal::hw {
+
+struct BiflowCosts {
+  // Cycles per window probe during an entry scan.
+  std::uint32_t probe_cycles = 8;
+  // Cycles to commit a store (insert + possible eviction bookkeeping).
+  std::uint32_t store_cycles = 8;
+  // Cycles for a neighbor-to-neighbor tuple transfer (4-phase handshake:
+  // request, grant, data, ack).
+  std::uint32_t transfer_cycles = 4;
+  // Cycles for the core to latch an entry from a neighbor/input port.
+  std::uint32_t accept_cycles = 2;
+};
+
+}  // namespace hal::hw

@@ -1,0 +1,124 @@
+// Handshake channel: the locked neighbor-to-neighbor link of the bi-flow
+// chain.
+//
+// One channel sits on each boundary between adjacent join cores and owns
+// *both* transfer directions across it (R moving right, S moving left).
+// The paper's observation that "it is impossible to achieve simultaneous
+// transmission of both TR and TS between two neighboring join cores due to
+// the locks needed to avoid race conditions" is implemented literally:
+// the channel carries one tuple at a time, pays a 4-phase handshake per
+// transfer, and does not begin a new transfer until the destination core
+// has drained the previous delivery from its entry port. That final rule
+// is what makes the entry-scan discipline exact — two tuples can never
+// cross a boundary without one of them seeing the other in a window scan.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "hw/biflow/costs.h"
+#include "sim/fifo.h"
+#include "sim/module.h"
+#include "stream/tuple.h"
+
+namespace hal::hw {
+
+class HandshakeChannel final : public sim::Module {
+ public:
+  // r_src → r_dst carries R tuples rightward; s_src → s_dst carries S
+  // tuples leftward across the same boundary. r_dst_evict / s_dst_evict
+  // are the destination cores' same-stream outgoing buffers (null at the
+  // chain ends): a transfer only begins when the destination can still
+  // evict for both the entry it may currently be processing and the one
+  // being delivered, which guarantees every delivery is eventually
+  // accepted and excludes the circular-wait deadlock between a stalled
+  // store and the channel that would drain it.
+  HandshakeChannel(std::string name, BiflowCosts costs,
+                   sim::Fifo<stream::Tuple>& r_src,
+                   sim::Fifo<stream::Tuple>& r_dst,
+                   sim::Fifo<stream::Tuple>* r_dst_evict,
+                   sim::Fifo<stream::Tuple>& s_src,
+                   sim::Fifo<stream::Tuple>& s_dst,
+                   sim::Fifo<stream::Tuple>* s_dst_evict)
+      : Module(std::move(name)),
+        costs_(costs),
+        r_src_(r_src),
+        r_dst_(r_dst),
+        r_dst_evict_(r_dst_evict),
+        s_src_(s_src),
+        s_dst_(s_dst),
+        s_dst_evict_(s_dst_evict) {}
+
+  void eval() override {
+    switch (state_) {
+      case State::kFree: {
+        // Alternate direction priority each cycle (toggle grant).
+        auto evict_headroom = [](const sim::Fifo<stream::Tuple>* f) {
+          return f == nullptr || f->capacity() - f->size() >= 2;
+        };
+        const bool can_r = r_src_.can_pop() && evict_headroom(r_dst_evict_);
+        const bool can_s = s_src_.can_pop() && evict_headroom(s_dst_evict_);
+        const bool r_first = prefer_r_;
+        prefer_r_ = !prefer_r_;
+        if (can_r && (r_first || !can_s)) {
+          begin(r_src_.pop(), /*rightward=*/true);
+        } else if (can_s) {
+          begin(s_src_.pop(), /*rightward=*/false);
+        }
+        break;
+      }
+      case State::kCarry:
+        if (--countdown_ == 0) state_ = State::kDeliver;
+        break;
+      case State::kDeliver: {
+        auto& dst = rightward_ ? r_dst_ : s_dst_;
+        if (dst.can_push()) {
+          dst.push(*in_flight_);
+          in_flight_.reset();
+          state_ = State::kWaitDrain;
+        }
+        break;
+      }
+      case State::kWaitDrain: {
+        // The lock releases only once the destination core accepted the
+        // tuple (its depth-1 entry port is empty again).
+        const auto& dst = rightward_ ? r_dst_ : s_dst_;
+        if (dst.empty()) {
+          state_ = State::kFree;
+          ++transfers_;
+        }
+        break;
+      }
+    }
+  }
+
+  [[nodiscard]] bool idle() const noexcept { return state_ == State::kFree; }
+  [[nodiscard]] std::uint64_t transfers() const noexcept { return transfers_; }
+
+ private:
+  enum class State : std::uint8_t { kFree, kCarry, kDeliver, kWaitDrain };
+
+  void begin(stream::Tuple t, bool rightward) {
+    in_flight_ = t;
+    rightward_ = rightward;
+    state_ = State::kCarry;
+    countdown_ = costs_.transfer_cycles;
+  }
+
+  const BiflowCosts costs_;
+  sim::Fifo<stream::Tuple>& r_src_;
+  sim::Fifo<stream::Tuple>& r_dst_;
+  sim::Fifo<stream::Tuple>* r_dst_evict_;
+  sim::Fifo<stream::Tuple>& s_src_;
+  sim::Fifo<stream::Tuple>& s_dst_;
+  sim::Fifo<stream::Tuple>* s_dst_evict_;
+
+  State state_ = State::kFree;
+  bool prefer_r_ = true;
+  std::uint32_t countdown_ = 0;
+  bool rightward_ = true;
+  std::optional<stream::Tuple> in_flight_;
+  std::uint64_t transfers_ = 0;
+};
+
+}  // namespace hal::hw

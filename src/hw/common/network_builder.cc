@@ -1,0 +1,159 @@
+#include "hw/common/network_builder.h"
+
+#include <algorithm>
+
+namespace hal::hw {
+
+namespace {
+
+void build_tree(std::uint32_t fanout, sim::Fifo<HwWord>& in,
+                std::vector<sim::Fifo<HwWord>*> leaves,
+                const WordFifoFactory& new_fifo, sim::Simulator& sim,
+                DistributionBuild& out, std::uint32_t depth) {
+  HAL_ASSERT(!leaves.empty());
+  if (leaves.size() <= fanout) {
+    out.nodes.push_back(std::make_unique<DNode>(
+        "dnode" + std::to_string(depth) + "_" +
+            std::to_string(out.nodes.size()),
+        in, std::move(leaves)));
+    sim.add(*out.nodes.back());
+    return;
+  }
+  const std::size_t groups = std::min<std::size_t>(fanout, leaves.size());
+  std::vector<sim::Fifo<HwWord>*> intermediates;
+  std::vector<std::vector<sim::Fifo<HwWord>*>> partitions(groups);
+  const std::size_t base = leaves.size() / groups;
+  const std::size_t extra = leaves.size() % groups;
+  std::size_t pos = 0;
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::size_t take = base + (g < extra ? 1 : 0);
+    partitions[g].assign(
+        leaves.begin() + static_cast<std::ptrdiff_t>(pos),
+        leaves.begin() + static_cast<std::ptrdiff_t>(pos + take));
+    pos += take;
+    intermediates.push_back(&new_fifo("d" + std::to_string(depth) + "_" +
+                                      std::to_string(g)));
+  }
+  out.nodes.push_back(std::make_unique<DNode>(
+      "dnode" + std::to_string(depth) + "_" +
+          std::to_string(out.nodes.size()),
+      in, intermediates));
+  sim.add(*out.nodes.back());
+  for (std::size_t g = 0; g < groups; ++g) {
+    build_tree(fanout, *intermediates[g], std::move(partitions[g]), new_fifo,
+               sim, out, depth + 1);
+  }
+}
+
+}  // namespace
+
+DistributionBuild build_distribution(
+    NetworkKind kind, std::uint32_t fanout, sim::Fifo<HwWord>& in,
+    const std::vector<sim::Fifo<HwWord>*>& fetchers,
+    const WordFifoFactory& new_fifo, sim::Simulator& sim) {
+  DistributionBuild out;
+  const auto n = static_cast<std::uint32_t>(fetchers.size());
+  switch (kind) {
+    case NetworkKind::kLightweight:
+      out.nodes.push_back(std::make_unique<DNode>("broadcast", in, fetchers));
+      sim.add(*out.nodes.back());
+      out.max_fanout = n;
+      out.counted_nodes = 0;  // pure wiring + the input register
+      break;
+    case NetworkKind::kChain: {
+      sim::Fifo<HwWord>* upstream = &in;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        std::vector<sim::Fifo<HwWord>*> outs{fetchers[i]};
+        if (i + 1 < n) outs.push_back(&new_fifo("chain" + std::to_string(i)));
+        out.nodes.push_back(
+            std::make_unique<DNode>("dchain" + std::to_string(i), *upstream,
+                                    outs));
+        sim.add(*out.nodes.back());
+        if (i + 1 < n) upstream = outs.back();
+      }
+      out.max_fanout = 2;
+      out.counted_nodes = static_cast<std::uint32_t>(out.nodes.size());
+      break;
+    }
+    case NetworkKind::kScalable:
+      build_tree(fanout, in, fetchers, new_fifo, sim, out, 0);
+      out.max_fanout = fanout;
+      out.counted_nodes = static_cast<std::uint32_t>(out.nodes.size());
+      break;
+  }
+  return out;
+}
+
+GatheringBuild build_gathering(
+    NetworkKind kind,
+    const std::vector<sim::Fifo<stream::ResultTuple>*>& leaves,
+    sim::Fifo<stream::ResultTuple>& output,
+    const ResultFifoFactory& new_fifo, sim::Simulator& sim) {
+  GatheringBuild out;
+  const auto n = static_cast<std::uint32_t>(leaves.size());
+  switch (kind) {
+    case NetworkKind::kLightweight:
+      out.nodes.push_back(
+          std::make_unique<GNode>("collector", leaves, output));
+      sim.add(*out.nodes.back());
+      out.max_fanin = n;
+      out.counted_nodes = 0;
+      break;
+    case NetworkKind::kChain: {
+      sim::Fifo<stream::ResultTuple>* carry = leaves[0];
+      if (n == 1) {
+        out.nodes.push_back(std::make_unique<GNode>(
+            "gchain0",
+            std::vector<sim::Fifo<stream::ResultTuple>*>{carry}, output));
+        sim.add(*out.nodes.back());
+      }
+      for (std::uint32_t i = 1; i < n; ++i) {
+        auto& next = (i + 1 < n) ? new_fifo("gchain" + std::to_string(i))
+                                 : output;
+        out.nodes.push_back(std::make_unique<GNode>(
+            "gchain" + std::to_string(i),
+            std::vector<sim::Fifo<stream::ResultTuple>*>{carry, leaves[i]},
+            next));
+        sim.add(*out.nodes.back());
+        carry = &next;
+      }
+      out.max_fanin = 2;
+      out.counted_nodes = static_cast<std::uint32_t>(out.nodes.size());
+      break;
+    }
+    case NetworkKind::kScalable: {
+      std::vector<sim::Fifo<stream::ResultTuple>*> level = leaves;
+      std::uint32_t depth = 0;
+      while (level.size() > 1) {
+        std::vector<sim::Fifo<stream::ResultTuple>*> next_level;
+        for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+          auto& parent = new_fifo("g" + std::to_string(depth) + "_" +
+                                  std::to_string(i / 2));
+          out.nodes.push_back(std::make_unique<GNode>(
+              "gnode" + std::to_string(depth) + "_" + std::to_string(i / 2),
+              std::vector<sim::Fifo<stream::ResultTuple>*>{level[i],
+                                                           level[i + 1]},
+              parent));
+          sim.add(*out.nodes.back());
+          next_level.push_back(&parent);
+        }
+        if (level.size() % 2 == 1) next_level.push_back(level.back());
+        level = std::move(next_level);
+        ++depth;
+      }
+      if (level.front() != &output) {
+        out.nodes.push_back(std::make_unique<GNode>(
+            "gnode_root",
+            std::vector<sim::Fifo<stream::ResultTuple>*>{level.front()},
+            output));
+        sim.add(*out.nodes.back());
+      }
+      out.max_fanin = 2;
+      out.counted_nodes = static_cast<std::uint32_t>(out.nodes.size());
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace hal::hw

@@ -1,0 +1,52 @@
+// Shared constructors for the distribution and gathering networks (§IV),
+// used by every engine that assembles join/selection cores on the cycle
+// simulator. The caller provides factories that allocate (and own) fifos,
+// keeping module ownership with the engine.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/assert.h"
+#include "hw/common/word.h"
+#include "hw/model/design_stats.h"
+#include "hw/uniflow/dnode.h"
+#include "hw/uniflow/gnode.h"
+#include "sim/simulator.h"
+
+namespace hal::hw {
+
+using WordFifoFactory =
+    std::function<sim::Fifo<HwWord>&(const std::string& name)>;
+using ResultFifoFactory =
+    std::function<sim::Fifo<stream::ResultTuple>&(const std::string& name)>;
+
+struct DistributionBuild {
+  std::vector<std::unique_ptr<DNode>> nodes;
+  std::uint32_t max_fanout = 1;
+  // DNodes that count toward resources (the lightweight broadcast's single
+  // register stage does not).
+  std::uint32_t counted_nodes = 0;
+};
+
+// Builds a distribution network of `kind` from `in` to `fetchers` and
+// registers every created module with `sim`.
+[[nodiscard]] DistributionBuild build_distribution(
+    NetworkKind kind, std::uint32_t fanout, sim::Fifo<HwWord>& in,
+    const std::vector<sim::Fifo<HwWord>*>& fetchers,
+    const WordFifoFactory& new_fifo, sim::Simulator& sim);
+
+struct GatheringBuild {
+  std::vector<std::unique_ptr<GNode>> nodes;
+  std::uint32_t max_fanin = 1;
+  std::uint32_t counted_nodes = 0;
+};
+
+// Builds a gathering network of `kind` from `leaves` into `output`.
+[[nodiscard]] GatheringBuild build_gathering(
+    NetworkKind kind, const std::vector<sim::Fifo<stream::ResultTuple>*>& leaves,
+    sim::Fifo<stream::ResultTuple>& output,
+    const ResultFifoFactory& new_fifo, sim::Simulator& sim);
+
+}  // namespace hal::hw

@@ -1,0 +1,51 @@
+// Sub-window storage: the BRAM-backed circular buffer inside a join core.
+//
+// Each join core owns one sub-window per stream (Figs. 10/11). Insertion
+// overwrites the oldest entry once full (count-based sliding window); the
+// processing core reads one slot per clock cycle (the FSM enforces the
+// single-port access rate, this class only provides the storage).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.h"
+#include "stream/tuple.h"
+
+namespace hal::hw {
+
+class SubWindow {
+ public:
+  explicit SubWindow(std::size_t capacity) : slots_(capacity) {
+    HAL_CHECK(capacity > 0, "sub-window capacity must be positive");
+  }
+
+  void insert(const stream::Tuple& t) noexcept {
+    slots_[write_pos_] = t;
+    write_pos_ = (write_pos_ + 1) % slots_.size();
+    if (size_ < slots_.size()) ++size_;
+  }
+
+  // Logical index 0 = oldest resident tuple.
+  [[nodiscard]] const stream::Tuple& at(std::size_t i) const noexcept {
+    HAL_ASSERT(i < size_);
+    const std::size_t oldest =
+        size_ < slots_.size() ? 0 : write_pos_;  // wraparound start
+    return slots_[(oldest + i) % slots_.size()];
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+  void clear() noexcept {
+    size_ = 0;
+    write_pos_ = 0;
+  }
+
+ private:
+  std::vector<stream::Tuple> slots_;
+  std::size_t write_pos_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace hal::hw

@@ -1,0 +1,23 @@
+#include "hw/common/word.h"
+
+namespace hal::hw {
+
+std::vector<HwWord> make_operator_words(const stream::JoinSpec& spec,
+                                        std::uint32_t num_cores) {
+  std::vector<HwWord> words;
+  words.reserve(1 + spec.conjuncts().size());
+  HwWord seg1;
+  seg1.kind = WordKind::kOperator1;
+  seg1.payload = encode_operator1(
+      num_cores, static_cast<std::uint32_t>(spec.conjuncts().size()));
+  words.push_back(seg1);
+  for (const auto& c : spec.conjuncts()) {
+    HwWord seg2;
+    seg2.kind = WordKind::kOperator2;
+    seg2.payload = stream::encode(c);
+    words.push_back(seg2);
+  }
+  return words;
+}
+
+}  // namespace hal::hw

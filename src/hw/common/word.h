@@ -1,0 +1,88 @@
+// The bus word format of the hardware designs.
+//
+// §IV: "arrows in the distribution and result gathering network are data
+// buses ... including their 2-bit headers. The header defines whether we
+// are dealing with a new join operator or a tuple belonging to either the
+// R or S stream."  The fourth header code distinguishes the two segments
+// of the operator-programming instruction (Fig. 12: Operator Store 1 / 2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/join_spec.h"
+#include "stream/tuple.h"
+
+namespace hal::hw {
+
+enum class WordKind : std::uint8_t {
+  kTupleR = 0,
+  kTupleS = 1,
+  kOperator1 = 2,  // segment 1: join parameters (#cores, #conditions)
+  kOperator2 = 3,  // segment 2: one join condition (repeated per conjunct)
+};
+
+struct HwWord {
+  WordKind kind = WordKind::kTupleR;
+  // Raw 64-bit payload as it would appear on the bus. For operator words
+  // this is the encoded instruction segment; for tuple words it is
+  // key<<32|value.
+  std::uint64_t payload = 0;
+  // Simulator-side tuple metadata (seq/origin) used for verification;
+  // mirrors payload for tuple words and is unused for operator words.
+  stream::Tuple tuple;
+
+  [[nodiscard]] bool is_tuple() const noexcept {
+    return kind == WordKind::kTupleR || kind == WordKind::kTupleS;
+  }
+};
+
+// Target id addressing an operator instruction to one processing element
+// on a pipeline (OP-Chain selection cores consume instructions addressed
+// to them and forward the rest). The broadcast target reaches the join
+// cores behind the distribution network.
+inline constexpr std::uint32_t kBroadcastTarget = 0xffffu;
+
+// Segment-1 payload layout: [0:15] number of join cores,
+// [16:31] number of condition words that follow, [32:47] target block id,
+// [48:49] stream scope (selection instructions: 0=R, 1=S, 2=both).
+[[nodiscard]] inline std::uint64_t encode_operator1(
+    std::uint32_t num_cores, std::uint32_t num_conditions,
+    std::uint32_t target = kBroadcastTarget,
+    std::uint32_t scope = 2) noexcept {
+  return (static_cast<std::uint64_t>(scope & 0x3u) << 48) |
+         (static_cast<std::uint64_t>(target & 0xffffu) << 32) |
+         (static_cast<std::uint64_t>(num_conditions & 0xffffu) << 16) |
+         (num_cores & 0xffffu);
+}
+
+struct Operator1 {
+  std::uint32_t num_cores;
+  std::uint32_t num_conditions;
+  std::uint32_t target;
+  std::uint32_t scope;
+};
+
+[[nodiscard]] inline Operator1 decode_operator1(std::uint64_t payload) noexcept {
+  return Operator1{static_cast<std::uint32_t>(payload & 0xffffu),
+                   static_cast<std::uint32_t>((payload >> 16) & 0xffffu),
+                   static_cast<std::uint32_t>((payload >> 32) & 0xffffu),
+                   static_cast<std::uint32_t>((payload >> 48) & 0x3u)};
+}
+
+[[nodiscard]] inline HwWord make_tuple_word(const stream::Tuple& t) noexcept {
+  HwWord w;
+  w.kind = t.origin == stream::StreamId::R ? WordKind::kTupleR
+                                           : WordKind::kTupleS;
+  w.payload = t.payload();
+  w.tuple = t;
+  return w;
+}
+
+// Builds the word sequence that programs a join operator at runtime
+// (Fig. 6's "map new operators / apply it" path: microseconds, no
+// re-synthesis).
+[[nodiscard]] std::vector<HwWord> make_operator_words(
+    const stream::JoinSpec& spec, std::uint32_t num_cores);
+
+}  // namespace hal::hw

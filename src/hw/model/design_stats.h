@@ -1,0 +1,74 @@
+// Structural summary of a synthesized design, produced by the hardware
+// engines and consumed by the resource / timing / power models. This is
+// the simulator's stand-in for a synthesis report.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hal::hw {
+
+enum class FlowModel : std::uint8_t { kUniflow, kBiflow };
+
+enum class NetworkKind : std::uint8_t {
+  kLightweight,  // pure wiring / polling, no pipeline nodes (§IV)
+  kScalable,     // pipelined DNode / GNode trees (§IV, Fig. 9)
+  // Linear daisy-chain: each stage forwards to its core and to the next
+  // stage. This is the OP-Chain layout of FQP [15] and, applied to the
+  // uni-flow engine, realizes the *low-latency handshake join* [36] idea:
+  // every tuple is replicated and fast-forwarded along the chain before
+  // the local join computation, keeping eager (exactly-once, in-order)
+  // semantics while trading the tree's O(log N) distribution depth for
+  // O(N) — with the narrowest possible fan-out (2) in exchange.
+  kChain,
+};
+
+[[nodiscard]] constexpr const char* to_string(FlowModel m) noexcept {
+  return m == FlowModel::kUniflow ? "uni-flow" : "bi-flow";
+}
+
+[[nodiscard]] constexpr const char* to_string(NetworkKind k) noexcept {
+  switch (k) {
+    case NetworkKind::kLightweight: return "lightweight";
+    case NetworkKind::kScalable: return "scalable";
+    case NetworkKind::kChain: return "chain";
+  }
+  return "?";
+}
+
+struct DesignStats {
+  FlowModel flow = FlowModel::kUniflow;
+  std::uint32_t num_cores = 0;
+  // Per-stream sub-window capacity of one join core, in tuples.
+  std::size_t sub_window_capacity = 0;
+  std::uint32_t tuple_bits = 64;
+
+  NetworkKind distribution = NetworkKind::kScalable;
+  NetworkKind gathering = NetworkKind::kScalable;
+  std::uint32_t fanout = 2;  // DNode fan-out in the scalable tree
+
+  std::uint32_t num_dnodes = 0;
+  std::uint32_t num_gnodes = 0;
+
+  // Largest single-driver fan-out anywhere in the design; the dominant
+  // term of the timing model (lightweight networks drive all N cores from
+  // one register, which is exactly the clock-frequency drop of Fig. 17).
+  std::uint32_t max_broadcast_fanout = 1;
+
+  // I/O channel count per join core: 2 for uni-flow vs 5 for bi-flow
+  // (§IV: "reduces the number of I/Os from five to two").
+  std::uint32_t io_channels_per_core = 2;
+
+  // Hash-join cores pair each sub-window with a key-index memory bank of
+  // the same capacity (doubles the window memory in the resource model).
+  bool hash_index = false;
+
+  // Selection cores on the pipeline ahead of the join stage (OP-Chain).
+  std::uint32_t num_select_cores = 0;
+
+  [[nodiscard]] std::size_t window_size_per_stream() const noexcept {
+    return static_cast<std::size_t>(num_cores) * sub_window_capacity;
+  }
+};
+
+}  // namespace hal::hw

@@ -1,0 +1,43 @@
+#include "hw/model/device.h"
+
+namespace hal::hw {
+
+const FpgaDevice& virtex5_xc5vlx50t() {
+  static const FpgaDevice device{
+      .name = "Virtex-5 XC5VLX50T (ML505)",
+      .luts = 28'800,
+      .lutram_capable_luts = 8'640,  // ~30% SLICEM
+      .ffs = 28'800,
+      .bram36 = 60,
+      .max_clock_mhz = 200.0,
+      .base_logic_delay_ns = 9.2,
+      .fanout_log_delay_ns = 0.05,
+      .fanout_linear_delay_ns = 0.004,
+      .routing_log_delay_ns = 0.05,
+      // Footnote 3 / Fig. 17: the heuristic mapper found a faster
+      // placement for the 16-core design.
+      .quirk_delay_ns = {{16u, -0.55}},
+      .static_power_mw = 300.0,
+  };
+  return device;
+}
+
+const FpgaDevice& virtex7_xc7vx485t() {
+  static const FpgaDevice device{
+      .name = "Virtex-7 XC7VX485T (VC707)",
+      .luts = 303'600,
+      .lutram_capable_luts = 100'800,
+      .ffs = 607'200,
+      .bram36 = 1'030,
+      .max_clock_mhz = 320.0,
+      .base_logic_delay_ns = 3.25,
+      .fanout_log_delay_ns = 0.12,
+      .fanout_linear_delay_ns = 0.003,
+      .routing_log_delay_ns = 0.008,
+      .quirk_delay_ns = {},
+      .static_power_mw = 1'200.0,
+  };
+  return device;
+}
+
+}  // namespace hal::hw

@@ -1,0 +1,47 @@
+// FPGA device models for the two parts the paper evaluates on:
+// the ML505 board's Virtex-5 XC5VLX50T and the VC707 board's Virtex-7
+// XC7VX485T (§V).
+//
+// Capacities are the published device totals. The timing coefficients
+// parameterize the TimingModel's delay equation; they are calibrated so
+// the model reproduces the clock-frequency behavior of Fig. 17 (V5 flat
+// around 100 MHz, V7 scalable flat around 300 MHz, V7 lightweight drooping
+// with fan-out). `quirk_delay_ns` encodes the paper's footnote 3: the V5
+// synthesis heuristics happened to map the 16-core design to a *faster*
+// clock than smaller designs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace hal::hw {
+
+struct FpgaDevice {
+  std::string name;
+
+  // Capacity.
+  std::uint64_t luts;
+  // LUTs in SLICEM positions that can be used as distributed RAM — a
+  // fraction of the total, and the constraint that stops large windows
+  // from simply spilling into LUT RAM when BRAM runs out.
+  std::uint64_t lutram_capable_luts;
+  std::uint64_t ffs;
+  std::uint64_t bram36;
+
+  // Timing model coefficients (delays in nanoseconds).
+  double max_clock_mhz;          // device-family ceiling
+  double base_logic_delay_ns;    // critical path of one join core
+  double fanout_log_delay_ns;    // per log2(fan-out) of the widest net
+  double fanout_linear_delay_ns; // per endpoint of the widest net
+  double routing_log_delay_ns;   // placement spread, per log2(#cores)
+  std::map<std::uint32_t, double> quirk_delay_ns;  // #cores → adjustment
+
+  // Power model.
+  double static_power_mw;
+};
+
+[[nodiscard]] const FpgaDevice& virtex5_xc5vlx50t();
+[[nodiscard]] const FpgaDevice& virtex7_xc7vx485t();
+
+}  // namespace hal::hw

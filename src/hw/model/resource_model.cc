@@ -1,0 +1,78 @@
+#include "hw/model/resource_model.h"
+
+#include "common/math_util.h"
+
+namespace hal::hw {
+
+ResourceUsage ResourceModel::estimate(const DesignStats& stats,
+                                      const FpgaDevice* device) const {
+  const std::uint64_t window_bits =
+      static_cast<std::uint64_t>(stats.sub_window_capacity) *
+      stats.tuple_bits;
+  // Default placement heuristic. The bi-flow core's buffer-manager/shift
+  // window organization is incompatible with BRAM circular buffers, so it
+  // is always distributed RAM.
+  const bool default_lutram = stats.flow == FlowModel::kBiflow ||
+                              window_bits <= costs_.lutram_threshold_bits;
+  ResourceUsage usage = estimate_with_placement(stats, default_lutram);
+  if (device != nullptr && !usage.fits(*device) &&
+      stats.flow != FlowModel::kBiflow) {
+    // Tool-like retargeting: try the other memory type for the windows.
+    const ResourceUsage alt =
+        estimate_with_placement(stats, !default_lutram);
+    if (alt.fits(*device)) return alt;
+  }
+  return usage;
+}
+
+ResourceUsage ResourceModel::estimate_with_placement(
+    const DesignStats& stats, bool windows_in_lutram) const {
+  ResourceUsage usage;
+  const std::uint64_t n = stats.num_cores;
+
+  // Core control logic.
+  if (stats.flow == FlowModel::kUniflow) {
+    usage.luts += n * costs_.uniflow_core_luts;
+    usage.ffs += n * costs_.uniflow_core_ffs;
+  } else {
+    usage.luts += n * costs_.biflow_core_luts;
+    usage.ffs += n * costs_.biflow_core_ffs;
+  }
+
+  // Windows: two sub-windows (one per stream) per core; a hash-join core
+  // pairs every sub-window with an equally-sized key index bank.
+  const std::uint64_t window_bits =
+      static_cast<std::uint64_t>(stats.sub_window_capacity) *
+      stats.tuple_bits;
+  const std::uint64_t banks_per_core = stats.hash_index ? 4 : 2;
+  if (windows_in_lutram) {
+    const std::uint64_t lutram =
+        banks_per_core * n * ceil_div(window_bits, costs_.lutram_bits_per_lut);
+    usage.luts += lutram;
+    usage.lutram_luts += lutram;
+  } else {
+    usage.bram36 +=
+        banks_per_core * n * ceil_div(window_bits, costs_.bram36_bits);
+  }
+
+  // Networks.
+  usage.luts += stats.num_dnodes * costs_.dnode_luts;
+  usage.ffs += stats.num_dnodes * costs_.dnode_ffs;
+  usage.luts += stats.num_gnodes * costs_.gnode_luts;
+  usage.ffs += stats.num_gnodes * costs_.gnode_ffs;
+  if (stats.flow == FlowModel::kBiflow && n > 1) {
+    usage.luts += (n - 1) * costs_.channel_luts;
+    usage.ffs += (n - 1) * costs_.channel_ffs;
+  }
+  usage.luts += stats.num_select_cores * costs_.select_core_luts;
+  usage.ffs += stats.num_select_cores * costs_.select_core_ffs;
+
+  // Fixed top-level overhead.
+  usage.luts += costs_.aux_luts;
+  usage.ffs += costs_.aux_ffs;
+
+  usage.io_channels = n * stats.io_channels_per_core;
+  return usage;
+}
+
+}  // namespace hal::hw

@@ -1,0 +1,98 @@
+// Resource estimation: LUTs, flip-flops, BRAM36 blocks and I/O channels of
+// a synthesized design, derived from its DesignStats.
+//
+// Per-component costs are estimates calibrated against the instantiation
+// outcomes §V reports, which this model reproduces exactly (see
+// resource_model_test.cc):
+//   * uni-flow on the Virtex-5 fits 16 cores at W=2^13 and 32/64 cores at
+//     W=2^11, but not 32/64 cores at W=2^13;
+//   * bi-flow on the Virtex-5 fits 16 cores at W=2^12 but not at W=2^13
+//     ("each join core is more complex and requires a greater amount of
+//     resources");
+//   * uni-flow on the Virtex-7 fits 512 cores at W=2^18 (1,024 of the
+//     1,030 BRAM36 blocks — the part's memory is the binding constraint).
+//
+// Window storage follows FPGA practice: small sub-windows live in
+// distributed LUT RAM (one 6-LUT holds 64 bits), larger ones claim whole
+// BRAM36 blocks. The bi-flow core's windows always use distributed RAM —
+// its buffer-manager/shift organization (Fig. 10) is incompatible with a
+// simple dual-port BRAM circular buffer, which is one of the resource
+// asymmetries behind the paper's fit results.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/model/design_stats.h"
+#include "hw/model/device.h"
+
+namespace hal::hw {
+
+struct ResourceUsage {
+  std::uint64_t luts = 0;
+  // Subset of `luts` used as distributed RAM (must fit the device's
+  // SLICEM budget).
+  std::uint64_t lutram_luts = 0;
+  std::uint64_t ffs = 0;
+  std::uint64_t bram36 = 0;
+  std::uint64_t io_channels = 0;
+
+  [[nodiscard]] bool fits(const FpgaDevice& device) const noexcept {
+    return luts <= device.luts &&
+           lutram_luts <= device.lutram_capable_luts &&
+           ffs <= device.ffs && bram36 <= device.bram36;
+  }
+};
+
+struct ResourceModelCosts {
+  // Join-core control logic (fetcher + storage core + processing core +
+  // comparator for uni-flow; 5-port buffer managers + coordinator +
+  // processing unit for bi-flow).
+  std::uint64_t uniflow_core_luts = 280;
+  std::uint64_t uniflow_core_ffs = 350;
+  std::uint64_t biflow_core_luts = 900;
+  std::uint64_t biflow_core_ffs = 800;
+
+  std::uint64_t dnode_luts = 150;
+  std::uint64_t dnode_ffs = 200;
+  std::uint64_t gnode_luts = 120;
+  std::uint64_t gnode_ffs = 150;
+  std::uint64_t channel_luts = 100;  // bi-flow handshake channel
+  std::uint64_t channel_ffs = 120;
+  std::uint64_t select_core_luts = 180;  // OP-Chain selection element
+  std::uint64_t select_core_ffs = 220;
+
+  // Fixed top-level overhead (input/output ports, clocking, reset tree).
+  std::uint64_t aux_luts = 400;
+  std::uint64_t aux_ffs = 600;
+
+  // Windows: distributed RAM below the threshold, BRAM36 above.
+  std::uint64_t lutram_threshold_bits = 4096;
+  std::uint64_t lutram_bits_per_lut = 64;
+  std::uint64_t bram36_bits = 36'864;
+};
+
+class ResourceModel {
+ public:
+  ResourceModel() = default;
+  explicit ResourceModel(ResourceModelCosts costs) : costs_(costs) {}
+
+  // Estimates with the default window placement heuristic (distributed
+  // RAM below the threshold, BRAM above). When `device` is given, behaves
+  // like the synthesis tools: if the heuristic placement does not fit but
+  // forcing the windows into the other memory type does, the fitting
+  // placement is returned.
+  [[nodiscard]] ResourceUsage estimate(
+      const DesignStats& stats, const FpgaDevice* device = nullptr) const;
+
+  [[nodiscard]] const ResourceModelCosts& costs() const noexcept {
+    return costs_;
+  }
+
+ private:
+  [[nodiscard]] ResourceUsage estimate_with_placement(
+      const DesignStats& stats, bool windows_in_lutram) const;
+
+  ResourceModelCosts costs_;
+};
+
+}  // namespace hal::hw

@@ -1,0 +1,35 @@
+#include "hw/model/timing_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+#include "common/math_util.h"
+
+namespace hal::hw {
+
+double TimingModel::fmax_mhz(const DesignStats& stats,
+                             const FpgaDevice& device) const {
+  HAL_CHECK(stats.num_cores >= 1, "design must have cores");
+  const double fanout = std::max(1u, stats.max_broadcast_fanout);
+  const double cores = stats.num_cores;
+
+  double delay = device.base_logic_delay_ns;
+  delay += device.fanout_log_delay_ns * std::log2(fanout);
+  delay += device.fanout_linear_delay_ns * fanout;
+  delay += device.routing_log_delay_ns * std::log2(cores);
+  if (const auto it = device.quirk_delay_ns.find(stats.num_cores);
+      it != device.quirk_delay_ns.end()) {
+    delay += it->second;
+  }
+  HAL_ASSERT(delay > 0.0);
+  return std::min(device.max_clock_mhz, 1000.0 / delay);
+}
+
+double TimingModel::operating_mhz(const DesignStats& stats,
+                                  const FpgaDevice& device,
+                                  double requested_mhz) const {
+  return std::min(requested_mhz, fmax_mhz(stats, device));
+}
+
+}  // namespace hal::hw

@@ -1,0 +1,42 @@
+// Maximum-clock-frequency estimation (the Fig. 17 "scalability" metric).
+//
+// The critical path of a synthesized design is modeled as
+//
+//   delay = base_logic
+//         + fanout_log  * log2(max_broadcast_fanout)
+//         + fanout_lin  * max_broadcast_fanout
+//         + routing_log * log2(num_cores)
+//         + quirk(num_cores)
+//
+// and F_max = min(device ceiling, 1000 / delay_ns) MHz.
+//
+// The fan-out terms are what separate the lightweight and scalable
+// networks: a lightweight design drives all N fetchers (and polls all N
+// result buffers) from single registers, so its widest net has fan-out N
+// and the clock droops as the system scales — §V: "the clock frequency of
+// the lightweight version drops as we increase the number of join cores",
+// noticeable on the Virtex-7 "even when using 8 and 16 join cores" because
+// the faster fabric is more sensitive to long nets. The scalable DNode /
+// GNode trees keep every net at the tree fan-out (2 by default), which is
+// why Fig. 17's V7s line is flat.
+#pragma once
+
+#include "hw/model/design_stats.h"
+#include "hw/model/device.h"
+
+namespace hal::hw {
+
+class TimingModel {
+ public:
+  [[nodiscard]] double fmax_mhz(const DesignStats& stats,
+                                const FpgaDevice& device) const;
+
+  // The paper runs its V5 throughput experiments at a fixed 100 MHz and
+  // the V7 ones at the 300 MHz the synthesis report supports; benches use
+  // this helper to pick the paper's operating point given the model.
+  [[nodiscard]] double operating_mhz(const DesignStats& stats,
+                                     const FpgaDevice& device,
+                                     double requested_mhz) const;
+};
+
+}  // namespace hal::hw

@@ -1,0 +1,144 @@
+#include "hw/opchain/select_core.h"
+
+#include "common/assert.h"
+
+namespace hal::hw {
+
+using stream::StreamId;
+using stream::Tuple;
+
+std::uint64_t encode_select(const SelectCondition& c) noexcept {
+  std::uint64_t word = 0;
+  word |= static_cast<std::uint64_t>(c.op) & 0x7u;
+  word |= (static_cast<std::uint64_t>(c.field) & 0x1u) << 3;
+  word |= static_cast<std::uint64_t>(c.operand) << 32;
+  return word;
+}
+
+std::optional<SelectCondition> decode_select(std::uint64_t word) noexcept {
+  const auto op_raw = static_cast<std::uint8_t>(word & 0x7u);
+  if (op_raw > static_cast<std::uint8_t>(stream::CmpOp::Ge)) {
+    return std::nullopt;
+  }
+  if ((word & 0xfffffff0ULL) != 0) return std::nullopt;  // reserved bits
+  SelectCondition c;
+  c.op = static_cast<stream::CmpOp>(op_raw);
+  c.field = static_cast<stream::Field>((word >> 3) & 0x1u);
+  c.operand = static_cast<std::uint32_t>(word >> 32);
+  return c;
+}
+
+bool SelectSpec::matches(const Tuple& t) const noexcept {
+  for (const auto& c : conjuncts) {
+    const std::uint32_t lhs =
+        c.field == stream::Field::Key ? t.key : t.value;
+    bool ok = false;
+    switch (c.op) {
+      case stream::CmpOp::Eq: ok = lhs == c.operand; break;
+      case stream::CmpOp::Ne: ok = lhs != c.operand; break;
+      case stream::CmpOp::Lt: ok = lhs < c.operand; break;
+      case stream::CmpOp::Le: ok = lhs <= c.operand; break;
+      case stream::CmpOp::Gt: ok = lhs > c.operand; break;
+      case stream::CmpOp::Ge: ok = lhs >= c.operand; break;
+    }
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::vector<HwWord> make_select_words(const SelectSpec& spec,
+                                      std::uint32_t target) {
+  std::vector<HwWord> words;
+  HwWord seg1;
+  seg1.kind = WordKind::kOperator1;
+  seg1.payload = encode_operator1(
+      /*num_cores=*/1,
+      static_cast<std::uint32_t>(spec.conjuncts.size()), target,
+      static_cast<std::uint32_t>(spec.scope));
+  words.push_back(seg1);
+  for (const auto& c : spec.conjuncts) {
+    HwWord seg2;
+    seg2.kind = WordKind::kOperator2;
+    seg2.payload = encode_select(c);
+    words.push_back(seg2);
+  }
+  return words;
+}
+
+SelectCore::SelectCore(std::string name, std::uint32_t id,
+                       sim::Fifo<HwWord>& in, sim::Fifo<HwWord>& out)
+    : Module(std::move(name)), id_(id), in_(in), out_(out) {}
+
+void SelectCore::eval() {
+  switch (state_) {
+    case State::kIdle: {
+      if (!in_.can_pop()) break;
+      const HwWord& front = in_.front();
+      if (front.is_tuple()) {
+        const Tuple& t = front.tuple;
+        const bool drop = programmed_ && spec_.applies_to(t.origin) &&
+                          !spec_.matches(t);
+        if (drop) {
+          (void)in_.pop();
+          ++tuples_seen_;
+          ++tuples_dropped_;
+        } else if (out_.can_push()) {
+          out_.push(in_.pop());
+          ++tuples_seen_;
+        }
+        // else: stall on downstream backpressure.
+        break;
+      }
+      if (front.kind == WordKind::kOperator1) {
+        const Operator1 op = decode_operator1(front.payload);
+        if (op.target == id_) {
+          (void)in_.pop();
+          pending_ = SelectSpec{};
+          pending_.scope = static_cast<SelectScope>(op.scope);
+          remaining_conditions_ = op.num_conditions;
+          if (remaining_conditions_ == 0) {
+            spec_ = pending_;
+            programmed_ = true;
+          } else {
+            state_ = State::kProgram;
+          }
+        } else if (out_.can_push()) {
+          remaining_conditions_ = op.num_conditions;
+          out_.push(in_.pop());
+          state_ = remaining_conditions_ > 0 ? State::kForward : State::kIdle;
+        }
+        break;
+      }
+      // A stray Operator2 word (not part of a sequence this core tracks)
+      // is forwarded untouched.
+      if (out_.can_push()) out_.push(in_.pop());
+      break;
+    }
+    case State::kProgram: {
+      if (!in_.can_pop()) break;
+      const HwWord w = in_.pop();
+      HAL_ASSERT_MSG(w.kind == WordKind::kOperator2,
+                     "programming sequence interrupted");
+      const auto cond = decode_select(w.payload);
+      HAL_ASSERT_MSG(cond.has_value(), "malformed selection condition");
+      pending_.conjuncts.push_back(*cond);
+      if (--remaining_conditions_ == 0) {
+        spec_ = pending_;
+        programmed_ = true;
+        state_ = State::kIdle;
+      }
+      break;
+    }
+    case State::kForward: {
+      if (!in_.can_pop() || !out_.can_push()) break;
+      const HwWord& front = in_.front();
+      HAL_ASSERT_MSG(front.kind == WordKind::kOperator2,
+                     "forwarded sequence interrupted");
+      out_.push(in_.pop());
+      if (--remaining_conditions_ == 0) state_ = State::kIdle;
+      break;
+    }
+  }
+}
+
+}  // namespace hal::hw

@@ -1,0 +1,103 @@
+// Selection OP-Block for cycle-simulated pipelines (the σ element of
+// FQP's OP-Chain, Figs. 5/7).
+//
+// A SelectCore sits in series on the tuple path ahead of the join stage
+// and applies a runtime-programmable conjunction of comparisons (field
+// <op> constant) to tuples of a chosen stream scope (R, S, or both);
+// tuples outside the scope, and all tuples while unprogrammed, pass
+// through untouched. One tuple flows per cycle.
+//
+// Programming uses the same two-segment instruction as the join cores,
+// with the target-id addressing of encode_operator1: a core consumes the
+// instruction sequence addressed to its own id and transparently forwards
+// every other sequence downstream, which is how one serial instruction
+// channel programs a whole chain (the OP-Chain analogue of Fig. 5's Query
+// Assigner path).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hw/common/word.h"
+#include "sim/fifo.h"
+#include "sim/module.h"
+#include "stream/join_spec.h"
+#include "stream/tuple.h"
+
+namespace hal::hw {
+
+enum class SelectScope : std::uint8_t { kR = 0, kS = 1, kBoth = 2 };
+
+// One comparison of a tuple field against an immediate operand.
+struct SelectCondition {
+  stream::Field field = stream::Field::Key;
+  stream::CmpOp op = stream::CmpOp::Eq;
+  std::uint32_t operand = 0;
+
+  friend bool operator==(const SelectCondition&,
+                         const SelectCondition&) = default;
+};
+
+// 64-bit instruction-word encoding: [0:2] op, [3] field, [32:63] operand.
+[[nodiscard]] std::uint64_t encode_select(const SelectCondition& c) noexcept;
+[[nodiscard]] std::optional<SelectCondition> decode_select(
+    std::uint64_t word) noexcept;
+
+// A full selection operator: scope + conjunction.
+struct SelectSpec {
+  SelectScope scope = SelectScope::kBoth;
+  std::vector<SelectCondition> conjuncts;
+
+  [[nodiscard]] bool applies_to(stream::StreamId id) const noexcept {
+    return scope == SelectScope::kBoth ||
+           (scope == SelectScope::kR) == (id == stream::StreamId::R);
+  }
+  [[nodiscard]] bool matches(const stream::Tuple& t) const noexcept;
+};
+
+// Instruction sequence programming select core `target` with `spec`.
+[[nodiscard]] std::vector<HwWord> make_select_words(const SelectSpec& spec,
+                                                    std::uint32_t target);
+
+class SelectCore final : public sim::Module {
+ public:
+  SelectCore(std::string name, std::uint32_t id, sim::Fifo<HwWord>& in,
+             sim::Fifo<HwWord>& out);
+
+  void eval() override;
+
+  [[nodiscard]] bool quiescent() const noexcept {
+    return state_ == State::kIdle;
+  }
+  [[nodiscard]] bool programmed() const noexcept { return programmed_; }
+  [[nodiscard]] const SelectSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] std::uint64_t tuples_seen() const noexcept {
+    return tuples_seen_;
+  }
+  [[nodiscard]] std::uint64_t tuples_dropped() const noexcept {
+    return tuples_dropped_;
+  }
+
+ private:
+  enum class State : std::uint8_t {
+    kIdle,
+    kProgram,  // consuming condition words addressed to this core
+    kForward,  // forwarding a foreign instruction sequence
+  };
+
+  const std::uint32_t id_;
+  sim::Fifo<HwWord>& in_;
+  sim::Fifo<HwWord>& out_;
+
+  State state_ = State::kIdle;
+  bool programmed_ = false;
+  SelectSpec spec_;
+  SelectSpec pending_;
+  std::uint32_t remaining_conditions_ = 0;
+
+  std::uint64_t tuples_seen_ = 0;
+  std::uint64_t tuples_dropped_ = 0;
+};
+
+}  // namespace hal::hw

@@ -1,0 +1,45 @@
+// Interface of a uni-flow join core as seen by the engine: the paper's
+// join core abstraction is agnostic to the local join algorithm (§IV:
+// "Each join core individually implements the original join operator
+// (without posing any limitation on the chosen join algorithm, e.g.,
+// nested-loop join or hash join) but on a fraction of the original
+// sliding window"). UniflowJoinCore scans its sub-window (nested loop,
+// Fig. 13); HashJoinCore keeps a key index next to the sub-window.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/module.h"
+#include "stream/tuple.h"
+
+namespace hal::hw {
+
+// Local join algorithm of each core (§IV: the abstraction poses no
+// limitation — nested-loop or hash join).
+enum class JoinAlgorithm : std::uint8_t { kNestedLoop, kHash };
+
+[[nodiscard]] constexpr const char* to_string(JoinAlgorithm a) noexcept {
+  return a == JoinAlgorithm::kNestedLoop ? "nested-loop" : "hash";
+}
+
+class IUniflowCore : public sim::Module {
+ public:
+  using sim::Module::Module;
+
+  // Both controllers idle and nothing in flight.
+  [[nodiscard]] virtual bool quiescent() const noexcept = 0;
+
+  // Bench warm-start hooks (see UniflowEngine::prefill).
+  virtual void prefill_store(const stream::Tuple& t) = 0;
+  virtual void set_prefill_counts(std::uint64_t count_r,
+                                  std::uint64_t count_s) = 0;
+
+  // Introspection.
+  [[nodiscard]] virtual std::size_t window_size(
+      stream::StreamId id) const noexcept = 0;
+  [[nodiscard]] virtual std::uint64_t probes() const noexcept = 0;
+  [[nodiscard]] virtual std::uint64_t matches() const noexcept = 0;
+  [[nodiscard]] virtual std::uint64_t tuples_seen() const noexcept = 0;
+};
+
+}  // namespace hal::hw

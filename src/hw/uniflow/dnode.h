@@ -1,0 +1,52 @@
+// DNode: the building block of the distribution network (§IV, Fig. 9).
+//
+// "DNode receives a tuple in its input port and broadcasts it to all its
+// output ports. ... DNodes store incoming tuples as long as their internal
+// buffer is not full. As output, each DNode sends out the stored tuples,
+// one tuple in each clock cycle, provided the next DNodes are not full."
+//
+// The internal buffer is the input Fifo (depth 2 sustains one word per
+// cycle). A word advances only when *all* downstream buffers can accept it,
+// which is exactly the broadcast backpressure of the hardware design. The
+// same class with fan-out N and a single level realizes the *lightweight*
+// distribution network; a cascade with fan-out k realizes the *scalable*
+// one.
+#pragma once
+
+#include <vector>
+
+#include "common/assert.h"
+#include "hw/common/word.h"
+#include "sim/fifo.h"
+#include "sim/module.h"
+
+namespace hal::hw {
+
+class DNode final : public sim::Module {
+ public:
+  DNode(std::string name, sim::Fifo<HwWord>& in,
+        std::vector<sim::Fifo<HwWord>*> outs)
+      : Module(std::move(name)), in_(in), outs_(std::move(outs)) {
+    HAL_CHECK(!outs_.empty(), "DNode needs at least one output");
+  }
+
+  void eval() override {
+    if (!in_.can_pop()) return;
+    for (const auto* out : outs_) {
+      if (!out->can_push()) return;  // broadcast backpressure
+    }
+    const HwWord w = in_.pop();
+    for (auto* out : outs_) out->push(w);
+    ++forwarded_;
+  }
+
+  [[nodiscard]] std::size_t fan_out() const noexcept { return outs_.size(); }
+  [[nodiscard]] std::uint64_t forwarded() const noexcept { return forwarded_; }
+
+ private:
+  sim::Fifo<HwWord>& in_;
+  std::vector<sim::Fifo<HwWord>*> outs_;
+  std::uint64_t forwarded_ = 0;
+};
+
+}  // namespace hal::hw

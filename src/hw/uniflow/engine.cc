@@ -1,0 +1,173 @@
+#include "hw/uniflow/engine.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/math_util.h"
+#include "hw/common/network_builder.h"
+
+namespace hal::hw {
+
+UniflowEngine::UniflowEngine(UniflowConfig cfg) : cfg_(cfg) {
+  HAL_CHECK(cfg_.num_cores >= 1, "need at least one join core");
+  HAL_CHECK(cfg_.window_size >= cfg_.num_cores,
+            "window must hold at least one tuple per core");
+  HAL_CHECK(cfg_.window_size % cfg_.num_cores == 0,
+            "window_size must be a multiple of num_cores");
+  HAL_CHECK(cfg_.fanout >= 2, "DNode fan-out must be at least 2");
+  HAL_CHECK(cfg_.link_depth >= 2,
+            "link depth < 2 cannot sustain one word per cycle");
+
+  const std::size_t sub_window = cfg_.window_size / cfg_.num_cores;
+
+  stats_.flow = FlowModel::kUniflow;
+  stats_.num_cores = cfg_.num_cores;
+  stats_.sub_window_capacity = sub_window;
+  stats_.distribution = cfg_.distribution;
+  stats_.gathering = cfg_.gathering;
+  stats_.fanout = cfg_.fanout;
+  stats_.io_channels_per_core = 2;  // in from distributor, out to gatherer
+  stats_.max_broadcast_fanout = 1;
+  stats_.hash_index = cfg_.algorithm == JoinAlgorithm::kHash;
+
+  // Input port and per-core Fetchers.
+  auto& input = new_word_fifo("input");
+  std::vector<sim::Fifo<HwWord>*> fetchers;
+  fetchers.reserve(cfg_.num_cores);
+  for (std::uint32_t i = 0; i < cfg_.num_cores; ++i) {
+    fetchers.push_back(&new_word_fifo("fetcher" + std::to_string(i)));
+  }
+
+  // Distribution network.
+  auto dist = build_distribution(
+      cfg_.distribution, cfg_.fanout, input, fetchers,
+      [this](const std::string& name) -> sim::Fifo<HwWord>& {
+        return new_word_fifo(name);
+      },
+      sim_);
+  dnodes_ = std::move(dist.nodes);
+  stats_.num_dnodes = dist.counted_nodes;
+  stats_.max_broadcast_fanout =
+      std::max(stats_.max_broadcast_fanout, dist.max_fanout);
+
+  // Join cores and their result links.
+  std::vector<sim::Fifo<stream::ResultTuple>*> result_leaves;
+  for (std::uint32_t i = 0; i < cfg_.num_cores; ++i) {
+    auto& rf = new_result_fifo("results" + std::to_string(i));
+    result_leaves.push_back(&rf);
+    if (cfg_.algorithm == JoinAlgorithm::kHash) {
+      cores_.push_back(std::make_unique<HashJoinCore>(
+          "jc" + std::to_string(i), i, sub_window, *fetchers[i], rf));
+    } else {
+      cores_.push_back(std::make_unique<UniflowJoinCore>(
+          "jc" + std::to_string(i), i, sub_window, *fetchers[i], rf));
+    }
+    sim_.add(*cores_.back());
+  }
+
+  // Result gathering network.
+  auto& output = new_result_fifo("output");
+  auto gather = build_gathering(
+      cfg_.gathering, result_leaves, output,
+      [this](const std::string& name) -> sim::Fifo<stream::ResultTuple>& {
+        return new_result_fifo(name);
+      },
+      sim_);
+  gnodes_ = std::move(gather.nodes);
+  stats_.num_gnodes = gather.counted_nodes;
+  stats_.max_broadcast_fanout =
+      std::max(stats_.max_broadcast_fanout, gather.max_fanin);
+
+  driver_ = std::make_unique<WordDriver>("driver", sim_, input);
+  sim_.add(*driver_);
+  sink_ = std::make_unique<ResultSink>("sink", sim_, output);
+  sim_.add(*sink_);
+}
+
+sim::Fifo<HwWord>& UniflowEngine::new_word_fifo(std::string name) {
+  word_fifos_.push_back(
+      std::make_unique<sim::Fifo<HwWord>>(std::move(name), cfg_.link_depth));
+  sim_.add(*word_fifos_.back());
+  return *word_fifos_.back();
+}
+
+sim::Fifo<stream::ResultTuple>& UniflowEngine::new_result_fifo(
+    std::string name) {
+  result_fifos_.push_back(std::make_unique<sim::Fifo<stream::ResultTuple>>(
+      std::move(name), cfg_.link_depth));
+  sim_.add(*result_fifos_.back());
+  return *result_fifos_.back();
+}
+
+void UniflowEngine::prefill(const std::vector<stream::Tuple>& tuples) {
+  HAL_CHECK(quiescent(), "prefill requires a quiescent engine");
+  // The round-robin turn is derived from per-stream arrival indices, so
+  // prefill must precede any streamed tuples (otherwise the cores' private
+  // counters could not be continued consistently).
+  HAL_CHECK(cores_[0]->tuples_seen() == 0,
+            "prefill must precede streamed tuples");
+  std::uint64_t idx_r = 0;
+  std::uint64_t idx_s = 0;
+  for (const auto& t : tuples) {
+    std::uint64_t& idx = t.origin == stream::StreamId::R ? idx_r : idx_s;
+    const auto target = static_cast<std::uint32_t>(idx % cfg_.num_cores);
+    cores_[target]->prefill_store(t);
+    ++idx;
+  }
+  for (auto& core : cores_) core->set_prefill_counts(idx_r, idx_s);
+}
+
+void UniflowEngine::program(const stream::JoinSpec& spec) {
+  for (const HwWord& w : make_operator_words(spec, cfg_.num_cores)) {
+    driver_->enqueue(w);
+  }
+}
+
+void UniflowEngine::offer(const stream::Tuple& t) {
+  driver_->enqueue(make_tuple_word(t));
+}
+
+void UniflowEngine::offer(const std::vector<stream::Tuple>& tuples) {
+  for (const auto& t : tuples) offer(t);
+}
+
+void UniflowEngine::step(std::uint64_t cycles) {
+  for (std::uint64_t i = 0; i < cycles; ++i) sim_.step();
+}
+
+bool UniflowEngine::quiescent() const {
+  if (!driver_->done()) return false;
+  for (const auto& f : word_fifos_) {
+    if (!f->empty()) return false;
+  }
+  for (const auto& f : result_fifos_) {
+    if (!f->empty()) return false;
+  }
+  return std::all_of(cores_.begin(), cores_.end(),
+                     [](const auto& c) { return c->quiescent(); });
+}
+
+std::uint64_t UniflowEngine::run_to_quiescence(std::uint64_t max_cycles,
+                                               bool require_quiescent) {
+  const std::uint64_t stepped =
+      sim_.run_until([this] { return quiescent(); }, max_cycles);
+  if (require_quiescent) {
+    HAL_ASSERT_MSG(quiescent(), "engine did not quiesce within max_cycles");
+  }
+  return stepped;
+}
+
+std::vector<stream::ResultTuple> UniflowEngine::result_tuples() const {
+  std::vector<stream::ResultTuple> out;
+  out.reserve(sink_->collected().size());
+  for (const auto& tr : sink_->collected()) out.push_back(tr.result);
+  return out;
+}
+
+std::uint64_t UniflowEngine::total_probes() const {
+  std::uint64_t total = 0;
+  for (const auto& c : cores_) total += c->probes();
+  return total;
+}
+
+}  // namespace hal::hw

@@ -1,0 +1,113 @@
+// Hash-join variant of the uni-flow join core.
+//
+// §IV notes the join-core abstraction poses no limitation on the local
+// join algorithm — "e.g., nested-loop join or hash join". This core keeps
+// the same Fetcher / round-robin Storage discipline as the nested-loop
+// core but pairs each sub-window with a key index in a second BRAM bank:
+// a probe costs one hash-lookup cycle plus one cycle per *candidate with
+// the same key* instead of one cycle per windowed tuple, so an equi-join's
+// service time drops from O(W/N) to O(1 + matches) per tuple. The trade:
+// the operator must be exactly an equi-join on the key (programming
+// anything else is rejected at Operator-store time), and the index costs
+// extra memory — the flexibility-vs-speed dial of the paper's
+// representational model.
+//
+// Cycle accounting: intake (1) → OperatorRead/Store as in Figs. 12/13 →
+// HashLookup (1) → one Probe cycle per same-key candidate → EmitResult
+// (1 per match, stalls on gatherer backpressure) → storage pipeline
+// (store + done), serialized with processing as in the nested-loop core.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "hw/common/word.h"
+#include "hw/uniflow/core_interface.h"
+#include "sim/fifo.h"
+#include "stream/join_spec.h"
+
+namespace hal::hw {
+
+class HashJoinCore final : public IUniflowCore {
+ public:
+  HashJoinCore(std::string name, std::uint32_t position,
+               std::size_t sub_window_capacity, sim::Fifo<HwWord>& fetcher,
+               sim::Fifo<stream::ResultTuple>& results);
+
+  void eval() override;
+
+  void prefill_store(const stream::Tuple& t) override;
+  void set_prefill_counts(std::uint64_t count_r,
+                          std::uint64_t count_s) override;
+
+  [[nodiscard]] bool quiescent() const noexcept override {
+    return state_ == State::kIdle && !store_pending_.has_value();
+  }
+  [[nodiscard]] std::size_t window_size(
+      stream::StreamId id) const noexcept override {
+    return (id == stream::StreamId::R ? win_r_ : win_s_).window.size();
+  }
+  [[nodiscard]] std::uint64_t probes() const noexcept override {
+    return probes_;
+  }
+  [[nodiscard]] std::uint64_t matches() const noexcept override {
+    return matches_;
+  }
+  [[nodiscard]] std::uint64_t tuples_seen() const noexcept override {
+    return count_r_ + count_s_;
+  }
+
+ private:
+  enum class State : std::uint8_t {
+    kIdle,
+    kOpStore1,
+    kOpStore2,
+    kHashLookup,
+    kProbe,
+    kEmitResult,
+    kStore,
+    kStoreDone,
+  };
+
+  // Sub-window with a key index: the window deque preserves eviction
+  // order; the index maps key → windowed tuples with that key, kept
+  // exactly in sync on insert/evict.
+  struct IndexedWindow {
+    std::deque<stream::Tuple> window;
+    std::unordered_map<std::uint32_t, std::deque<stream::Tuple>> index;
+    std::size_t capacity = 0;
+
+    void insert(const stream::Tuple& t);
+  };
+
+  void intake(const HwWord& w);
+
+  const std::uint32_t position_;
+  IndexedWindow win_r_;
+  IndexedWindow win_s_;
+  sim::Fifo<HwWord>& fetcher_;
+  sim::Fifo<stream::ResultTuple>& results_;
+
+  State state_ = State::kIdle;
+  std::uint32_t num_cores_ = 0;
+  std::uint32_t pending_cores_ = 0;
+  std::uint32_t expected_conditions_ = 0;
+  std::uint32_t received_conditions_ = 0;
+  std::uint64_t count_r_ = 0;
+  std::uint64_t count_s_ = 0;
+
+  std::optional<stream::Tuple> current_;
+  bool store_turn_ = false;
+  std::optional<stream::Tuple> store_pending_;
+  std::vector<stream::Tuple> candidates_;  // same-key snapshot
+  std::size_t probe_idx_ = 0;
+  std::optional<stream::ResultTuple> emit_pending_;
+
+  std::uint64_t probes_ = 0;
+  std::uint64_t matches_ = 0;
+};
+
+}  // namespace hal::hw

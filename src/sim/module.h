@@ -1,0 +1,71 @@
+// Two-phase cycle simulation primitives.
+//
+// hal::sim is the substrate that stands in for the paper's FPGAs. Every
+// hardware component (DNode, GNode, join core, ...) is a Module driven by a
+// shared clock. A simulation cycle has two phases:
+//
+//   eval()   — every module reads the *committed* state of the world
+//              (its own registers, FIFO occupancies as of the cycle start)
+//              and stages its actions (register writes, FIFO pushes/pops).
+//   commit() — every staged action is applied atomically, advancing to the
+//              next clock edge.
+//
+// Because eval() only ever observes committed state, module evaluation
+// order is irrelevant and the simulation is deterministic — the same
+// property synchronous RTL gets from edge-triggered flip-flops. This is
+// what makes the cycle counts reported by the benches faithful to the
+// micro-architecture rather than artifacts of scheduling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace hal::sim {
+
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  // Phase 1: observe committed state, stage actions.
+  virtual void eval() = 0;
+  // Phase 2: apply staged actions (default: nothing to commit).
+  virtual void commit() {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+};
+
+// A register whose read value is stable within a cycle. Writes via set()
+// become visible after commit() — the flip-flop abstraction.
+template <typename T>
+class Register {
+ public:
+  Register() = default;
+  explicit Register(T initial) : value_(initial), next_(initial) {}
+
+  [[nodiscard]] const T& get() const noexcept { return value_; }
+  void set(T v) noexcept {
+    next_ = std::move(v);
+    dirty_ = true;
+  }
+  void commit() noexcept {
+    if (dirty_) {
+      value_ = next_;
+      dirty_ = false;
+    }
+  }
+
+ private:
+  T value_{};
+  T next_{};
+  bool dirty_ = false;
+};
+
+}  // namespace hal::sim

@@ -1,0 +1,48 @@
+// The clock driver: steps all registered modules through eval/commit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/module.h"
+
+namespace hal::sim {
+
+class Simulator {
+ public:
+  // Non-owning registration; callers (engines) own their modules and must
+  // keep them alive for the simulator's lifetime.
+  void add(Module& m) { modules_.push_back(&m); }
+
+  // Advance one clock cycle.
+  void step() {
+    for (Module* m : modules_) m->eval();
+    for (Module* m : modules_) m->commit();
+    ++cycle_;
+  }
+
+  // Run until `done()` returns true or `max_cycles` elapse (counted from
+  // the call). Returns the number of cycles stepped. The predicate is
+  // checked before each step, so a predicate that is already true costs 0.
+  template <typename Pred>
+  std::uint64_t run_until(Pred&& done, std::uint64_t max_cycles) {
+    std::uint64_t stepped = 0;
+    while (stepped < max_cycles && !done()) {
+      step();
+      ++stepped;
+    }
+    return stepped;
+  }
+
+  [[nodiscard]] std::uint64_t cycle() const noexcept { return cycle_; }
+  [[nodiscard]] std::size_t module_count() const noexcept {
+    return modules_.size();
+  }
+
+ private:
+  std::vector<Module*> modules_;
+  std::uint64_t cycle_ = 0;
+};
+
+}  // namespace hal::sim

@@ -1,0 +1,101 @@
+#include "stream/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace hal::stream {
+
+WorkloadGenerator::WorkloadGenerator(WorkloadConfig config)
+    : config_(config), rng_(config.seed) {
+  HAL_CHECK(config_.key_domain > 0, "key_domain must be positive");
+  HAL_CHECK(config_.r_fraction >= 0.0 && config_.r_fraction <= 1.0,
+            "r_fraction must be in [0,1]");
+  if (config_.distribution == KeyDistribution::kZipf) {
+    HAL_CHECK(config_.zipf_theta > 0.0, "zipf_theta must be positive");
+    // Precompute the CDF once; sampling is then a binary search. Domain
+    // sizes used in this repo (<= 2^20) keep this cheap.
+    zipf_cdf_.resize(config_.key_domain);
+    double sum = 0.0;
+    for (std::uint32_t i = 0; i < config_.key_domain; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), config_.zipf_theta);
+      zipf_cdf_[i] = sum;
+    }
+    for (auto& v : zipf_cdf_) v /= sum;
+  }
+}
+
+std::uint32_t WorkloadGenerator::next_key() {
+  switch (config_.distribution) {
+    case KeyDistribution::kUniform:
+      return static_cast<std::uint32_t>(rng_.next_below(config_.key_domain));
+    case KeyDistribution::kZipf: {
+      const double u = rng_.next_double();
+      const auto it =
+          std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+      return static_cast<std::uint32_t>(it - zipf_cdf_.begin());
+    }
+    case KeyDistribution::kSequential: {
+      const std::uint32_t k = sequential_next_;
+      sequential_next_ = (sequential_next_ + 1) % config_.key_domain;
+      return k;
+    }
+  }
+  return 0;
+}
+
+Tuple WorkloadGenerator::next() {
+  Tuple t;
+  t.key = next_key();
+  t.value = rng_.next_u32();
+  t.seq = seq_++;
+  if (config_.deterministic_interleave && config_.r_fraction == 0.5) {
+    t.origin = (interleave_counter_++ % 2 == 0) ? StreamId::R : StreamId::S;
+  } else {
+    t.origin = rng_.next_bool(config_.r_fraction) ? StreamId::R : StreamId::S;
+  }
+  return t;
+}
+
+std::vector<Tuple> WorkloadGenerator::take(std::size_t n) {
+  std::vector<Tuple> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(next());
+  return out;
+}
+
+WorkloadConfig iot_sensor_workload(std::uint32_t num_sensors,
+                                   std::uint64_t seed) {
+  WorkloadConfig cfg;
+  cfg.seed = seed;
+  cfg.key_domain = num_sensors;
+  cfg.distribution = KeyDistribution::kUniform;
+  cfg.r_fraction = 0.5;
+  return cfg;
+}
+
+WorkloadConfig trading_workload(std::uint32_t num_instruments,
+                                std::uint64_t seed) {
+  WorkloadConfig cfg;
+  cfg.seed = seed;
+  cfg.key_domain = num_instruments;
+  cfg.distribution = KeyDistribution::kZipf;
+  cfg.zipf_theta = 0.99;
+  cfg.r_fraction = 0.5;
+  cfg.deterministic_interleave = false;
+  return cfg;
+}
+
+WorkloadConfig retail_workload(std::uint32_t num_products,
+                               std::uint64_t seed) {
+  WorkloadConfig cfg;
+  cfg.seed = seed;
+  cfg.key_domain = num_products;
+  cfg.distribution = KeyDistribution::kZipf;
+  cfg.zipf_theta = 0.8;
+  cfg.r_fraction = 0.5;
+  return cfg;
+}
+
+}  // namespace hal::stream

@@ -1,0 +1,88 @@
+// Workload generators.
+//
+// The paper's evaluation streams 64-bit tuples joined by an equi-join
+// (§V: "input streams consist of 64-bit tuples that are joined against
+// each other using an equi-join"). The generators here produce such
+// streams with controllable key distribution (uniform / zipf / sequential)
+// and R:S interleaving, plus the domain-specific scenarios the paper's
+// introduction motivates (IoT sensor feeds, algorithmic trading,
+// retail/clickstream — §I, Fig. 7's Customer ⋈ Product example).
+//
+// All generators are deterministic given a seed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "stream/tuple.h"
+
+namespace hal::stream {
+
+enum class KeyDistribution : std::uint8_t {
+  kUniform,     // uniform over [0, key_domain)
+  kZipf,        // zipf(theta) over [0, key_domain): skewed hot keys
+  kSequential,  // round-robin over [0, key_domain): exact match-rate control
+};
+
+struct WorkloadConfig {
+  std::uint64_t seed = 42;
+  std::uint32_t key_domain = 1u << 12;
+  KeyDistribution distribution = KeyDistribution::kUniform;
+  double zipf_theta = 0.99;
+  // Probability that the next tuple belongs to stream R (0.5 = balanced,
+  // 1.0 = R-only; the paper's bi-flow bandwidth discussion uses R-only).
+  double r_fraction = 0.5;
+  // When true, R and S alternate deterministically instead of randomly
+  // (subject to r_fraction being 0.5); useful for exact cycle accounting.
+  bool deterministic_interleave = true;
+};
+
+// Produces the merged input sequence seen by a stream-join engine.
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(WorkloadConfig config);
+
+  // Next tuple of the merged R/S sequence. seq is assigned consecutively.
+  [[nodiscard]] Tuple next();
+
+  // Convenience: materialize the next n tuples.
+  [[nodiscard]] std::vector<Tuple> take(std::size_t n);
+
+  [[nodiscard]] const WorkloadConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  [[nodiscard]] std::uint32_t next_key();
+
+  WorkloadConfig config_;
+  hal::Rng rng_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t interleave_counter_ = 0;
+  std::uint32_t sequential_next_ = 0;
+  std::vector<double> zipf_cdf_;  // lazily built for kZipf
+};
+
+// --- Domain scenarios -----------------------------------------------------
+
+// IoT sensor fusion: stream R = temperature sensors, stream S = humidity
+// sensors; join on sensor_id (key), values are scaled readings. Models the
+// paper's §I IoT motivation.
+[[nodiscard]] WorkloadConfig iot_sensor_workload(std::uint32_t num_sensors,
+                                                 std::uint64_t seed);
+
+// Algorithmic trading: stream R = orders, stream S = quotes; join on
+// instrument id. Hot instruments are zipf-skewed (fpga-ToPSS / algorithmic
+// trading motivation, §II).
+[[nodiscard]] WorkloadConfig trading_workload(std::uint32_t num_instruments,
+                                              std::uint64_t seed);
+
+// Retail: stream R = customer events, stream S = product events; join on
+// product id (the Fig. 7 query-plan example).
+[[nodiscard]] WorkloadConfig retail_workload(std::uint32_t num_products,
+                                             std::uint64_t seed);
+
+}  // namespace hal::stream

@@ -1,0 +1,76 @@
+#include "stream/join_spec.h"
+
+namespace hal::stream {
+
+namespace {
+
+[[nodiscard]] std::uint32_t read_field(const Tuple& t, Field f) noexcept {
+  return f == Field::Key ? t.key : t.value;
+}
+
+[[nodiscard]] bool compare(std::int64_t lhs, CmpOp op,
+                           std::int64_t rhs) noexcept {
+  switch (op) {
+    case CmpOp::Eq: return lhs == rhs;
+    case CmpOp::Ne: return lhs != rhs;
+    case CmpOp::Lt: return lhs < rhs;
+    case CmpOp::Le: return lhs <= rhs;
+    case CmpOp::Gt: return lhs > rhs;
+    case CmpOp::Ge: return lhs >= rhs;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool JoinCondition::matches(const Tuple& r, const Tuple& s) const noexcept {
+  const auto lhs_v = static_cast<std::int64_t>(read_field(r, lhs));
+  const auto rhs_v = static_cast<std::int64_t>(read_field(s, rhs)) +
+                     static_cast<std::int64_t>(band);
+  return compare(lhs_v, op, rhs_v);
+}
+
+std::string JoinSpec::to_string() const {
+  if (conjuncts_.empty()) return "true (cross product)";
+  std::string out;
+  for (std::size_t i = 0; i < conjuncts_.size(); ++i) {
+    const auto& c = conjuncts_[i];
+    if (i > 0) out += " AND ";
+    out += "r.";
+    out += (c.lhs == Field::Key ? "key" : "value");
+    out += ' ';
+    out += hal::stream::to_string(c.op);
+    out += " s.";
+    out += (c.rhs == Field::Key ? "key" : "value");
+    if (c.band != 0) {
+      out += (c.band > 0 ? "+" : "");
+      out += std::to_string(c.band);
+    }
+  }
+  return out;
+}
+
+std::uint64_t encode(const JoinCondition& c) noexcept {
+  std::uint64_t word = 0;
+  word |= static_cast<std::uint64_t>(c.op) & 0x7u;
+  word |= (static_cast<std::uint64_t>(c.lhs) & 0x1u) << 3;
+  word |= (static_cast<std::uint64_t>(c.rhs) & 0x1u) << 4;
+  word |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.band))
+          << 32;
+  return word;
+}
+
+std::optional<JoinCondition> decode(std::uint64_t word) noexcept {
+  const auto op_raw = static_cast<std::uint8_t>(word & 0x7u);
+  if (op_raw > static_cast<std::uint8_t>(CmpOp::Ge)) return std::nullopt;
+  if ((word & 0xffffffe0ULL) != 0) return std::nullopt;  // reserved bits
+  JoinCondition c;
+  c.op = static_cast<CmpOp>(op_raw);
+  c.lhs = static_cast<Field>((word >> 3) & 0x1u);
+  c.rhs = static_cast<Field>((word >> 4) & 0x1u);
+  c.band = static_cast<std::int32_t>(
+      static_cast<std::uint32_t>(word >> 32));
+  return c;
+}
+
+}  // namespace hal::stream

@@ -1,0 +1,106 @@
+// Join operator specification, runtime-programmable as in FQP/SplitJoin.
+//
+// The paper stresses that the join operator of every join core can be
+// re-programmed at runtime by a two-segment instruction (Fig. 12):
+//   segment 1 — join parameters: number of join cores + this core's position
+//   segment 2 — the join condition(s)
+// We model the condition segment as a conjunction of comparator conditions
+// over the two 32-bit tuple fields. The common case (and the paper's
+// evaluation workload) is a single equi-join on the key. A compact 64-bit
+// encoding (`encode`/`decode`) stands in for the instruction word that the
+// hardware design would carry on its 64-bit data bus.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stream/tuple.h"
+
+namespace hal::stream {
+
+enum class CmpOp : std::uint8_t { Eq = 0, Ne, Lt, Le, Gt, Ge };
+
+enum class Field : std::uint8_t { Key = 0, Value = 1 };
+
+[[nodiscard]] constexpr const char* to_string(CmpOp op) noexcept {
+  switch (op) {
+    case CmpOp::Eq: return "==";
+    case CmpOp::Ne: return "!=";
+    case CmpOp::Lt: return "<";
+    case CmpOp::Le: return "<=";
+    case CmpOp::Gt: return ">";
+    case CmpOp::Ge: return ">=";
+  }
+  return "?";
+}
+
+// One comparator: r.<lhs> OP s.<rhs> (+ band offset on the S side).
+// band != 0 expresses band joins: r.key <= s.key + band etc.
+struct JoinCondition {
+  Field lhs = Field::Key;
+  Field rhs = Field::Key;
+  CmpOp op = CmpOp::Eq;
+  std::int32_t band = 0;
+
+  [[nodiscard]] bool matches(const Tuple& r, const Tuple& s) const noexcept;
+
+  friend bool operator==(const JoinCondition&,
+                         const JoinCondition&) = default;
+};
+
+class JoinSpec {
+ public:
+  JoinSpec() = default;  // empty conjunction: cross product
+
+  static JoinSpec equi_on_key() {
+    JoinSpec spec;
+    spec.add(JoinCondition{Field::Key, Field::Key, CmpOp::Eq, 0});
+    return spec;
+  }
+
+  static JoinSpec band_on_key(std::int32_t band) {
+    // |r.key - s.key| <= band, expressed as two conjuncts.
+    JoinSpec spec;
+    spec.add(JoinCondition{Field::Key, Field::Key, CmpOp::Le, band});
+    spec.add(JoinCondition{Field::Key, Field::Key, CmpOp::Ge, -band});
+    return spec;
+  }
+
+  JoinSpec& add(JoinCondition c) {
+    conjuncts_.push_back(c);
+    return *this;
+  }
+
+  [[nodiscard]] bool matches(const Tuple& r, const Tuple& s) const noexcept {
+    for (const auto& c : conjuncts_) {
+      if (!c.matches(r, s)) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] const std::vector<JoinCondition>& conjuncts() const noexcept {
+    return conjuncts_;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const JoinSpec&, const JoinSpec&) = default;
+
+ private:
+  std::vector<JoinCondition> conjuncts_;
+};
+
+// 64-bit instruction-word encoding for a single condition (the hardware
+// data bus carries one condition per Operator word; multi-conjunct specs
+// are sent as a sequence of words). Layout (LSB first):
+//   [0:2]   CmpOp
+//   [3]     lhs field
+//   [4]     rhs field
+//   [5:31]  reserved (zero)
+//   [32:63] band as signed 32-bit
+[[nodiscard]] std::uint64_t encode(const JoinCondition& c) noexcept;
+[[nodiscard]] std::optional<JoinCondition> decode(std::uint64_t word) noexcept;
+
+}  // namespace hal::stream

@@ -1,0 +1,43 @@
+#include "stream/reference_join.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace hal::stream {
+
+ReferenceJoin::ReferenceJoin(std::size_t window_size, JoinSpec spec)
+    : window_size_(window_size), spec_(std::move(spec)) {
+  HAL_CHECK(window_size_ > 0, "window_size must be positive");
+}
+
+void ReferenceJoin::process(const Tuple& t, std::vector<ResultTuple>& out) {
+  auto& own = t.origin == StreamId::R ? window_r_ : window_s_;
+  const auto& other = t.origin == StreamId::R ? window_s_ : window_r_;
+
+  for (const Tuple& o : other) {
+    const Tuple& r = t.origin == StreamId::R ? t : o;
+    const Tuple& s = t.origin == StreamId::R ? o : t;
+    if (spec_.matches(r, s)) out.push_back(ResultTuple{r, s});
+  }
+
+  own.push_back(t);
+  if (own.size() > window_size_) own.pop_front();
+}
+
+std::vector<ResultTuple> ReferenceJoin::process_all(
+    const std::vector<Tuple>& tuples) {
+  std::vector<ResultTuple> out;
+  for (const Tuple& t : tuples) process(t, out);
+  return out;
+}
+
+std::vector<ResultKey> normalize(const std::vector<ResultTuple>& results) {
+  std::vector<ResultKey> keys;
+  keys.reserve(results.size());
+  for (const auto& r : results) keys.push_back(key_of(r));
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace hal::stream

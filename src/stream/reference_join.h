@@ -1,0 +1,55 @@
+// Single-threaded reference implementation of the sliding-window stream
+// join. This is the correctness oracle all four engines (hardware uni-flow,
+// hardware bi-flow, software SplitJoin, software handshake join) are
+// validated against.
+//
+// Semantics (shared by all engines in this repo, and by SplitJoin/handshake
+// join in the papers): count-based sliding windows of `window_size` tuples
+// per stream; a newly arriving tuple is first probed against the *opposite*
+// stream's current window, then inserted into its own window, evicting the
+// oldest tuple once the window is full.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "stream/join_spec.h"
+#include "stream/tuple.h"
+
+namespace hal::stream {
+
+class ReferenceJoin {
+ public:
+  ReferenceJoin(std::size_t window_size, JoinSpec spec);
+
+  // Processes one tuple; matches are appended to `out`.
+  void process(const Tuple& t, std::vector<ResultTuple>& out);
+
+  // Processes a batch, returning all results.
+  [[nodiscard]] std::vector<ResultTuple> process_all(
+      const std::vector<Tuple>& tuples);
+
+  // Re-programs the join operator mid-stream (windows are kept, matching
+  // the runtime re-programming behavior of the hardware engines).
+  void set_spec(JoinSpec spec) { spec_ = std::move(spec); }
+
+  [[nodiscard]] std::size_t window_size() const noexcept {
+    return window_size_;
+  }
+  [[nodiscard]] const std::deque<Tuple>& window(StreamId id) const noexcept {
+    return id == StreamId::R ? window_r_ : window_s_;
+  }
+
+ private:
+  std::size_t window_size_;
+  JoinSpec spec_;
+  std::deque<Tuple> window_r_;
+  std::deque<Tuple> window_s_;
+};
+
+// Normalizes a result set for comparison: sorted vector of (r_seq, s_seq).
+[[nodiscard]] std::vector<ResultKey> normalize(
+    const std::vector<ResultTuple>& results);
+
+}  // namespace hal::stream

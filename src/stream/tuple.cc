@@ -1,0 +1,19 @@
+#include "stream/tuple.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace hal::stream {
+
+std::string to_string(const Tuple& t) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s#%" PRIu64 "(key=%u,val=%u)",
+                to_string(t.origin), t.seq, t.key, t.value);
+  return buf;
+}
+
+std::string to_string(const ResultTuple& t) {
+  return "<" + to_string(t.r) + " ⋈ " + to_string(t.s) + ">";
+}
+
+}  // namespace hal::stream

@@ -1,0 +1,66 @@
+// Core stream data types.
+//
+// The paper's evaluation uses 64-bit tuples carried on a data bus with a
+// 2-bit header that distinguishes "new join operator" words from tuples of
+// the R or S stream (§IV, Fig. 9). We model a tuple as a 32-bit key plus a
+// 32-bit value, which is exactly the 64-bit payload; `seq` and `origin` are
+// simulator-side metadata used for ordering checks and result verification
+// and are never part of the modeled wire format.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace hal::stream {
+
+enum class StreamId : std::uint8_t { R = 0, S = 1 };
+
+[[nodiscard]] constexpr StreamId opposite(StreamId s) noexcept {
+  return s == StreamId::R ? StreamId::S : StreamId::R;
+}
+
+[[nodiscard]] constexpr const char* to_string(StreamId s) noexcept {
+  return s == StreamId::R ? "R" : "S";
+}
+
+struct Tuple {
+  std::uint32_t key = 0;
+  std::uint32_t value = 0;
+  // Arrival index in the merged input sequence (metadata).
+  std::uint64_t seq = 0;
+  StreamId origin = StreamId::R;
+
+  [[nodiscard]] std::uint64_t payload() const noexcept {
+    return (static_cast<std::uint64_t>(key) << 32) | value;
+  }
+
+  friend bool operator==(const Tuple&, const Tuple&) = default;
+};
+
+// A join result is the concatenation of the two matching input tuples; the
+// paper notes the result bus is twice the input tuple width (§IV).
+struct ResultTuple {
+  Tuple r;
+  Tuple s;
+
+  friend bool operator==(const ResultTuple&, const ResultTuple&) = default;
+};
+
+// Canonical identity of a result for set comparison across engines that
+// emit in different orders.
+struct ResultKey {
+  std::uint64_t r_seq;
+  std::uint64_t s_seq;
+
+  auto operator<=>(const ResultKey&) const = default;
+};
+
+[[nodiscard]] inline ResultKey key_of(const ResultTuple& t) noexcept {
+  return ResultKey{t.r.seq, t.s.seq};
+}
+
+[[nodiscard]] std::string to_string(const Tuple& t);
+[[nodiscard]] std::string to_string(const ResultTuple& t);
+
+}  // namespace hal::stream

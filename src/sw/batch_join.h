@@ -1,0 +1,122 @@
+// Batch-parallel stream join — the GPU/Cell column of the accelerator
+// spectrum (Figs. 1/3; the paper cites CellJoin [35] as the batched
+// data-parallel realization of windowed stream joins).
+//
+// GPU-class accelerators process streams in *batches*: tuples accumulate
+// until a batch fills, then a data-parallel kernel joins the whole batch
+// against the windows at once. Compared to the per-tuple engines this
+// trades latency for throughput — results for a tuple appear only when
+// its batch completes, but the per-tuple synchronization cost is
+// amortized over the batch (one dispatch per batch instead of one queue
+// round trip per tuple), and the inner loop is a dense, vectorizable
+// scan. That positioning (throughput above the CPU engines, latency above
+// the FPGA engines) is exactly where Fig. 1 places GPUs.
+//
+// Semantics remain *exactly* the eager oracle's: within a batch, tuple i
+// probes the window state plus the earlier-in-batch tuples of the
+// opposite stream, so batching changes when results appear, never which.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/spsc_queue.h"
+#include "stream/join_spec.h"
+#include "stream/tuple.h"
+#include "sw/splitjoin.h"  // SwRunReport
+
+namespace hal::sw {
+
+struct BatchJoinConfig {
+  std::uint32_t num_workers = 4;  // "streaming multiprocessors"
+  std::size_t window_size = 1 << 12;  // per stream
+  std::size_t batch_size = 1 << 10;
+};
+
+class BatchJoinEngine {
+ public:
+  BatchJoinEngine(BatchJoinConfig cfg, stream::JoinSpec spec);
+  ~BatchJoinEngine();
+
+  BatchJoinEngine(const BatchJoinEngine&) = delete;
+  BatchJoinEngine& operator=(const BatchJoinEngine&) = delete;
+
+  // Processes the tuples (padding the final partial batch is not needed —
+  // it is flushed) and blocks until every batch completed.
+  SwRunReport process(const std::vector<stream::Tuple>& tuples);
+
+  // Latency of the first result of a batch: seconds from the arrival of a
+  // batch's first tuple until the batch's results are available, at the
+  // given sustained input rate (tuples/s). Computed from the measured
+  // batch kernel time plus the accumulation delay — the structural
+  // latency floor of batched processing.
+  [[nodiscard]] double batch_latency_seconds(double input_rate_tps) const;
+
+  [[nodiscard]] const std::vector<stream::ResultTuple>& results() const {
+    return results_;
+  }
+  void clear_results() { results_.clear(); }
+  [[nodiscard]] double last_kernel_seconds() const {
+    return last_kernel_seconds_;
+  }
+  [[nodiscard]] const BatchJoinConfig& config() const noexcept { return cfg_; }
+
+ private:
+  // A windowed tuple tagged with its per-stream arrival index, so the
+  // batch kernel can apply *logical expiry*: a batch tuple at position i
+  // must not see window entries that the earlier same-batch arrivals of
+  // the candidate's stream would already have evicted.
+  struct Entry {
+    stream::Tuple tuple;
+    std::uint64_t arrival = 0;
+  };
+
+  struct WorkerSlice {
+    // Sub-windows owned by this worker (round-robin slices, as in
+    // SplitJoin, so the union is the exact count-based window).
+    std::vector<Entry> win_r;
+    std::vector<Entry> win_s;
+    std::size_t head_r = 0;  // circular
+    std::size_t head_s = 0;
+    std::size_t size_r = 0;
+    std::size_t size_s = 0;
+    std::vector<stream::ResultTuple> out;
+  };
+
+  void worker_loop(std::uint32_t index);
+  void run_batch(const stream::Tuple* data, std::size_t count);
+  void insert_into_slice(WorkerSlice& slice, const stream::Tuple& t,
+                         std::uint64_t arrival);
+
+  BatchJoinConfig cfg_;
+  stream::JoinSpec spec_;
+  std::size_t sub_window_ = 0;
+
+  std::vector<std::unique_ptr<WorkerSlice>> slices_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stop_{false};
+
+  // Batch dispatch: generation counter the workers watch; the batch data
+  // pointer/count and the prefix counts are published before the
+  // generation bump.
+  const stream::Tuple* batch_data_ = nullptr;
+  std::size_t batch_count_ = 0;
+  std::vector<std::uint64_t> r_before_;  // R tuples at positions < i
+  std::vector<std::uint64_t> s_before_;
+  std::uint64_t batch_base_r_ = 0;  // per-stream counts before the batch
+  std::uint64_t batch_base_s_ = 0;
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> generation_{0};
+  alignas(kCacheLineSize) std::atomic<std::uint32_t> done_count_{0};
+
+  std::uint64_t count_r_ = 0;  // round-robin turn counters
+  std::uint64_t count_s_ = 0;
+  std::vector<stream::ResultTuple> results_;
+  double last_kernel_seconds_ = 0.0;
+  double total_kernel_seconds_ = 0.0;
+  std::uint64_t batches_run_ = 0;
+};
+
+}  // namespace hal::sw

@@ -1,0 +1,173 @@
+#include "sw/handshake_join.h"
+
+#include "common/assert.h"
+#include "common/timer.h"
+
+namespace hal::sw {
+
+using stream::StreamId;
+using stream::Tuple;
+
+HandshakeJoinEngine::HandshakeJoinEngine(HandshakeJoinConfig cfg,
+                                         stream::JoinSpec spec)
+    : cfg_(cfg), spec_(std::move(spec)) {
+  HAL_CHECK(cfg_.num_cores >= 1, "need at least one join core");
+  HAL_CHECK(cfg_.window_size >= cfg_.num_cores,
+            "window must hold at least one tuple per core");
+  HAL_CHECK(cfg_.window_size % cfg_.num_cores == 0,
+            "window_size must be a multiple of num_cores");
+  const std::size_t sub_window = cfg_.window_size / cfg_.num_cores;
+  for (std::uint32_t i = 0; i < cfg_.num_cores; ++i) {
+    cores_.push_back(
+        std::make_unique<Core>(sub_window, cfg_.input_queue_capacity));
+  }
+  for (std::uint32_t i = 0; i + 1 < cfg_.num_cores; ++i) {
+    boundaries_.push_back(std::make_unique<Boundary>());
+  }
+  for (std::uint32_t i = 0; i < cfg_.num_cores; ++i) {
+    threads_.emplace_back([this, i] { core_loop(i); });
+  }
+}
+
+HandshakeJoinEngine::~HandshakeJoinEngine() {
+  stop_.store(true, std::memory_order_release);
+  for (auto& t : threads_) t.join();
+}
+
+void HandshakeJoinEngine::enter(std::uint32_t i, const Tuple& t,
+                                const std::deque<Tuple>* extra) {
+  Core& core = *cores_[i];
+  const bool is_r = t.origin == StreamId::R;
+
+  // Entry scan: opposite sub-window plus the still-resident occupants of
+  // the opposite eviction queue on the entry boundary.
+  const hw::SubWindow& opposite = is_r ? core.win_s : core.win_r;
+  auto probe = [&](const Tuple& candidate) {
+    const Tuple& r = is_r ? t : candidate;
+    const Tuple& s = is_r ? candidate : t;
+    if (spec_.matches(r, s)) {
+      core.local_results.push_back(stream::ResultTuple{r, s});
+      results_count_.fetch_add(1, std::memory_order_release);
+    }
+  };
+  for (std::size_t k = 0; k < opposite.size(); ++k) probe(opposite.at(k));
+  if (extra != nullptr) {
+    for (const Tuple& candidate : *extra) probe(candidate);
+  }
+
+  // Store + evict. R evicts rightward onto boundary[i], S leftward onto
+  // boundary[i-1]; past the chain ends the tuple expires.
+  hw::SubWindow& own = is_r ? core.win_r : core.win_s;
+  if (own.size() == own.capacity()) {
+    const Tuple evicted = own.at(0);
+    if (is_r && i + 1 < cfg_.num_cores) {
+      // The handover stays in flight: count it before this entry retires
+      // so the pending count can never dip to zero mid-chain.
+      pending_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lk(boundaries_[i]->mu);
+      boundaries_[i]->r_q.push_back(evicted);
+    } else if (!is_r && i > 0) {
+      pending_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lk(boundaries_[i - 1]->mu);
+      boundaries_[i - 1]->s_q.push_back(evicted);
+    }
+    // else: traversed the full window — expired.
+  }
+  own.insert(t);
+}
+
+void HandshakeJoinEngine::core_loop(std::uint32_t i) {
+  Core& core = *cores_[i];
+  const bool leftmost = i == 0;
+  const bool rightmost = i + 1 == cfg_.num_cores;
+  bool prefer_r = true;
+
+  // Every completed entry releases one unit of `pending_`; the matching
+  // acquisition happened either in process() (fresh input) or in enter()
+  // (handover). The release ordering makes all of the entry's effects —
+  // stored results included — visible to whoever observes pending_ == 0.
+  auto retire = [this] { pending_.fetch_sub(1, std::memory_order_release); };
+
+  while (true) {
+    bool did_work = false;
+    const bool r_first = prefer_r;
+    prefer_r = !prefer_r;
+
+    // Fresh input at the chain ends (either stream for a 1-core chain).
+    auto try_input = [&] {
+      if (!leftmost && !rightmost) return false;
+      Tuple t;
+      if (!core.input.try_pop(t)) return false;
+      enter(i, t, nullptr);
+      retire();
+      return true;
+    };
+    auto try_r = [&] {
+      if (leftmost) return false;
+      Boundary& b = *boundaries_[i - 1];
+      std::unique_lock<std::mutex> lk(b.mu);
+      if (b.r_q.empty()) return false;
+      const Tuple t = b.r_q.front();
+      b.r_q.pop_front();
+      enter(i, t, &b.s_q);  // lock held across the scan: atomic crossing
+      lk.unlock();
+      retire();
+      return true;
+    };
+    auto try_s = [&] {
+      if (rightmost) return false;
+      Boundary& b = *boundaries_[i];
+      std::unique_lock<std::mutex> lk(b.mu);
+      if (b.s_q.empty()) return false;
+      const Tuple t = b.s_q.front();
+      b.s_q.pop_front();
+      enter(i, t, &b.r_q);
+      lk.unlock();
+      retire();
+      return true;
+    };
+
+    // Rotate fairly over the three sources so neither fresh input nor
+    // either ripple direction can starve the others (unbounded starvation
+    // would skew the two streams' windows apart).
+    if (r_first) {
+      did_work = try_r() || try_input() || try_s();
+    } else {
+      did_work = try_s() || try_input() || try_r();
+    }
+
+    if (!did_work) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      std::this_thread::yield();
+    }
+  }
+}
+
+SwRunReport HandshakeJoinEngine::process(const std::vector<Tuple>& tuples) {
+  Timer timer;
+  Core& left = *cores_.front();
+  Core& right = *cores_.back();
+  for (const Tuple& t : tuples) {
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    auto& q = t.origin == StreamId::R ? left.input : right.input;
+    while (!q.try_push(t)) std::this_thread::yield();
+  }
+  while (pending_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+  SwRunReport report;
+  report.elapsed_seconds = timer.elapsed_seconds();
+  report.tuples_processed = tuples.size();
+  report.results_emitted = results_count_.load(std::memory_order_acquire);
+  return report;
+}
+
+std::vector<stream::ResultTuple> HandshakeJoinEngine::results() const {
+  std::vector<stream::ResultTuple> all;
+  for (const auto& c : cores_) {
+    all.insert(all.end(), c->local_results.begin(), c->local_results.end());
+  }
+  return all;
+}
+
+}  // namespace hal::sw

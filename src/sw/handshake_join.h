@@ -1,0 +1,101 @@
+// Software realization of the bi-flow model: handshake join on a
+// multi-core CPU (Teubner & Mueller, SIGMOD'11 — the paper's [33]).
+//
+// One thread per join core, arranged in a chain. R tuples enter at core 0
+// and flow right, S tuples enter at core N-1 and flow left. The shared
+// state between adjacent cores lives on the *boundary*: a mutex (the
+// paper's "locks needed to avoid race conditions") plus the two eviction
+// queues whose occupants are still logically resident in their source
+// core's window. A tuple entering a core through a boundary is scanned
+// against the core's opposite sub-window and that boundary's opposite
+// eviction queue while the boundary lock is held, which makes every R/S
+// crossing observable exactly once — the same discipline the hardware
+// HandshakeChannel enforces with its one-transfer-at-a-time lock.
+//
+// Lock acquisition is ordered (entry boundary first, eviction boundary
+// second; R operations lean rightward, S leftward), which excludes
+// deadlock cycles on the boundary mutexes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/spsc_queue.h"
+#include "hw/common/sub_window.h"
+#include "stream/join_spec.h"
+#include "stream/tuple.h"
+#include "sw/splitjoin.h"  // SwRunReport
+
+namespace hal::sw {
+
+struct HandshakeJoinConfig {
+  std::uint32_t num_cores = 4;
+  std::size_t window_size = 1 << 12;  // per stream, summed across cores
+  // Deliberately small: the feeder blocks on a full end queue, which keeps
+  // the two streams' processing order close to their merged arrival order.
+  // This is the software analogue of the hardware chain's rendezvous
+  // backpressure, and the knob behind "adjustable ordering precision" in
+  // the SplitJoin paper's terminology — a larger queue trades window-
+  // semantics fidelity for feeder decoupling.
+  std::size_t input_queue_capacity = 4;
+};
+
+class HandshakeJoinEngine {
+ public:
+  HandshakeJoinEngine(HandshakeJoinConfig cfg, stream::JoinSpec spec);
+  ~HandshakeJoinEngine();
+
+  HandshakeJoinEngine(const HandshakeJoinEngine&) = delete;
+  HandshakeJoinEngine& operator=(const HandshakeJoinEngine&) = delete;
+
+  // Feeds the batch and blocks until the chain is fully drained (all
+  // queues empty, all cores idle). Results accumulate across calls.
+  SwRunReport process(const std::vector<stream::Tuple>& tuples);
+
+  // Results collected so far (call only between process() calls).
+  [[nodiscard]] std::vector<stream::ResultTuple> results() const;
+  [[nodiscard]] const HandshakeJoinConfig& config() const noexcept {
+    return cfg_;
+  }
+
+ private:
+  struct Boundary {
+    std::mutex mu;
+    std::deque<stream::Tuple> r_q;  // evicted from core b, visible, → b+1
+    std::deque<stream::Tuple> s_q;  // evicted from core b+1, visible, → b
+  };
+
+  struct Core {
+    Core(std::size_t sub_window, std::size_t queue_capacity)
+        : win_r(sub_window), win_s(sub_window), input(queue_capacity) {}
+    hw::SubWindow win_r;
+    hw::SubWindow win_s;
+    SpscQueue<stream::Tuple> input;  // driver feed (used at chain ends)
+    std::vector<stream::ResultTuple> local_results;
+  };
+
+  void core_loop(std::uint32_t i);
+  // Scans `t` against core i's opposite residents (own sub-window plus the
+  // boundary eviction queue `extra`, which must be guarded by a lock the
+  // caller already holds when non-null), then stores and evicts.
+  void enter(std::uint32_t i, const stream::Tuple& t,
+             const std::deque<stream::Tuple>* extra);
+
+  HandshakeJoinConfig cfg_;
+  stream::JoinSpec spec_;
+  std::vector<std::unique_ptr<Core>> cores_;
+  std::vector<std::unique_ptr<Boundary>> boundaries_;  // size N-1
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> results_count_{0};
+  // Tuples in flight anywhere in the chain (fresh input + handovers);
+  // zero ⇔ the chain is drained and all results are visible.
+  std::atomic<std::uint64_t> pending_{0};
+};
+
+}  // namespace hal::sw

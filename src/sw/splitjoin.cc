@@ -1,0 +1,149 @@
+#include "sw/splitjoin.h"
+
+#include <chrono>
+
+#include "common/assert.h"
+#include "common/timer.h"
+
+namespace hal::sw {
+
+using stream::ResultTuple;
+using stream::StreamId;
+using stream::Tuple;
+
+SplitJoinEngine::SplitJoinEngine(SplitJoinConfig cfg, stream::JoinSpec spec)
+    : cfg_(cfg), spec_(std::move(spec)) {
+  HAL_CHECK(cfg_.num_cores >= 1, "need at least one join core");
+  HAL_CHECK(cfg_.window_size >= cfg_.num_cores,
+            "window must hold at least one tuple per core");
+  HAL_CHECK(cfg_.window_size % cfg_.num_cores == 0,
+            "window_size must be a multiple of num_cores");
+  const std::size_t sub_window = cfg_.window_size / cfg_.num_cores;
+  cores_.reserve(cfg_.num_cores);
+  for (std::uint32_t i = 0; i < cfg_.num_cores; ++i) {
+    cores_.push_back(std::make_unique<Core>(sub_window, cfg_.queue_capacity));
+  }
+  threads_.reserve(cfg_.num_cores);
+  for (std::uint32_t i = 0; i < cfg_.num_cores; ++i) {
+    threads_.emplace_back([this, i] { core_loop(i); });
+  }
+  collector_ = std::thread([this] { collector_loop(); });
+}
+
+SplitJoinEngine::~SplitJoinEngine() {
+  stop_.store(true, std::memory_order_release);
+  for (auto& t : threads_) t.join();
+  collector_.join();
+}
+
+void SplitJoinEngine::core_loop(std::uint32_t index) {
+  Core& core = *cores_[index];
+  while (true) {
+    Tuple t;
+    if (!core.inbox.try_pop(t)) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      std::this_thread::yield();
+      continue;
+    }
+
+    const bool is_r = t.origin == StreamId::R;
+    const hw::SubWindow& opposite = is_r ? core.win_s : core.win_r;
+    // Probe: nested-loop scan over the local sub-window, exactly the
+    // hardware Processing Core's job on this fraction of the window.
+    for (std::size_t i = 0; i < opposite.size(); ++i) {
+      const Tuple& candidate = opposite.at(i);
+      const Tuple& r = is_r ? t : candidate;
+      const Tuple& s = is_r ? candidate : t;
+      if (spec_.matches(r, s)) {
+        ResultTuple result{r, s};
+        while (!core.outbox.try_push(result)) {
+          std::this_thread::yield();  // gatherer backpressure
+        }
+        result_count_.fetch_add(1, std::memory_order_release);
+      }
+    }
+    // Store: round-robin turn counting, identical to the Storage Core.
+    hw::SubWindow& own = is_r ? core.win_r : core.win_s;
+    std::uint64_t& count = is_r ? core.count_r : core.count_s;
+    if (count % cfg_.num_cores == index) own.insert(t);
+    ++count;
+
+    core.processed.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void SplitJoinEngine::collector_loop() {
+  while (true) {
+    bool any = false;
+    for (auto& core : cores_) {
+      ResultTuple result;
+      while (core->outbox.try_pop(result)) {
+        any = true;
+        if (cfg_.collect_results) collected_.push_back(result);
+        collected_count_.fetch_add(1, std::memory_order_release);
+      }
+    }
+    if (!any) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      std::this_thread::yield();
+    }
+  }
+}
+
+void SplitJoinEngine::broadcast(const Tuple& t) {
+  for (auto& core : cores_) {
+    while (!core->inbox.try_push(t)) std::this_thread::yield();
+  }
+  broadcast_count_.fetch_add(1, std::memory_order_release);
+}
+
+void SplitJoinEngine::wait_quiescent() {
+  const std::uint64_t target = broadcast_count_.load(std::memory_order_acquire);
+  for (auto& core : cores_) {
+    while (core->processed.load(std::memory_order_acquire) < target) {
+      std::this_thread::yield();
+    }
+  }
+  while (collected_count_.load(std::memory_order_acquire) <
+         result_count_.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+}
+
+void SplitJoinEngine::prefill(const std::vector<Tuple>& tuples) {
+  wait_quiescent();
+  std::uint64_t idx_r = 0;
+  std::uint64_t idx_s = 0;
+  for (const Tuple& t : tuples) {
+    const bool is_r = t.origin == StreamId::R;
+    std::uint64_t& idx = is_r ? idx_r : idx_s;
+    Core& core = *cores_[idx % cfg_.num_cores];
+    (is_r ? core.win_r : core.win_s).insert(t);
+    ++idx;
+  }
+  for (auto& core : cores_) {
+    core->count_r = idx_r;
+    core->count_s = idx_s;
+  }
+}
+
+SwRunReport SplitJoinEngine::process(const std::vector<Tuple>& tuples) {
+  Timer timer;
+  for (const Tuple& t : tuples) broadcast(t);
+  wait_quiescent();
+  SwRunReport report;
+  report.elapsed_seconds = timer.elapsed_seconds();
+  report.tuples_processed = tuples.size();
+  report.results_emitted = collected_count_.load(std::memory_order_acquire);
+  return report;
+}
+
+double SplitJoinEngine::measure_tuple_latency_seconds(const Tuple& t) {
+  wait_quiescent();
+  Timer timer;
+  broadcast(t);
+  wait_quiescent();
+  return timer.elapsed_seconds();
+}
+
+}  // namespace hal::sw

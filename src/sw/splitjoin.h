@@ -1,0 +1,123 @@
+// Software realization of the uni-flow model: SplitJoin on a multi-core
+// CPU (the system the paper benchmarks in Figs. 14d and 16; original
+// design in [34], Najafi et al., ATC'16).
+//
+// Architecture mirrors the hardware engine: the caller thread plays the
+// distribution network (broadcasting every tuple to every join core's
+// inbox — the paper notes the distribution/result-gathering networks
+// "consume a portion of the processors' capacity", which is why 28 of 32
+// cores was their sweet spot); N join-core threads each own a sub-window
+// pair and process every tuple, storing in round-robin turn; a collector
+// thread plays the result gathering network, draining the outboxes.
+//
+// Communication uses bounded lock-free SPSC rings, the software analogue
+// of the hardware FIFO links. The sliding window lives in ordinary heap
+// memory — the paper's point that the software variant pays main-memory
+// traffic for every probe while the FPGA couples each sub-window to its
+// core's BRAM.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/spsc_queue.h"
+#include "common/stats.h"
+#include "hw/common/sub_window.h"
+#include "stream/join_spec.h"
+#include "stream/tuple.h"
+
+namespace hal::sw {
+
+struct SplitJoinConfig {
+  std::uint32_t num_cores = 4;
+  // Per-stream window size summed across cores; multiple of num_cores.
+  std::size_t window_size = 1 << 12;
+  std::size_t queue_capacity = 1 << 10;
+  // Collect full result tuples (tests) or count only (benchmarks, where
+  // materializing hundreds of millions of results would swamp memory).
+  bool collect_results = true;
+};
+
+struct SwRunReport {
+  double elapsed_seconds = 0.0;
+  std::uint64_t tuples_processed = 0;
+  std::uint64_t results_emitted = 0;
+  [[nodiscard]] double throughput_tuples_per_sec() const noexcept {
+    return elapsed_seconds > 0.0
+               ? static_cast<double>(tuples_processed) / elapsed_seconds
+               : 0.0;
+  }
+};
+
+class SplitJoinEngine {
+ public:
+  SplitJoinEngine(SplitJoinConfig cfg, stream::JoinSpec spec);
+  ~SplitJoinEngine();
+
+  SplitJoinEngine(const SplitJoinEngine&) = delete;
+  SplitJoinEngine& operator=(const SplitJoinEngine&) = delete;
+
+  // Feeds the batch through the engine and blocks until every tuple is
+  // fully processed and every result collected.
+  SwRunReport process(const std::vector<stream::Tuple>& tuples);
+
+  // Warm-start: loads tuples into the sliding windows (round-robin
+  // storage) without streaming them, so large-window benches start from
+  // the steady state the paper measures. Must be called while the engine
+  // is idle and before any subsequent `process` call that should observe
+  // the prefilled windows (the inbox push/pop pair publishes the writes).
+  void prefill(const std::vector<stream::Tuple>& tuples);
+
+  // Latency of a single tuple against the current window contents: feeds
+  // one tuple and blocks until every core finished its scan and all its
+  // results were collected. Call after `process()` has filled the windows.
+  double measure_tuple_latency_seconds(const stream::Tuple& t);
+
+  [[nodiscard]] const std::vector<stream::ResultTuple>& results() const {
+    return collected_;
+  }
+  void clear_results() { collected_.clear(); }
+  [[nodiscard]] std::uint64_t result_count() const {
+    return result_count_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] const SplitJoinConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct Core {
+    explicit Core(std::size_t sub_window, std::size_t queue_capacity)
+        : win_r(sub_window),
+          win_s(sub_window),
+          inbox(queue_capacity),
+          outbox(queue_capacity) {}
+    hw::SubWindow win_r;
+    hw::SubWindow win_s;
+    SpscQueue<stream::Tuple> inbox;
+    SpscQueue<stream::ResultTuple> outbox;
+    std::uint64_t count_r = 0;
+    std::uint64_t count_s = 0;
+    alignas(kCacheLineSize) std::atomic<std::uint64_t> processed{0};
+  };
+
+  void core_loop(std::uint32_t index);
+  void collector_loop();
+  void broadcast(const stream::Tuple& t);
+  void wait_quiescent();
+
+  SplitJoinConfig cfg_;
+  stream::JoinSpec spec_;
+  std::vector<std::unique_ptr<Core>> cores_;
+  std::vector<std::thread> threads_;
+  std::thread collector_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> broadcast_count_{0};
+  std::atomic<std::uint64_t> result_count_{0};
+  std::atomic<std::uint64_t> collected_count_{0};
+  std::vector<stream::ResultTuple> collected_;  // collector-thread-owned
+                                                // while running
+};
+
+}  // namespace hal::sw

@@ -1,0 +1,199 @@
+// Unit tests for hal::common primitives.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "common/spsc_queue.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace hal {
+namespace {
+
+// --- Rng ---------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> counts(8, 0);
+  constexpr int kSamples = 80000;
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.next_below(8)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kSamples / 8, kSamples / 8 * 0.1);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+// --- math_util ----------------------------------------------------------------
+
+TEST(MathUtil, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+  EXPECT_EQ(ceil_log2(1024), 10u);
+  EXPECT_EQ(ceil_log2(1025), 11u);
+}
+
+TEST(MathUtil, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(96));
+}
+
+TEST(MathUtil, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 5), 2u);
+  EXPECT_EQ(ceil_div(11, 5), 3u);
+  EXPECT_EQ(ceil_div(1, 5), 1u);
+}
+
+TEST(MathUtil, CeilLogKary) {
+  EXPECT_EQ(ceil_log(1, 2), 0u);
+  EXPECT_EQ(ceil_log(8, 2), 3u);
+  EXPECT_EQ(ceil_log(9, 2), 4u);
+  EXPECT_EQ(ceil_log(16, 4), 2u);
+  EXPECT_EQ(ceil_log(17, 4), 3u);
+}
+
+// --- stats --------------------------------------------------------------------
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.next_double() * 10;
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(LatencyRecorder, ExactPercentiles) {
+  LatencyRecorder rec;
+  for (int i = 100; i >= 1; --i) rec.record(i);  // 1..100
+  EXPECT_DOUBLE_EQ(rec.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(rec.percentile(100), 100.0);
+  EXPECT_NEAR(rec.percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(rec.percentile(99), 99.01, 1e-9);
+  EXPECT_DOUBLE_EQ(rec.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rec.max(), 100.0);
+}
+
+// --- SpscQueue ------------------------------------------------------------------
+
+TEST(SpscQueue, FifoOrderSingleThread) {
+  SpscQueue<int> q(4);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  int v = 0;
+  EXPECT_TRUE(q.try_pop(v));
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(q.try_pop(v));
+  EXPECT_EQ(v, 2);
+  EXPECT_FALSE(q.try_pop(v));
+}
+
+TEST(SpscQueue, CapacityIsRespected) {
+  SpscQueue<int> q(4);  // rounds to 4
+  EXPECT_EQ(q.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(99));
+  int v;
+  EXPECT_TRUE(q.try_pop(v));
+  EXPECT_TRUE(q.try_push(99));  // slot freed
+}
+
+TEST(SpscQueue, TwoThreadStress) {
+  SpscQueue<std::uint64_t> q(128);
+  constexpr std::uint64_t kCount = 200000;
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kCount; ++i) {
+      while (!q.try_push(i)) std::this_thread::yield();
+    }
+  });
+  std::uint64_t expected = 0;
+  std::uint64_t sum = 0;
+  while (expected < kCount) {
+    std::uint64_t v;
+    if (q.try_pop(v)) {
+      ASSERT_EQ(v, expected);  // FIFO, no loss, no duplication
+      sum += v;
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_EQ(sum, kCount * (kCount - 1) / 2);
+}
+
+// --- Table ----------------------------------------------------------------------
+
+TEST(Table, AlignsColumns) {
+  Table t({"a", "long header"});
+  t.add_row({"xxxxx", "1"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| a     | long header |"), std::string::npos);
+  EXPECT_NE(s.find("| xxxxx | 1           |"), std::string::npos);
+}
+
+TEST(Table, SiFormatter) {
+  EXPECT_EQ(Table::si(1500.0, 1), "1.5k");
+  EXPECT_EQ(Table::si(2500000.0, 2), "2.50M");
+  EXPECT_EQ(Table::si(3.0, 0), "3");
+}
+
+}  // namespace
+}  // namespace hal

@@ -1,0 +1,126 @@
+// Active data path model: composition rules and the deployment-mode
+// comparison's qualitative properties.
+#include <gtest/gtest.h>
+
+#include "dist/deployments.h"
+#include "dist/path_model.h"
+
+namespace hal::dist {
+namespace {
+
+TEST(PathModel, SingleStagePassesThroughCapacity) {
+  PathModel p("p");
+  p.add_stage({"only", 100.0, 5.0, 1.0});
+  EXPECT_DOUBLE_EQ(p.sustainable_input_tps(), 100.0);
+  EXPECT_DOUBLE_EQ(p.end_to_end_latency_us(), 5.0);
+  EXPECT_DOUBLE_EQ(p.delivered_fraction(), 1.0);
+}
+
+TEST(PathModel, BottleneckIsTheMinimumCapacity) {
+  PathModel p("p");
+  p.add_stage({"fast", 1000.0, 1.0, 1.0});
+  p.add_stage({"slow", 10.0, 1.0, 1.0});
+  p.add_stage({"medium", 100.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(p.sustainable_input_tps(), 10.0);
+  EXPECT_EQ(p.bottleneck().name, "slow");
+}
+
+TEST(PathModel, UpstreamFilteringMultipliesDownstreamCapacity) {
+  // A 10%-selective filter ahead of a 10-tps stage sustains 100 tps input.
+  PathModel p("p");
+  p.add_stage({"filter", 1000.0, 1.0, 0.1});
+  p.add_stage({"slow join", 10.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(p.sustainable_input_tps(), 100.0);
+
+  // The same filter placed *after* the slow stage does not help.
+  PathModel q("q");
+  q.add_stage({"slow join", 10.0, 1.0, 1.0});
+  q.add_stage({"filter", 1000.0, 1.0, 0.1});
+  EXPECT_DOUBLE_EQ(q.sustainable_input_tps(), 10.0);
+}
+
+TEST(PathModel, SelectivityCompounds) {
+  PathModel p("p");
+  p.add_stage({"f1", 1e6, 1.0, 0.5});
+  p.add_stage({"f2", 1e6, 1.0, 0.5});
+  p.add_stage({"sink", 1e6, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(p.delivered_fraction(), 0.25);
+  // Sink sees a quarter of the input: sustainable rate 4e6 except the
+  // first stages cap it at 1e6 and 2e6 respectively.
+  EXPECT_DOUBLE_EQ(p.sustainable_input_tps(), 1e6);
+}
+
+TEST(PathModel, LatencyIsAdditive) {
+  PathModel p("p");
+  p.add_stage({"a", 10.0, 1.5, 1.0});
+  p.add_stage({"b", 10.0, 2.5, 1.0});
+  EXPECT_DOUBLE_EQ(p.end_to_end_latency_us(), 4.0);
+}
+
+TEST(PathModel, RejectsInvalidStages) {
+  PathModel p("p");
+  EXPECT_THROW(p.add_stage({"zero", 0.0, 1.0, 1.0}), PreconditionError);
+  EXPECT_THROW(p.add_stage({"sel", 10.0, 1.0, 0.0}), PreconditionError);
+  EXPECT_THROW(p.add_stage({"sel", 10.0, 1.0, 1.5}), PreconditionError);
+}
+
+// --- Deployment comparison (§II system model / Fig. 18) ---------------------
+
+class DeploymentTest : public testing::Test {
+ protected:
+  PipelineParams params_;  // defaults: accelerated join 25x CPU join
+};
+
+TEST_F(DeploymentTest, AcceleratedModesBeatCpuOnly) {
+  const double cpu =
+      make_pipeline(Deployment::kCpuOnly, params_).sustainable_input_tps();
+  for (const Deployment d : {Deployment::kStandalone,
+                             Deployment::kCoPlacement,
+                             Deployment::kCoProcessor}) {
+    EXPECT_GT(make_pipeline(d, params_).sustainable_input_tps(), cpu)
+        << to_string(d);
+  }
+}
+
+TEST_F(DeploymentTest, StandaloneMovesTheBottleneckOffTheHost) {
+  const PathModel p = make_pipeline(Deployment::kStandalone, params_);
+  // With filtering + joining at the switch, the host NIC only carries
+  // results; the sustainable rate is set by the ingress link or engine.
+  EXPECT_NE(p.bottleneck().name, "host NIC (results)");
+  EXPECT_GT(p.sustainable_input_tps(),
+            make_pipeline(Deployment::kCoProcessor, params_)
+                .sustainable_input_tps());
+}
+
+TEST_F(DeploymentTest, CoPlacementRescuesAWeakHostWhenSelective) {
+  // Co-placement's value grows as the pushed-down filter gets more
+  // selective (the active-data-path argument).
+  PipelineParams loose = params_;
+  loose.filter_selectivity = 0.9;
+  PipelineParams tight = params_;
+  tight.filter_selectivity = 0.01;
+  const double r_loose =
+      make_pipeline(Deployment::kCoPlacement, loose).sustainable_input_tps();
+  const double r_tight =
+      make_pipeline(Deployment::kCoPlacement, tight).sustainable_input_tps();
+  EXPECT_GT(r_tight, 10.0 * r_loose);
+}
+
+TEST_F(DeploymentTest, CoProcessorPaysPciePenaltyInLatency) {
+  const double co_proc = make_pipeline(Deployment::kCoProcessor, params_)
+                             .end_to_end_latency_us();
+  const double standalone = make_pipeline(Deployment::kStandalone, params_)
+                                .end_to_end_latency_us();
+  EXPECT_GT(co_proc, standalone);
+}
+
+TEST_F(DeploymentTest, CpuOnlySaturatesInTheSoftwareStack) {
+  const PathModel p = make_pipeline(Deployment::kCpuOnly, params_);
+  EXPECT_GT(p.end_to_end_latency_us(), params_.cpu_join_latency_us);
+  // The software filter sees the full input volume and saturates first
+  // (the filtered-down join sees only 5% of it).
+  EXPECT_EQ(p.bottleneck().name, "cpu filter");
+}
+
+}  // namespace
+}  // namespace hal::dist

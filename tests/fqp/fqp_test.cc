@@ -1,0 +1,333 @@
+// FQP layer: OP-Blocks, topology routing, query building, assignment.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "fqp/assigner.h"
+#include "fqp/query.h"
+#include "fqp/topology.h"
+
+namespace hal::fqp {
+namespace {
+
+using stream::CmpOp;
+
+// --- OpBlock ----------------------------------------------------------------
+
+TEST(OpBlock, SelectionFiltersOnConjunction) {
+  OpBlock block("b", 0, 16);
+  SelectInstruction sel;
+  sel.conjuncts = {{0, CmpOp::Gt, 25}, {1, CmpOp::Eq, 1}};
+  block.program(sel);
+  EXPECT_EQ(block.kind(), OpKind::kSelect);
+
+  EXPECT_EQ(block.process(Record{{30, 1, 7}}, 0).size(), 1u);
+  EXPECT_TRUE(block.process(Record{{25, 1, 7}}, 0).empty());  // Gt strict
+  EXPECT_TRUE(block.process(Record{{30, 0, 7}}, 0).empty());
+}
+
+TEST(OpBlock, ProjectionKeepsFieldsInOrder) {
+  OpBlock block("b", 0, 16);
+  block.program(ProjectInstruction{{2, 0}});
+  const auto out = block.process(Record{{10, 20, 30}}, 0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].fields, (std::vector<std::uint32_t>{30, 10}));
+}
+
+TEST(OpBlock, JoinMatchesAcrossPortsWithWindowExpiry) {
+  OpBlock block("b", 0, 16);
+  block.program(JoinInstruction{0, 0, 2});  // window of 2 per side
+
+  EXPECT_TRUE(block.process(Record{{5, 100}}, 0).empty());  // left
+  EXPECT_TRUE(block.process(Record{{6, 101}}, 0).empty());
+  // Right tuple with key 5 matches the windowed left tuple.
+  auto out = block.process(Record{{5, 200}}, 1);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].fields, (std::vector<std::uint32_t>{5, 100, 5, 200}));
+
+  // Two more lefts expire key 5 from the left window (capacity 2).
+  EXPECT_TRUE(block.process(Record{{7, 102}}, 0).empty());
+  auto out2 = block.process(Record{{8, 103}}, 0);
+  EXPECT_TRUE(block.process(Record{{5, 201}}, 1).empty())
+      << "expired tuple must not match";
+}
+
+TEST(OpBlock, ReprogrammingClearsOperatorState) {
+  OpBlock block("b", 0, 16);
+  block.program(JoinInstruction{0, 0, 8});
+  (void)block.process(Record{{5, 1}}, 0);
+  block.program(JoinInstruction{0, 0, 8});  // re-program
+  EXPECT_TRUE(block.process(Record{{5, 2}}, 1).empty())
+      << "windows must be cleared on re-programming";
+}
+
+TEST(OpBlock, JoinWindowCapacityIsEnforced) {
+  OpBlock block("b", 0, 64);
+  EXPECT_THROW(block.program(JoinInstruction{0, 0, 65}), PreconditionError);
+}
+
+TEST(OpBlock, UnprogrammedBlockRejectsTuples) {
+  OpBlock block("b", 0, 16);
+  EXPECT_THROW((void)block.process(Record{{1}}, 0), PreconditionError);
+}
+
+// --- Topology ---------------------------------------------------------------
+
+TEST(Topology, RoutesStreamThroughChainToOutput) {
+  Topology topo(2, 64);
+  SelectInstruction sel;
+  sel.conjuncts = {{0, CmpOp::Ge, 10}};
+  topo.block(0).program(sel);
+  topo.block(1).program(ProjectInstruction{{1}});
+  topo.route_stream("in", PortRef{0, 0});
+  topo.route_block(0, Destination::to_block(1, 0));
+  topo.route_block(1, Destination::to_output("out"));
+
+  topo.process("in", Record{{5, 50}});
+  topo.process("in", Record{{10, 60}});
+  ASSERT_EQ(topo.output("out").size(), 1u);
+  EXPECT_EQ(topo.output("out")[0].fields, (std::vector<std::uint32_t>{60}));
+}
+
+TEST(Topology, FanOutDeliversToMultipleConsumers) {
+  Topology topo(2, 64);
+  SelectInstruction all;
+  topo.block(0).program(all);
+  topo.block(1).program(all);
+  topo.route_stream("in", PortRef{0, 0});
+  topo.route_stream("in", PortRef{1, 0});
+  topo.route_block(0, Destination::to_output("a"));
+  topo.route_block(1, Destination::to_output("b"));
+  topo.process("in", Record{{1}});
+  EXPECT_EQ(topo.output("a").size(), 1u);
+  EXPECT_EQ(topo.output("b").size(), 1u);
+}
+
+TEST(Topology, UnroutedStreamIsDropped) {
+  Topology topo(1, 64);
+  topo.process("nobody", Record{{1}});  // no throw, no output
+  EXPECT_TRUE(topo.output("out").empty());
+}
+
+TEST(Topology, SelfRouteIsRejected) {
+  Topology topo(1, 64);
+  EXPECT_THROW(topo.route_block(0, Destination::to_block(0, 0)),
+               PreconditionError);
+}
+
+// --- QueryBuilder -----------------------------------------------------------
+
+Schema customer_schema() {
+  return Schema("Customer", {"Age", "Gender", "ProductID"});
+}
+Schema product_schema() { return Schema("Product", {"ProductID", "Price"}); }
+
+TEST(QueryBuilder, UnknownAttributeThrows) {
+  auto q = QueryBuilder::from("Customer", customer_schema());
+  EXPECT_THROW(q.select("Height", CmpOp::Gt, 1), PreconditionError);
+}
+
+TEST(QueryBuilder, ConsecutiveSelectionsMergeIntoOneOperator) {
+  const auto q = QueryBuilder::from("Customer", customer_schema())
+                     .select("Age", CmpOp::Gt, 25)
+                     .select("Gender", CmpOp::Eq, 1)
+                     .output("o");
+  EXPECT_EQ(q.root->operator_count(), 1u);
+  const auto& sel = std::get<SelectInstruction>(q.root->instr);
+  EXPECT_EQ(sel.conjuncts.size(), 2u);
+}
+
+TEST(QueryBuilder, JoinSchemaIsConcatenation) {
+  auto customers = QueryBuilder::from("Customer", customer_schema());
+  auto products = QueryBuilder::from("Product", product_schema());
+  const auto q =
+      customers.join(products, "ProductID", "ProductID", 128).output("o");
+  EXPECT_EQ(q.root->schema.width(), 5u);
+  EXPECT_TRUE(q.root->schema.index_of("Customer.Age").has_value());
+  EXPECT_TRUE(q.root->schema.index_of("Product.Price").has_value());
+}
+
+// --- Fig. 7 end to end -------------------------------------------------------
+
+// The paper's example: two queries over Customer ⋈ Product, mapped onto
+// four OP-Blocks.
+std::vector<Query> fig7_queries() {
+  auto q1 = QueryBuilder::from("Customer", customer_schema())
+                .select("Age", CmpOp::Gt, 25)
+                .join(QueryBuilder::from("Product", product_schema()),
+                      "ProductID", "ProductID", 1536)
+                .output("Output1");
+  auto q2 = QueryBuilder::from("Customer", customer_schema())
+                .select("Age", CmpOp::Gt, 25)
+                .select("Gender", CmpOp::Eq, 1)
+                .join(QueryBuilder::from("Product", product_schema()),
+                      "ProductID", "ProductID", 2048)
+                .output("Output2");
+  return {q1, q2};
+}
+
+class Fig7Test : public testing::TestWithParam<Strategy> {};
+
+TEST_P(Fig7Test, AssignedTopologyMatchesInterpreter) {
+  const auto queries = fig7_queries();
+  Topology topo(4, 2048);
+  const Assigner assigner;
+  const Assignment assignment =
+      assigner.assign(topo, queries, GetParam());
+  ASSERT_TRUE(assignment.feasible) << assignment.reason;
+  EXPECT_EQ(assignment.placement.size(), 4u)
+      << "Fig. 7 maps the two queries onto four OP-Blocks";
+  assigner.apply(topo, queries, assignment);
+
+  PlanInterpreter oracle(queries);
+  Rng rng(99);
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 4000; ++i) {
+    if (rng.next_bool(0.5)) {
+      const Record customer{{static_cast<std::uint32_t>(rng.next_below(50)),
+                             static_cast<std::uint32_t>(rng.next_below(2)),
+                             static_cast<std::uint32_t>(rng.next_below(32))},
+                            seq++};
+      topo.process("Customer", customer);
+      oracle.process("Customer", customer);
+    } else {
+      const Record product{{static_cast<std::uint32_t>(rng.next_below(32)),
+                            static_cast<std::uint32_t>(rng.next_below(1000))},
+                           seq++};
+      topo.process("Product", product);
+      oracle.process("Product", product);
+    }
+  }
+  ASSERT_GT(oracle.output("Output1").size(), 0u);
+  ASSERT_GT(oracle.output("Output2").size(), 0u);
+  EXPECT_EQ(topo.output("Output1"), oracle.output("Output1"));
+  EXPECT_EQ(topo.output("Output2"), oracle.output("Output2"));
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, Fig7Test,
+                         testing::Values(Strategy::kGreedy,
+                                         Strategy::kExhaustive),
+                         [](const testing::TestParamInfo<Strategy>& info) {
+                           return info.param == Strategy::kGreedy
+                                      ? "greedy"
+                                      : "exhaustive";
+                         });
+
+// --- Assigner properties -----------------------------------------------------
+
+TEST(Assigner, ExhaustiveNeverWorseThanGreedy) {
+  const auto queries = fig7_queries();
+  Topology topo(8, 2048);
+  const Assigner assigner;
+  const auto greedy = assigner.assign(topo, queries, Strategy::kGreedy);
+  const auto best = assigner.assign(topo, queries, Strategy::kExhaustive);
+  ASSERT_TRUE(greedy.feasible);
+  ASSERT_TRUE(best.feasible);
+  EXPECT_LE(best.cost, greedy.cost);
+  EXPECT_DOUBLE_EQ(best.cost,
+                   assigner.cost_of(topo, queries, best.placement));
+}
+
+TEST(Assigner, InfeasibleWhenOperatorsExceedBlocks) {
+  const auto queries = fig7_queries();  // 4 operators
+  Topology topo(3, 2048);
+  const Assignment a =
+      Assigner{}.assign(topo, queries, Strategy::kGreedy);
+  EXPECT_FALSE(a.feasible);
+  EXPECT_NE(a.reason.find("not enough OP-Blocks"), std::string::npos);
+}
+
+TEST(Assigner, InfeasibleWhenJoinWindowExceedsEveryBlock) {
+  const auto queries = fig7_queries();  // needs a 2048 window
+  Topology topo(8, 1024);
+  const Assignment a =
+      Assigner{}.assign(topo, queries, Strategy::kGreedy);
+  EXPECT_FALSE(a.feasible);
+}
+
+TEST(Assigner, SharedSubPlanIsPlacedOnce) {
+  // Two queries over the *same* selection sub-plan (Rete-style sharing).
+  auto base = QueryBuilder::from("Customer", customer_schema())
+                  .select("Age", CmpOp::Gt, 25);
+  const Query q1 = base.output("A");
+  const Query q2 = base.output("B");
+  Topology topo(4, 64);
+  const Assigner assigner;
+  const Assignment a =
+      assigner.assign(topo, {q1, q2}, Strategy::kGreedy);
+  ASSERT_TRUE(a.feasible);
+  EXPECT_EQ(a.placement.size(), 1u) << "one block serves both queries";
+  assigner.apply(topo, {q1, q2}, a);
+  topo.process("Customer", Record{{30, 1, 5}});
+  EXPECT_EQ(topo.output("A").size(), 1u);
+  EXPECT_EQ(topo.output("B").size(), 1u);
+}
+
+TEST(Assigner, SuggestTopologySizesForWorkload) {
+  const auto queries = fig7_queries();
+  const auto s = Assigner::suggest_topology(queries);
+  EXPECT_EQ(s.num_blocks, 4u);  // 2 selections + 2 joins
+  EXPECT_EQ(s.join_window_capacity, 2048u);  // Q2's window
+
+  const auto with_headroom = Assigner::suggest_topology(queries, 2);
+  EXPECT_EQ(with_headroom.num_blocks, 6u);
+
+  // The suggested fabric must actually admit the workload.
+  Topology topo(s.num_blocks, s.join_window_capacity);
+  EXPECT_TRUE(Assigner{}.assign(topo, queries, Strategy::kGreedy).feasible);
+}
+
+TEST(Assigner, UtilizationReflectsAssignmentQuality) {
+  const auto queries = fig7_queries();
+  // Exactly-sized fabric: every block active after traffic.
+  const auto s = Assigner::suggest_topology(queries);
+  Topology tight(s.num_blocks, s.join_window_capacity);
+  const Assigner assigner;
+  assigner.apply(tight, queries,
+                 assigner.assign(tight, queries, Strategy::kGreedy));
+  // Over-provisioned fabric: half the blocks idle.
+  Topology loose(8, s.join_window_capacity);
+  assigner.apply(loose, queries,
+                 assigner.assign(loose, queries, Strategy::kGreedy));
+
+  Rng rng(55);
+  for (int i = 0; i < 200; ++i) {
+    const Record customer{{static_cast<std::uint32_t>(rng.next_below(60)),
+                           static_cast<std::uint32_t>(rng.next_below(2)),
+                           static_cast<std::uint32_t>(rng.next_below(16))},
+                          static_cast<std::uint64_t>(i)};
+    tight.process("Customer", customer);
+    loose.process("Customer", customer);
+    const Record product{{static_cast<std::uint32_t>(rng.next_below(16)),
+                          static_cast<std::uint32_t>(rng.next_below(100))},
+                         static_cast<std::uint64_t>(1000 + i)};
+    tight.process("Product", product);
+    loose.process("Product", product);
+  }
+  EXPECT_DOUBLE_EQ(tight.utilization(), 1.0);
+  EXPECT_DOUBLE_EQ(loose.utilization(), 0.5);
+}
+
+TEST(Assigner, ReassignmentReusesTheFabric) {
+  // The FQP pitch (Fig. 6): swap the query workload at runtime, no
+  // re-synthesis — same topology object, new program.
+  Topology topo(4, 2048);
+  const Assigner assigner;
+  const auto queries = fig7_queries();
+  const auto a1 = assigner.assign(topo, queries, Strategy::kGreedy);
+  assigner.apply(topo, queries, a1);
+  topo.process("Customer", Record{{30, 1, 5}});
+
+  const Query other = QueryBuilder::from("Product", product_schema())
+                          .select("Price", CmpOp::Lt, 100)
+                          .output("Cheap");
+  const auto a2 = assigner.assign(topo, {other}, Strategy::kGreedy);
+  ASSERT_TRUE(a2.feasible);
+  assigner.apply(topo, {other}, a2);
+  topo.process("Product", Record{{1, 50}});
+  topo.process("Product", Record{{2, 500}});
+  EXPECT_EQ(topo.output("Cheap").size(), 1u);
+  EXPECT_TRUE(topo.output("Output1").empty()) << "old outputs cleared";
+}
+
+}  // namespace
+}  // namespace hal::fqp

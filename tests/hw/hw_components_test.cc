@@ -1,0 +1,308 @@
+// Component-level tests: sub-window storage, bus words, DNode/GNode
+// behavior, and cycle-exact FSM conformance of the uni-flow join core to
+// Figs. 12 and 13.
+#include <gtest/gtest.h>
+
+#include "hw/common/sub_window.h"
+#include "hw/common/word.h"
+#include "hw/uniflow/dnode.h"
+#include "hw/uniflow/gnode.h"
+#include "hw/uniflow/join_core.h"
+#include "sim/simulator.h"
+
+namespace hal::hw {
+namespace {
+
+using stream::StreamId;
+using stream::Tuple;
+
+Tuple make_tuple(std::uint32_t key, StreamId origin, std::uint64_t seq) {
+  Tuple t;
+  t.key = key;
+  t.origin = origin;
+  t.seq = seq;
+  return t;
+}
+
+// --- SubWindow -----------------------------------------------------------------
+
+TEST(SubWindow, InsertsAndReadsOldestFirst) {
+  SubWindow w(4);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    w.insert(make_tuple(i, StreamId::R, i));
+  }
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_EQ(w.at(0).key, 0u);
+  EXPECT_EQ(w.at(2).key, 2u);
+}
+
+TEST(SubWindow, OverwritesOldestWhenFull) {
+  SubWindow w(3);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    w.insert(make_tuple(i, StreamId::R, i));
+  }
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_EQ(w.at(0).key, 2u);  // 0 and 1 expired
+  EXPECT_EQ(w.at(1).key, 3u);
+  EXPECT_EQ(w.at(2).key, 4u);
+}
+
+TEST(SubWindow, ClearResets) {
+  SubWindow w(2);
+  w.insert(make_tuple(1, StreamId::R, 0));
+  w.clear();
+  EXPECT_EQ(w.size(), 0u);
+  w.insert(make_tuple(9, StreamId::R, 1));
+  EXPECT_EQ(w.at(0).key, 9u);
+}
+
+// --- words ----------------------------------------------------------------------
+
+TEST(HwWord, OperatorSequenceHasSegmentsAndConditions) {
+  stream::JoinSpec spec = stream::JoinSpec::band_on_key(3);
+  const auto words = make_operator_words(spec, 16);
+  ASSERT_EQ(words.size(), 3u);  // segment 1 + two conditions
+  EXPECT_EQ(words[0].kind, WordKind::kOperator1);
+  const Operator1 op1 = decode_operator1(words[0].payload);
+  EXPECT_EQ(op1.num_cores, 16u);
+  EXPECT_EQ(op1.num_conditions, 2u);
+  EXPECT_EQ(words[1].kind, WordKind::kOperator2);
+  const auto c = stream::decode(words[1].payload);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(*c, spec.conjuncts()[0]);
+}
+
+TEST(HwWord, TupleWordCarriesHeaderAndPayload) {
+  const Tuple t = make_tuple(7, StreamId::S, 42);
+  const HwWord w = make_tuple_word(t);
+  EXPECT_EQ(w.kind, WordKind::kTupleS);
+  EXPECT_TRUE(w.is_tuple());
+  EXPECT_EQ(w.payload, t.payload());
+}
+
+// --- DNode / GNode ----------------------------------------------------------------
+
+TEST(DNode, BroadcastsOnlyWhenAllOutputsAccept) {
+  sim::Fifo<HwWord> in("in", 4);
+  sim::Fifo<HwWord> out1("o1", 1);
+  sim::Fifo<HwWord> out2("o2", 1);
+  DNode node("d", in, {&out1, &out2});
+  sim::Simulator sim;
+  sim.add(in);
+  sim.add(out1);
+  sim.add(out2);
+  sim.add(node);
+
+  in.push(make_tuple_word(make_tuple(1, StreamId::R, 0)));
+  in.commit();
+  // Fill out2 so the broadcast must stall.
+  out2.push(make_tuple_word(make_tuple(9, StreamId::R, 9)));
+  out2.commit();
+
+  sim.step();
+  EXPECT_EQ(out1.size(), 0u) << "no partial broadcast";
+  EXPECT_EQ(in.size(), 1u);
+
+  (void)out2.pop();  // consumer drains out2
+  sim.step();        // pop commits; dnode still saw it full this cycle
+  sim.step();        // now the broadcast proceeds
+  EXPECT_EQ(out1.size(), 1u);
+  EXPECT_EQ(out2.size(), 1u);
+  EXPECT_EQ(node.forwarded(), 1u);
+}
+
+TEST(GNode, ToggleGrantAlternatesInputs) {
+  sim::Fifo<stream::ResultTuple> a("a", 8);
+  sim::Fifo<stream::ResultTuple> b("b", 8);
+  sim::Fifo<stream::ResultTuple> out("out", 8);
+  GNode node("g", {&a, &b}, out);
+  sim::Simulator sim;
+  sim.add(a);
+  sim.add(b);
+  sim.add(out);
+  sim.add(node);
+
+  stream::ResultTuple ra;
+  ra.r.seq = 1;
+  stream::ResultTuple rb;
+  rb.r.seq = 2;
+  for (int i = 0; i < 3; ++i) {
+    a.push(ra);
+    b.push(rb);
+    a.commit();
+    b.commit();
+  }
+  for (int i = 0; i < 6; ++i) sim.step();
+  ASSERT_EQ(out.size(), 6u);
+  // Toggle grant: a, b, a, b, ...
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(out.pop().r.seq, i % 2 == 0 ? 1u : 2u);
+    out.commit();
+  }
+}
+
+TEST(GNode, SingleInputDrainsEveryCycle) {
+  sim::Fifo<stream::ResultTuple> a("a", 8);
+  sim::Fifo<stream::ResultTuple> out("out", 8);
+  GNode node("g", {&a}, out);
+  sim::Simulator sim;
+  sim.add(a);
+  sim.add(out);
+  sim.add(node);
+  for (int i = 0; i < 4; ++i) {
+    a.push(stream::ResultTuple{});
+    a.commit();
+  }
+  for (int i = 0; i < 4; ++i) sim.step();
+  EXPECT_EQ(out.size(), 4u);
+}
+
+// --- Join core FSM conformance (Figs. 12 / 13) --------------------------------------
+
+class JoinCoreFsm : public testing::Test {
+ protected:
+  JoinCoreFsm()
+      : fetcher_("fetcher", 8),
+        results_("results", 2),
+        core_("jc", /*position=*/0, /*sub_window=*/4, fetcher_, results_) {
+    sim_.add(fetcher_);
+    sim_.add(results_);
+    sim_.add(core_);
+  }
+
+  void push(const HwWord& w) { fetcher_.push(w); }
+  void step() { sim_.step(); }
+
+  // Programs an equi-join for a 1-core design and steps until idle.
+  void program_equi() {
+    const auto words =
+        make_operator_words(stream::JoinSpec::equi_on_key(), 1);
+    for (const auto& w : words) {
+      push(w);
+      step();
+    }
+    for (int i = 0; i < 6; ++i) step();
+    ASSERT_EQ(core_.storage_state(), StorageState::kIdle);
+    ASSERT_EQ(core_.proc_state(), ProcState::kJoinWait);
+  }
+
+  sim::Simulator sim_;
+  sim::Fifo<HwWord> fetcher_;
+  sim::Fifo<stream::ResultTuple> results_;
+  UniflowJoinCore core_;
+};
+
+TEST_F(JoinCoreFsm, OperatorProgrammingWalksOperatorStates) {
+  const auto words = make_operator_words(stream::JoinSpec::equi_on_key(), 1);
+  push(words[0]);
+  step();  // word becomes visible
+  step();  // intake of segment 1
+  EXPECT_EQ(core_.storage_state(), StorageState::kOpStore1);
+  EXPECT_EQ(core_.proc_state(), ProcState::kOpRead1);
+  push(words[1]);
+  step();
+  EXPECT_EQ(core_.storage_state(), StorageState::kOpStore2);
+  EXPECT_EQ(core_.proc_state(), ProcState::kOpRead2);
+  step();  // condition word consumed; operator finalized
+  EXPECT_EQ(core_.storage_state(), StorageState::kIdle);
+  EXPECT_EQ(core_.proc_state(), ProcState::kJoinWait);
+  EXPECT_EQ(core_.programmed_cores(), 1u);
+  EXPECT_EQ(core_.spec(), stream::JoinSpec::equi_on_key());
+}
+
+TEST_F(JoinCoreFsm, FirstTupleSkipsProcessingAndStores) {
+  program_equi();
+  push(make_tuple_word(make_tuple(5, StreamId::R, 0)));
+  step();  // visible
+  step();  // intake: my turn (position 0 of 1)
+  EXPECT_EQ(core_.storage_state(), StorageState::kStoreR);
+  EXPECT_EQ(core_.proc_state(), ProcState::kSkip)
+      << "empty opposite window → Processing Skip";
+  step();
+  EXPECT_EQ(core_.storage_state(), StorageState::kStoreRDone);
+  EXPECT_EQ(core_.proc_state(), ProcState::kJoinWait);
+  step();
+  EXPECT_EQ(core_.storage_state(), StorageState::kIdle);
+  EXPECT_EQ(core_.window(StreamId::R).size(), 1u);
+}
+
+TEST_F(JoinCoreFsm, MatchingTupleWalksJoinProcessingEmitResult) {
+  program_equi();
+  push(make_tuple_word(make_tuple(5, StreamId::R, 0)));
+  for (int i = 0; i < 6; ++i) step();
+
+  push(make_tuple_word(make_tuple(5, StreamId::S, 1)));
+  step();
+  step();  // intake
+  EXPECT_EQ(core_.proc_state(), ProcState::kJoinProc);
+  EXPECT_EQ(core_.storage_state(), StorageState::kStoreS);
+  step();  // probe finds the match
+  EXPECT_EQ(core_.proc_state(), ProcState::kEmitResult);
+  step();  // emit (one extra cycle per match, Fig. 13)
+  EXPECT_EQ(core_.proc_state(), ProcState::kJoinWait);
+  step();
+  EXPECT_EQ(results_.size(), 1u);
+  EXPECT_EQ(core_.matches(), 1u);
+  EXPECT_EQ(core_.probes(), 1u);
+}
+
+TEST_F(JoinCoreFsm, NotMyTurnGoesStraightToStoreDone) {
+  // Program for a 4-core design; this core is position 0, so tuple #2 of
+  // the R stream (count 1) is not its turn.
+  const auto words = make_operator_words(stream::JoinSpec::equi_on_key(), 4);
+  for (const auto& w : words) {
+    push(w);
+    step();
+  }
+  for (int i = 0; i < 6; ++i) step();
+
+  push(make_tuple_word(make_tuple(5, StreamId::R, 0)));
+  for (int i = 0; i < 6; ++i) step();
+  ASSERT_EQ(core_.window(StreamId::R).size(), 1u);  // turn 0: stored
+
+  push(make_tuple_word(make_tuple(6, StreamId::R, 1)));
+  step();
+  step();  // intake
+  EXPECT_EQ(core_.storage_state(), StorageState::kStoreRDone)
+      << "\"Not Store Turn\" edge of Fig. 12";
+  for (int i = 0; i < 4; ++i) step();
+  EXPECT_EQ(core_.window(StreamId::R).size(), 1u) << "tuple not stored";
+}
+
+TEST_F(JoinCoreFsm, EmitStallsWhenResultFifoIsFull) {
+  program_equi();
+  // Three S tuples with the same key; then an R probe matches all three,
+  // but the results fifo (capacity 2) backs the core up in EmitResult.
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    push(make_tuple_word(make_tuple(5, StreamId::S, i)));
+    for (int k = 0; k < 6; ++k) step();
+  }
+  push(make_tuple_word(make_tuple(5, StreamId::R, 10)));
+  for (int k = 0; k < 10; ++k) step();
+  EXPECT_EQ(core_.proc_state(), ProcState::kEmitResult)
+      << "stalled on gatherer backpressure";
+  EXPECT_EQ(results_.size(), 2u);
+  // Drain one slot; the core resumes and finishes.
+  (void)results_.pop();
+  for (int k = 0; k < 6; ++k) step();
+  EXPECT_EQ(core_.proc_state(), ProcState::kJoinWait);
+  EXPECT_EQ(core_.matches(), 3u);
+}
+
+TEST_F(JoinCoreFsm, TupleQueuesBehindOperatorProgramming) {
+  // A tuple offered mid-programming waits in the Fetcher.
+  const auto words = make_operator_words(stream::JoinSpec::equi_on_key(), 1);
+  push(words[0]);
+  step();
+  push(words[1]);
+  step();  // intake of segment 1 happened
+  push(make_tuple_word(make_tuple(5, StreamId::R, 0)));
+  step();
+  EXPECT_GE(fetcher_.size(), 1u) << "tuple parked during programming";
+  for (int i = 0; i < 8; ++i) step();
+  EXPECT_EQ(core_.window(StreamId::R).size(), 1u)
+      << "tuple consumed after programming completed";
+}
+
+}  // namespace
+}  // namespace hal::hw

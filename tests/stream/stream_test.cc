@@ -1,0 +1,254 @@
+// Unit tests for hal::stream — tuples, join specs (including the 64-bit
+// instruction-word encoding), generators, and the reference oracle.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "stream/generator.h"
+#include "stream/join_spec.h"
+#include "stream/reference_join.h"
+#include "stream/tuple.h"
+
+namespace hal::stream {
+namespace {
+
+// --- Tuple ---------------------------------------------------------------------
+
+TEST(Tuple, PayloadPacksKeyAndValue) {
+  Tuple t;
+  t.key = 0xDEADBEEF;
+  t.value = 0x12345678;
+  EXPECT_EQ(t.payload(), 0xDEADBEEF12345678ULL);
+}
+
+TEST(Tuple, OppositeStream) {
+  EXPECT_EQ(opposite(StreamId::R), StreamId::S);
+  EXPECT_EQ(opposite(StreamId::S), StreamId::R);
+}
+
+// --- JoinSpec --------------------------------------------------------------------
+
+TEST(JoinSpec, EquiOnKeyMatchesEqualKeys) {
+  const JoinSpec spec = JoinSpec::equi_on_key();
+  Tuple r;
+  Tuple s;
+  r.key = 5;
+  s.key = 5;
+  EXPECT_TRUE(spec.matches(r, s));
+  s.key = 6;
+  EXPECT_FALSE(spec.matches(r, s));
+}
+
+TEST(JoinSpec, BandJoinMatchesWithinBand) {
+  const JoinSpec spec = JoinSpec::band_on_key(2);
+  Tuple r;
+  Tuple s;
+  r.key = 10;
+  for (const std::uint32_t k : {8u, 9u, 10u, 11u, 12u}) {
+    s.key = k;
+    EXPECT_TRUE(spec.matches(r, s)) << k;
+  }
+  s.key = 7;
+  EXPECT_FALSE(spec.matches(r, s));
+  s.key = 13;
+  EXPECT_FALSE(spec.matches(r, s));
+}
+
+TEST(JoinSpec, EmptyConjunctionIsCrossProduct) {
+  const JoinSpec spec;
+  Tuple r;
+  Tuple s;
+  r.key = 1;
+  s.key = 999;
+  EXPECT_TRUE(spec.matches(r, s));
+}
+
+TEST(JoinSpec, ValueFieldConditions) {
+  JoinSpec spec;
+  spec.add(JoinCondition{Field::Value, Field::Value, CmpOp::Lt, 0});
+  Tuple r;
+  Tuple s;
+  r.value = 5;
+  s.value = 10;
+  EXPECT_TRUE(spec.matches(r, s));
+  s.value = 5;
+  EXPECT_FALSE(spec.matches(r, s));
+}
+
+TEST(JoinSpec, EncodeDecodeRoundTrip) {
+  for (const CmpOp op : {CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le,
+                         CmpOp::Gt, CmpOp::Ge}) {
+    for (const Field lhs : {Field::Key, Field::Value}) {
+      for (const Field rhs : {Field::Key, Field::Value}) {
+        for (const std::int32_t band : {0, 1, -1, 1 << 20, -(1 << 20)}) {
+          const JoinCondition c{lhs, rhs, op, band};
+          const auto decoded = decode(encode(c));
+          ASSERT_TRUE(decoded.has_value());
+          EXPECT_EQ(*decoded, c);
+        }
+      }
+    }
+  }
+}
+
+TEST(JoinSpec, DecodeRejectsMalformedWords) {
+  EXPECT_FALSE(decode(0x7).has_value());           // op code out of range
+  EXPECT_FALSE(decode(1ull << 20).has_value());    // reserved bit set
+}
+
+TEST(JoinSpec, ToStringIsReadable) {
+  EXPECT_EQ(JoinSpec::equi_on_key().to_string(), "r.key == s.key");
+  EXPECT_EQ(JoinSpec().to_string(), "true (cross product)");
+}
+
+// --- WorkloadGenerator --------------------------------------------------------------
+
+TEST(WorkloadGenerator, DeterministicForSeed) {
+  WorkloadConfig cfg;
+  cfg.seed = 77;
+  WorkloadGenerator a(cfg);
+  WorkloadGenerator b(cfg);
+  const auto ta = a.take(200);
+  const auto tb = b.take(200);
+  EXPECT_EQ(ta, tb);
+}
+
+TEST(WorkloadGenerator, SequentialSeqNumbers) {
+  WorkloadGenerator gen(WorkloadConfig{});
+  const auto tuples = gen.take(50);
+  for (std::size_t i = 0; i < tuples.size(); ++i) {
+    EXPECT_EQ(tuples[i].seq, i);
+  }
+}
+
+TEST(WorkloadGenerator, DeterministicInterleaveAlternates) {
+  WorkloadConfig cfg;
+  cfg.deterministic_interleave = true;
+  cfg.r_fraction = 0.5;
+  WorkloadGenerator gen(cfg);
+  const auto tuples = gen.take(20);
+  for (std::size_t i = 0; i < tuples.size(); ++i) {
+    EXPECT_EQ(tuples[i].origin, i % 2 == 0 ? StreamId::R : StreamId::S);
+  }
+}
+
+TEST(WorkloadGenerator, KeysStayInDomain) {
+  WorkloadConfig cfg;
+  cfg.key_domain = 37;
+  for (const KeyDistribution d :
+       {KeyDistribution::kUniform, KeyDistribution::kZipf,
+        KeyDistribution::kSequential}) {
+    cfg.distribution = d;
+    WorkloadGenerator gen(cfg);
+    for (const auto& t : gen.take(2000)) EXPECT_LT(t.key, 37u);
+  }
+}
+
+TEST(WorkloadGenerator, ZipfIsSkewedTowardSmallKeys) {
+  WorkloadConfig cfg;
+  cfg.key_domain = 1024;
+  cfg.distribution = KeyDistribution::kZipf;
+  cfg.zipf_theta = 0.99;
+  WorkloadGenerator gen(cfg);
+  std::map<std::uint32_t, int> counts;
+  for (const auto& t : gen.take(20000)) ++counts[t.key];
+  int head = 0;
+  for (std::uint32_t k = 0; k < 10; ++k) head += counts[k];
+  EXPECT_GT(head, 20000 / 4) << "top-10 keys should dominate under zipf";
+}
+
+TEST(WorkloadGenerator, RFractionBiasesOrigin) {
+  WorkloadConfig cfg;
+  cfg.r_fraction = 0.9;
+  cfg.deterministic_interleave = false;
+  WorkloadGenerator gen(cfg);
+  int r_count = 0;
+  for (const auto& t : gen.take(5000)) {
+    if (t.origin == StreamId::R) ++r_count;
+  }
+  EXPECT_NEAR(r_count, 4500, 200);
+}
+
+// --- ReferenceJoin -------------------------------------------------------------------
+
+TEST(ReferenceJoin, ProbesBeforeInsert) {
+  ReferenceJoin join(4, JoinSpec::equi_on_key());
+  std::vector<ResultTuple> out;
+  Tuple r;
+  r.key = 1;
+  r.origin = StreamId::R;
+  r.seq = 0;
+  join.process(r, out);
+  EXPECT_TRUE(out.empty());  // no S tuples yet
+  Tuple s;
+  s.key = 1;
+  s.origin = StreamId::S;
+  s.seq = 1;
+  join.process(s, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].r.seq, 0u);
+  EXPECT_EQ(out[0].s.seq, 1u);
+}
+
+TEST(ReferenceJoin, NoSelfStreamMatches) {
+  ReferenceJoin join(4, JoinSpec());  // cross product
+  std::vector<ResultTuple> out;
+  Tuple r1;
+  r1.origin = StreamId::R;
+  Tuple r2;
+  r2.origin = StreamId::R;
+  join.process(r1, out);
+  join.process(r2, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ReferenceJoin, WindowEvictsOldest) {
+  ReferenceJoin join(2, JoinSpec::equi_on_key());
+  std::vector<ResultTuple> out;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    Tuple s;
+    s.key = static_cast<std::uint32_t>(i);
+    s.origin = StreamId::S;
+    s.seq = i;
+    join.process(s, out);
+  }
+  // S window now holds keys {1, 2}; key 0 expired.
+  Tuple r;
+  r.origin = StreamId::R;
+  r.seq = 3;
+  r.key = 0;
+  join.process(r, out);
+  EXPECT_TRUE(out.empty());
+  r.key = 1;
+  r.seq = 4;
+  join.process(r, out);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(ReferenceJoin, CrossProductCountsArePredictable) {
+  // With an always-true predicate and alternating R/S arrivals, tuple i
+  // matches every opposite tuple currently windowed.
+  ReferenceJoin join(8, JoinSpec());
+  std::vector<ResultTuple> out;
+  WorkloadConfig cfg;
+  WorkloadGenerator gen(cfg);
+  const auto tuples = gen.take(16);  // 8 R, 8 S alternating, windows never full
+  for (const auto& t : tuples) join.process(t, out);
+  // Arrival i sees floor((i+1)/2) opposite tuples: total = sum = 64.
+  EXPECT_EQ(out.size(), 64u);
+}
+
+TEST(ReferenceJoin, NormalizeSortsBySeqPairs) {
+  ResultTuple a;
+  a.r.seq = 2;
+  a.s.seq = 1;
+  ResultTuple b;
+  b.r.seq = 1;
+  b.s.seq = 9;
+  const auto keys = normalize({a, b});
+  EXPECT_EQ(keys[0], (ResultKey{1, 9}));
+  EXPECT_EQ(keys[1], (ResultKey{2, 1}));
+}
+
+}  // namespace
+}  // namespace hal::stream
