@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_biflow_arbitration.dir/ablation_biflow_arbitration.cc.o"
+  "CMakeFiles/ablation_biflow_arbitration.dir/ablation_biflow_arbitration.cc.o.d"
+  "ablation_biflow_arbitration"
+  "ablation_biflow_arbitration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_biflow_arbitration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

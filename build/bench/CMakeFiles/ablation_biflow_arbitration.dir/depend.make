@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_biflow_arbitration.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_chain_llhsj.dir/ablation_chain_llhsj.cc.o"
+  "CMakeFiles/ablation_chain_llhsj.dir/ablation_chain_llhsj.cc.o.d"
+  "ablation_chain_llhsj"
+  "ablation_chain_llhsj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_chain_llhsj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

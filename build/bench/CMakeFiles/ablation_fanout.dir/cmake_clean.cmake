@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fanout.dir/ablation_fanout.cc.o"
+  "CMakeFiles/ablation_fanout.dir/ablation_fanout.cc.o.d"
+  "ablation_fanout"
+  "ablation_fanout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fanout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_networks.dir/ablation_networks.cc.o"
+  "CMakeFiles/ablation_networks.dir/ablation_networks.cc.o.d"
+  "ablation_networks"
+  "ablation_networks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

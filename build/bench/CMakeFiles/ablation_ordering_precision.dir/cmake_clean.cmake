@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ordering_precision.dir/ablation_ordering_precision.cc.o"
+  "CMakeFiles/ablation_ordering_precision.dir/ablation_ordering_precision.cc.o.d"
+  "ablation_ordering_precision"
+  "ablation_ordering_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ordering_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

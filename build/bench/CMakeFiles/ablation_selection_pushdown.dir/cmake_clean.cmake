@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_selection_pushdown.dir/ablation_selection_pushdown.cc.o"
+  "CMakeFiles/ablation_selection_pushdown.dir/ablation_selection_pushdown.cc.o.d"
+  "ablation_selection_pushdown"
+  "ablation_selection_pushdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_selection_pushdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

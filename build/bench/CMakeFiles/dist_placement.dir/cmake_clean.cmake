@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_placement.dir/dist_placement.cc.o"
+  "CMakeFiles/dist_placement.dir/dist_placement.cc.o.d"
+  "dist_placement"
+  "dist_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14a_uniflow_hw_throughput.dir/fig14a_uniflow_hw_throughput.cc.o"
+  "CMakeFiles/fig14a_uniflow_hw_throughput.dir/fig14a_uniflow_hw_throughput.cc.o.d"
+  "fig14a_uniflow_hw_throughput"
+  "fig14a_uniflow_hw_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14a_uniflow_hw_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14a_uniflow_hw_throughput.
+# This may be replaced when dependencies are built.

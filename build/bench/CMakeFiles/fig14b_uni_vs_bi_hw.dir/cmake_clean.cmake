@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14b_uni_vs_bi_hw.dir/fig14b_uni_vs_bi_hw.cc.o"
+  "CMakeFiles/fig14b_uni_vs_bi_hw.dir/fig14b_uni_vs_bi_hw.cc.o.d"
+  "fig14b_uni_vs_bi_hw"
+  "fig14b_uni_vs_bi_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14b_uni_vs_bi_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

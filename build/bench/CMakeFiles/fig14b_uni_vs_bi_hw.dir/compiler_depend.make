@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig14b_uni_vs_bi_hw.
+# This may be replaced when dependencies are built.

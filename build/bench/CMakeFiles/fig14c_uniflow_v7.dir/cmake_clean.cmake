@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14c_uniflow_v7.dir/fig14c_uniflow_v7.cc.o"
+  "CMakeFiles/fig14c_uniflow_v7.dir/fig14c_uniflow_v7.cc.o.d"
+  "fig14c_uniflow_v7"
+  "fig14c_uniflow_v7.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14c_uniflow_v7.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

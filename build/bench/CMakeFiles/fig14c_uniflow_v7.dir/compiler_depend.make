@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig14c_uniflow_v7.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14d_uniflow_sw.dir/fig14d_uniflow_sw.cc.o"
+  "CMakeFiles/fig14d_uniflow_sw.dir/fig14d_uniflow_sw.cc.o.d"
+  "fig14d_uniflow_sw"
+  "fig14d_uniflow_sw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14d_uniflow_sw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14d_uniflow_sw.
+# This may be replaced when dependencies are built.

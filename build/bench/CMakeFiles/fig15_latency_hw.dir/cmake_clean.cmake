@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_latency_hw.dir/fig15_latency_hw.cc.o"
+  "CMakeFiles/fig15_latency_hw.dir/fig15_latency_hw.cc.o.d"
+  "fig15_latency_hw"
+  "fig15_latency_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_latency_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

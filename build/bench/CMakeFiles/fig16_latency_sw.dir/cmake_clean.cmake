@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_latency_sw.dir/fig16_latency_sw.cc.o"
+  "CMakeFiles/fig16_latency_sw.dir/fig16_latency_sw.cc.o.d"
+  "fig16_latency_sw"
+  "fig16_latency_sw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_latency_sw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

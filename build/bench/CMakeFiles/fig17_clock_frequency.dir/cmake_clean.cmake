@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_clock_frequency.dir/fig17_clock_frequency.cc.o"
+  "CMakeFiles/fig17_clock_frequency.dir/fig17_clock_frequency.cc.o.d"
+  "fig17_clock_frequency"
+  "fig17_clock_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_clock_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_accelerator_spectrum.dir/fig1_accelerator_spectrum.cc.o"
+  "CMakeFiles/fig1_accelerator_spectrum.dir/fig1_accelerator_spectrum.cc.o.d"
+  "fig1_accelerator_spectrum"
+  "fig1_accelerator_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_accelerator_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fqp_assignment.dir/fqp_assignment.cc.o"
+  "CMakeFiles/fqp_assignment.dir/fqp_assignment.cc.o.d"
+  "fqp_assignment"
+  "fqp_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fqp_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

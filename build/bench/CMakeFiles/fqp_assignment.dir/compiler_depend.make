@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fqp_assignment.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fqp_multi_query.dir/fqp_multi_query.cc.o"
+  "CMakeFiles/fqp_multi_query.dir/fqp_multi_query.cc.o.d"
+  "fqp_multi_query"
+  "fqp_multi_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fqp_multi_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fqp_multi_query.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_power.dir/table_power.cc.o"
+  "CMakeFiles/table_power.dir/table_power.cc.o.d"
+  "table_power"
+  "table_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

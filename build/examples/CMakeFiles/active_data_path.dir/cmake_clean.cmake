@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/active_data_path.dir/active_data_path.cpp.o"
+  "CMakeFiles/active_data_path.dir/active_data_path.cpp.o.d"
+  "active_data_path"
+  "active_data_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/active_data_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for active_data_path.
+# This may be replaced when dependencies are built.

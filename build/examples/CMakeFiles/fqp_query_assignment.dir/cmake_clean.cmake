@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fqp_query_assignment.dir/fqp_query_assignment.cpp.o"
+  "CMakeFiles/fqp_query_assignment.dir/fqp_query_assignment.cpp.o.d"
+  "fqp_query_assignment"
+  "fqp_query_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fqp_query_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

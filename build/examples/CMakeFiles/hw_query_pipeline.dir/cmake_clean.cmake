@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_query_pipeline.dir/hw_query_pipeline.cpp.o"
+  "CMakeFiles/hw_query_pipeline.dir/hw_query_pipeline.cpp.o.d"
+  "hw_query_pipeline"
+  "hw_query_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_query_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

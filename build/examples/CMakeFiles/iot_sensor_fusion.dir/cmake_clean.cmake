@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iot_sensor_fusion.dir/iot_sensor_fusion.cpp.o"
+  "CMakeFiles/iot_sensor_fusion.dir/iot_sensor_fusion.cpp.o.d"
+  "iot_sensor_fusion"
+  "iot_sensor_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iot_sensor_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trading_monitor.dir/trading_monitor.cpp.o"
+  "CMakeFiles/trading_monitor.dir/trading_monitor.cpp.o.d"
+  "trading_monitor"
+  "trading_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trading_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

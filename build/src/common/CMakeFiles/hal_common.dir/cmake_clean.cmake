@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hal_common.dir/table.cc.o"
+  "CMakeFiles/hal_common.dir/table.cc.o.d"
+  "libhal_common.a"
+  "libhal_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hal_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hal_core.dir/harness.cc.o"
+  "CMakeFiles/hal_core.dir/harness.cc.o.d"
+  "CMakeFiles/hal_core.dir/stream_join.cc.o"
+  "CMakeFiles/hal_core.dir/stream_join.cc.o.d"
+  "libhal_core.a"
+  "libhal_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hal_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhal_core.a"
+)

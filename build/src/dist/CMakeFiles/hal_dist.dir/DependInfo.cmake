@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/deployments.cc" "src/dist/CMakeFiles/hal_dist.dir/deployments.cc.o" "gcc" "src/dist/CMakeFiles/hal_dist.dir/deployments.cc.o.d"
+  "/root/repo/src/dist/path_model.cc" "src/dist/CMakeFiles/hal_dist.dir/path_model.cc.o" "gcc" "src/dist/CMakeFiles/hal_dist.dir/path_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hal_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

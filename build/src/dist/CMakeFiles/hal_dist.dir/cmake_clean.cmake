@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hal_dist.dir/deployments.cc.o"
+  "CMakeFiles/hal_dist.dir/deployments.cc.o.d"
+  "CMakeFiles/hal_dist.dir/path_model.cc.o"
+  "CMakeFiles/hal_dist.dir/path_model.cc.o.d"
+  "libhal_dist.a"
+  "libhal_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hal_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

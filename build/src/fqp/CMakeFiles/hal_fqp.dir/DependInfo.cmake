@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fqp/assigner.cc" "src/fqp/CMakeFiles/hal_fqp.dir/assigner.cc.o" "gcc" "src/fqp/CMakeFiles/hal_fqp.dir/assigner.cc.o.d"
+  "/root/repo/src/fqp/boolean_select.cc" "src/fqp/CMakeFiles/hal_fqp.dir/boolean_select.cc.o" "gcc" "src/fqp/CMakeFiles/hal_fqp.dir/boolean_select.cc.o.d"
+  "/root/repo/src/fqp/multi_query.cc" "src/fqp/CMakeFiles/hal_fqp.dir/multi_query.cc.o" "gcc" "src/fqp/CMakeFiles/hal_fqp.dir/multi_query.cc.o.d"
+  "/root/repo/src/fqp/op_block.cc" "src/fqp/CMakeFiles/hal_fqp.dir/op_block.cc.o" "gcc" "src/fqp/CMakeFiles/hal_fqp.dir/op_block.cc.o.d"
+  "/root/repo/src/fqp/query.cc" "src/fqp/CMakeFiles/hal_fqp.dir/query.cc.o" "gcc" "src/fqp/CMakeFiles/hal_fqp.dir/query.cc.o.d"
+  "/root/repo/src/fqp/temporal.cc" "src/fqp/CMakeFiles/hal_fqp.dir/temporal.cc.o" "gcc" "src/fqp/CMakeFiles/hal_fqp.dir/temporal.cc.o.d"
+  "/root/repo/src/fqp/topology.cc" "src/fqp/CMakeFiles/hal_fqp.dir/topology.cc.o" "gcc" "src/fqp/CMakeFiles/hal_fqp.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stream/CMakeFiles/hal_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hal_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

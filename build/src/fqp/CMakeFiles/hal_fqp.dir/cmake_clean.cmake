@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hal_fqp.dir/assigner.cc.o"
+  "CMakeFiles/hal_fqp.dir/assigner.cc.o.d"
+  "CMakeFiles/hal_fqp.dir/boolean_select.cc.o"
+  "CMakeFiles/hal_fqp.dir/boolean_select.cc.o.d"
+  "CMakeFiles/hal_fqp.dir/multi_query.cc.o"
+  "CMakeFiles/hal_fqp.dir/multi_query.cc.o.d"
+  "CMakeFiles/hal_fqp.dir/op_block.cc.o"
+  "CMakeFiles/hal_fqp.dir/op_block.cc.o.d"
+  "CMakeFiles/hal_fqp.dir/query.cc.o"
+  "CMakeFiles/hal_fqp.dir/query.cc.o.d"
+  "CMakeFiles/hal_fqp.dir/temporal.cc.o"
+  "CMakeFiles/hal_fqp.dir/temporal.cc.o.d"
+  "CMakeFiles/hal_fqp.dir/topology.cc.o"
+  "CMakeFiles/hal_fqp.dir/topology.cc.o.d"
+  "libhal_fqp.a"
+  "libhal_fqp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hal_fqp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hal_fqp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/biflow/biflow_core.cc" "src/hw/CMakeFiles/hal_hw.dir/biflow/biflow_core.cc.o" "gcc" "src/hw/CMakeFiles/hal_hw.dir/biflow/biflow_core.cc.o.d"
+  "/root/repo/src/hw/biflow/engine.cc" "src/hw/CMakeFiles/hal_hw.dir/biflow/engine.cc.o" "gcc" "src/hw/CMakeFiles/hal_hw.dir/biflow/engine.cc.o.d"
+  "/root/repo/src/hw/common/network_builder.cc" "src/hw/CMakeFiles/hal_hw.dir/common/network_builder.cc.o" "gcc" "src/hw/CMakeFiles/hal_hw.dir/common/network_builder.cc.o.d"
+  "/root/repo/src/hw/common/word.cc" "src/hw/CMakeFiles/hal_hw.dir/common/word.cc.o" "gcc" "src/hw/CMakeFiles/hal_hw.dir/common/word.cc.o.d"
+  "/root/repo/src/hw/model/device.cc" "src/hw/CMakeFiles/hal_hw.dir/model/device.cc.o" "gcc" "src/hw/CMakeFiles/hal_hw.dir/model/device.cc.o.d"
+  "/root/repo/src/hw/model/resource_model.cc" "src/hw/CMakeFiles/hal_hw.dir/model/resource_model.cc.o" "gcc" "src/hw/CMakeFiles/hal_hw.dir/model/resource_model.cc.o.d"
+  "/root/repo/src/hw/model/timing_model.cc" "src/hw/CMakeFiles/hal_hw.dir/model/timing_model.cc.o" "gcc" "src/hw/CMakeFiles/hal_hw.dir/model/timing_model.cc.o.d"
+  "/root/repo/src/hw/opchain/op_chain_engine.cc" "src/hw/CMakeFiles/hal_hw.dir/opchain/op_chain_engine.cc.o" "gcc" "src/hw/CMakeFiles/hal_hw.dir/opchain/op_chain_engine.cc.o.d"
+  "/root/repo/src/hw/opchain/select_core.cc" "src/hw/CMakeFiles/hal_hw.dir/opchain/select_core.cc.o" "gcc" "src/hw/CMakeFiles/hal_hw.dir/opchain/select_core.cc.o.d"
+  "/root/repo/src/hw/uniflow/engine.cc" "src/hw/CMakeFiles/hal_hw.dir/uniflow/engine.cc.o" "gcc" "src/hw/CMakeFiles/hal_hw.dir/uniflow/engine.cc.o.d"
+  "/root/repo/src/hw/uniflow/hash_join_core.cc" "src/hw/CMakeFiles/hal_hw.dir/uniflow/hash_join_core.cc.o" "gcc" "src/hw/CMakeFiles/hal_hw.dir/uniflow/hash_join_core.cc.o.d"
+  "/root/repo/src/hw/uniflow/join_core.cc" "src/hw/CMakeFiles/hal_hw.dir/uniflow/join_core.cc.o" "gcc" "src/hw/CMakeFiles/hal_hw.dir/uniflow/join_core.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stream/CMakeFiles/hal_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hal_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

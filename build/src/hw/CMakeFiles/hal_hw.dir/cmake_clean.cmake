@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hal_hw.dir/biflow/biflow_core.cc.o"
+  "CMakeFiles/hal_hw.dir/biflow/biflow_core.cc.o.d"
+  "CMakeFiles/hal_hw.dir/biflow/engine.cc.o"
+  "CMakeFiles/hal_hw.dir/biflow/engine.cc.o.d"
+  "CMakeFiles/hal_hw.dir/common/network_builder.cc.o"
+  "CMakeFiles/hal_hw.dir/common/network_builder.cc.o.d"
+  "CMakeFiles/hal_hw.dir/common/word.cc.o"
+  "CMakeFiles/hal_hw.dir/common/word.cc.o.d"
+  "CMakeFiles/hal_hw.dir/model/device.cc.o"
+  "CMakeFiles/hal_hw.dir/model/device.cc.o.d"
+  "CMakeFiles/hal_hw.dir/model/resource_model.cc.o"
+  "CMakeFiles/hal_hw.dir/model/resource_model.cc.o.d"
+  "CMakeFiles/hal_hw.dir/model/timing_model.cc.o"
+  "CMakeFiles/hal_hw.dir/model/timing_model.cc.o.d"
+  "CMakeFiles/hal_hw.dir/opchain/op_chain_engine.cc.o"
+  "CMakeFiles/hal_hw.dir/opchain/op_chain_engine.cc.o.d"
+  "CMakeFiles/hal_hw.dir/opchain/select_core.cc.o"
+  "CMakeFiles/hal_hw.dir/opchain/select_core.cc.o.d"
+  "CMakeFiles/hal_hw.dir/uniflow/engine.cc.o"
+  "CMakeFiles/hal_hw.dir/uniflow/engine.cc.o.d"
+  "CMakeFiles/hal_hw.dir/uniflow/hash_join_core.cc.o"
+  "CMakeFiles/hal_hw.dir/uniflow/hash_join_core.cc.o.d"
+  "CMakeFiles/hal_hw.dir/uniflow/join_core.cc.o"
+  "CMakeFiles/hal_hw.dir/uniflow/join_core.cc.o.d"
+  "libhal_hw.a"
+  "libhal_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hal_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/generator.cc" "src/stream/CMakeFiles/hal_stream.dir/generator.cc.o" "gcc" "src/stream/CMakeFiles/hal_stream.dir/generator.cc.o.d"
+  "/root/repo/src/stream/join_spec.cc" "src/stream/CMakeFiles/hal_stream.dir/join_spec.cc.o" "gcc" "src/stream/CMakeFiles/hal_stream.dir/join_spec.cc.o.d"
+  "/root/repo/src/stream/reference_join.cc" "src/stream/CMakeFiles/hal_stream.dir/reference_join.cc.o" "gcc" "src/stream/CMakeFiles/hal_stream.dir/reference_join.cc.o.d"
+  "/root/repo/src/stream/tuple.cc" "src/stream/CMakeFiles/hal_stream.dir/tuple.cc.o" "gcc" "src/stream/CMakeFiles/hal_stream.dir/tuple.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hal_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

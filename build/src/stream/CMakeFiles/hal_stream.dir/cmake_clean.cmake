@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hal_stream.dir/generator.cc.o"
+  "CMakeFiles/hal_stream.dir/generator.cc.o.d"
+  "CMakeFiles/hal_stream.dir/join_spec.cc.o"
+  "CMakeFiles/hal_stream.dir/join_spec.cc.o.d"
+  "CMakeFiles/hal_stream.dir/reference_join.cc.o"
+  "CMakeFiles/hal_stream.dir/reference_join.cc.o.d"
+  "CMakeFiles/hal_stream.dir/tuple.cc.o"
+  "CMakeFiles/hal_stream.dir/tuple.cc.o.d"
+  "libhal_stream.a"
+  "libhal_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hal_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

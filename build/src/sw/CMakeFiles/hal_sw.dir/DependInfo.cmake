@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sw/batch_join.cc" "src/sw/CMakeFiles/hal_sw.dir/batch_join.cc.o" "gcc" "src/sw/CMakeFiles/hal_sw.dir/batch_join.cc.o.d"
+  "/root/repo/src/sw/handshake_join.cc" "src/sw/CMakeFiles/hal_sw.dir/handshake_join.cc.o" "gcc" "src/sw/CMakeFiles/hal_sw.dir/handshake_join.cc.o.d"
+  "/root/repo/src/sw/splitjoin.cc" "src/sw/CMakeFiles/hal_sw.dir/splitjoin.cc.o" "gcc" "src/sw/CMakeFiles/hal_sw.dir/splitjoin.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stream/CMakeFiles/hal_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hal_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hal_sw.dir/batch_join.cc.o"
+  "CMakeFiles/hal_sw.dir/batch_join.cc.o.d"
+  "CMakeFiles/hal_sw.dir/handshake_join.cc.o"
+  "CMakeFiles/hal_sw.dir/handshake_join.cc.o.d"
+  "CMakeFiles/hal_sw.dir/splitjoin.cc.o"
+  "CMakeFiles/hal_sw.dir/splitjoin.cc.o.d"
+  "libhal_sw.a"
+  "libhal_sw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hal_sw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

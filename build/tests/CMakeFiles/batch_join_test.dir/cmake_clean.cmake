@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_join_test.dir/sw/batch_join_test.cc.o"
+  "CMakeFiles/batch_join_test.dir/sw/batch_join_test.cc.o.d"
+  "batch_join_test"
+  "batch_join_test.pdb"
+  "batch_join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

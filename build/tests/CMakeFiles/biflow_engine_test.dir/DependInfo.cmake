@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hw/biflow_engine_test.cc" "tests/CMakeFiles/biflow_engine_test.dir/hw/biflow_engine_test.cc.o" "gcc" "tests/CMakeFiles/biflow_engine_test.dir/hw/biflow_engine_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hal_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sw/CMakeFiles/hal_sw.dir/DependInfo.cmake"
+  "/root/repo/build/src/fqp/CMakeFiles/hal_fqp.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/hal_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/hal_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hal_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biflow_engine_test.dir/hw/biflow_engine_test.cc.o"
+  "CMakeFiles/biflow_engine_test.dir/hw/biflow_engine_test.cc.o.d"
+  "biflow_engine_test"
+  "biflow_engine_test.pdb"
+  "biflow_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biflow_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

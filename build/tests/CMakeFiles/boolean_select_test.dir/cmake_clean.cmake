@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boolean_select_test.dir/fqp/boolean_select_test.cc.o"
+  "CMakeFiles/boolean_select_test.dir/fqp/boolean_select_test.cc.o.d"
+  "boolean_select_test"
+  "boolean_select_test.pdb"
+  "boolean_select_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boolean_select_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drivers_channel_test.dir/hw/drivers_channel_test.cc.o"
+  "CMakeFiles/drivers_channel_test.dir/hw/drivers_channel_test.cc.o.d"
+  "drivers_channel_test"
+  "drivers_channel_test.pdb"
+  "drivers_channel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drivers_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

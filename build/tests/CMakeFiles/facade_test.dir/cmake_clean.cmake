@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facade_test.dir/core/facade_test.cc.o"
+  "CMakeFiles/facade_test.dir/core/facade_test.cc.o.d"
+  "facade_test"
+  "facade_test.pdb"
+  "facade_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facade_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fqp_test.dir/fqp/fqp_test.cc.o"
+  "CMakeFiles/fqp_test.dir/fqp/fqp_test.cc.o.d"
+  "fqp_test"
+  "fqp_test.pdb"
+  "fqp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fqp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/handshake_join_test.dir/sw/handshake_join_test.cc.o"
+  "CMakeFiles/handshake_join_test.dir/sw/handshake_join_test.cc.o.d"
+  "handshake_join_test"
+  "handshake_join_test.pdb"
+  "handshake_join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/handshake_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_components_test.dir/hw/hw_components_test.cc.o"
+  "CMakeFiles/hw_components_test.dir/hw/hw_components_test.cc.o.d"
+  "hw_components_test"
+  "hw_components_test.pdb"
+  "hw_components_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_components_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

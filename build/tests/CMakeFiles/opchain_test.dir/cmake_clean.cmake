@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opchain_test.dir/hw/opchain_test.cc.o"
+  "CMakeFiles/opchain_test.dir/hw/opchain_test.cc.o.d"
+  "opchain_test"
+  "opchain_test.pdb"
+  "opchain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opchain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_model_test.dir/dist/path_model_test.cc.o"
+  "CMakeFiles/path_model_test.dir/dist/path_model_test.cc.o.d"
+  "path_model_test"
+  "path_model_test.pdb"
+  "path_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

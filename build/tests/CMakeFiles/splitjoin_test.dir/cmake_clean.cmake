@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitjoin_test.dir/sw/splitjoin_test.cc.o"
+  "CMakeFiles/splitjoin_test.dir/sw/splitjoin_test.cc.o.d"
+  "splitjoin_test"
+  "splitjoin_test.pdb"
+  "splitjoin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitjoin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniflow_engine_test.dir/hw/uniflow_engine_test.cc.o"
+  "CMakeFiles/uniflow_engine_test.dir/hw/uniflow_engine_test.cc.o.d"
+  "uniflow_engine_test"
+  "uniflow_engine_test.pdb"
+  "uniflow_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniflow_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/uniflow_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/biflow_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/splitjoin_test[1]_include.cmake")
+include("/root/repo/build/tests/handshake_join_test[1]_include.cmake")
+include("/root/repo/build/tests/batch_join_test[1]_include.cmake")
+include("/root/repo/build/tests/facade_test[1]_include.cmake")
+include("/root/repo/build/tests/fqp_test[1]_include.cmake")
+include("/root/repo/build/tests/boolean_select_test[1]_include.cmake")
+include("/root/repo/build/tests/multi_query_test[1]_include.cmake")
+include("/root/repo/build/tests/path_model_test[1]_include.cmake")
+include("/root/repo/build/tests/differential_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/stream_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_components_test[1]_include.cmake")
+include("/root/repo/build/tests/opchain_test[1]_include.cmake")
+include("/root/repo/build/tests/drivers_channel_test[1]_include.cmake")
