@@ -1,0 +1,391 @@
+#include "cluster/cluster_engine.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace hal::cluster {
+
+using stream::ResultTuple;
+using stream::Tuple;
+
+bool key_hashable(const stream::JoinSpec& spec) {
+  for (const auto& c : spec.conjuncts()) {
+    if (c.lhs == stream::Field::Key && c.rhs == stream::Field::Key &&
+        c.op == stream::CmpOp::Eq && c.band == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t worker_window_size(const ClusterConfig& cfg) {
+  const std::size_t w = cfg.window_size;
+  if (cfg.partitioning == Partitioning::kKeyHash) {
+    if (cfg.window_mode == WindowMode::kPartitionedLocal) {
+      HAL_CHECK(w % cfg.shards == 0,
+                "window_size must be a multiple of the shard count for "
+                "partitioned-local windows");
+      return w / cfg.shards;
+    }
+    // Exact-global: in the worst case every windowed tuple of a stream
+    // hashes to one shard, so each worker must hold the full W; the
+    // merger's window filter discards the stale surplus.
+    return w;
+  }
+  HAL_CHECK(w % cfg.grid_rows == 0 && w % cfg.grid_cols == 0,
+            "window_size must be a multiple of both grid dimensions");
+  // Round-robin row/column slicing gives worker (i, j) every grid_rows-th
+  // R tuple and every grid_cols-th S tuple; a shared engine window of the
+  // larger slice never misses a global-window partner (the smaller side's
+  // surplus is filtered by the merger; square grids are exact as-is).
+  return std::max(w / cfg.grid_rows, w / cfg.grid_cols);
+}
+
+namespace {
+
+[[nodiscard]] std::uint64_t probe_seq(const ResultTuple& t) noexcept {
+  return t.r.seq > t.s.seq ? t.r.seq : t.s.seq;
+}
+
+}  // namespace
+
+ClusterEngine::ClusterEngine(const ClusterConfig& cfg)
+    : cfg_(cfg),
+      router_(cfg.partitioning,
+              cfg.partitioning == Partitioning::kKeyHash ? 1 : cfg.grid_rows,
+              cfg.partitioning == Partitioning::kKeyHash ? cfg.shards
+                                                         : cfg.grid_cols) {
+  HAL_CHECK(cfg_.replicas >= 1, "need at least one replica per shard slot");
+  HAL_CHECK(cfg_.transport.batch_size >= 1, "batch_size must be positive");
+  HAL_CHECK(cfg_.worker.backend != core::Backend::kCluster,
+            "clusters of clusters are not supported");
+  if (cfg_.partitioning == Partitioning::kKeyHash) {
+    HAL_CHECK(key_hashable(cfg_.spec),
+              "key-hash partitioning requires an r.key == s.key conjunct; "
+              "use kSplitGrid for general predicates");
+  } else {
+    HAL_CHECK(cfg_.grid_rows == cfg_.grid_cols ||
+                  cfg_.window_mode == WindowMode::kExactGlobal,
+              "non-square grids need the exact-global window filter");
+  }
+
+  const std::size_t worker_window = worker_window_size(cfg_);
+  const std::uint32_t slots = router_.num_slots();
+  slot_staging_.resize(slots);
+  slot_epoch_tuples_.assign(slots, 0);
+  active_replica_.assign(slots, 0);
+
+  const std::uint32_t total = slots * cfg_.replicas;
+  workers_.reserve(total);
+  merge_.reserve(total);
+  for (std::uint32_t slot = 0; slot < slots; ++slot) {
+    core::EngineConfig engine_cfg =
+        slot < cfg_.worker_overrides.size() ? cfg_.worker_overrides[slot]
+                                            : cfg_.worker;
+    HAL_CHECK(engine_cfg.backend != core::Backend::kCluster,
+              "clusters of clusters are not supported");
+    engine_cfg.window_size = worker_window;
+    engine_cfg.spec = cfg_.spec;
+    for (std::uint32_t rep = 0; rep < cfg_.replicas; ++rep) {
+      const auto index = static_cast<std::uint32_t>(workers_.size());
+      LinkParams ingress = cfg_.transport.ingress;
+      if (cfg_.faults.delay_worker && *cfg_.faults.delay_worker == index) {
+        ingress.latency_us += cfg_.faults.extra_delay_us;
+      }
+      auto w = std::make_unique<Worker>(index, slot, rep, ingress,
+                                        cfg_.transport.egress);
+      w->engine = core::make_engine(engine_cfg);
+      workers_.push_back(std::move(w));
+      merge_.push_back(std::make_unique<MergeSlot>());
+    }
+  }
+  for (auto& w : workers_) {
+    Worker* raw = w.get();
+    raw->thread = std::thread([this, raw] { worker_loop(*raw); });
+  }
+  merger_ = std::thread([this] { merger_loop(); });
+}
+
+ClusterEngine::~ClusterEngine() {
+  stop_.store(true, std::memory_order_release);
+  for (auto& w : workers_) w->thread.join();
+  merger_.join();
+}
+
+void ClusterEngine::wait_until(double deadline_us) const {
+  while (now_us() < deadline_us) std::this_thread::yield();
+}
+
+void ClusterEngine::worker_loop(Worker& w) {
+  const bool is_drop_target =
+      cfg_.faults.drop_worker && *cfg_.faults.drop_worker == w.index;
+  while (true) {
+    TupleBatch batch;
+    if (!w.inbox.try_recv(batch)) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      std::this_thread::yield();
+      continue;
+    }
+    if (w.dropped.load(std::memory_order_relaxed)) continue;  // drain only
+
+    if (!batch.tuples.empty()) {
+      if (is_drop_target && w.data_batches_in >= cfg_.faults.drop_after_batches) {
+        // Fail-stop: announce once, then keep draining so the router's
+        // bounded link never wedges on a dead node.
+        w.dropped.store(true, std::memory_order_release);
+        ResultBatch obituary;
+        obituary.epoch = batch.epoch;
+        obituary.died = true;
+        w.outbox.send(std::move(obituary), now_us(), 0);
+        continue;
+      }
+      ++w.data_batches_in;
+      w.tuples_in += batch.tuples.size();
+      wait_until(batch.deliver_at_us);  // modeled wire time
+      Timer busy;
+      const core::RunReport inner = w.engine->process(batch.tuples);
+      auto fresh = w.engine->take_results();
+      w.busy_seconds += busy.elapsed_seconds();
+      w.results_out += inner.results_emitted;
+      w.staged.insert(w.staged.end(), fresh.begin(), fresh.end());
+      if (!batch.end_of_epoch &&
+          w.staged.size() >= cfg_.transport.batch_size) {
+        ResultBatch out;
+        out.epoch = batch.epoch;
+        out.results = std::move(w.staged);
+        w.staged.clear();
+        const auto n = static_cast<std::uint64_t>(out.results.size());
+        w.outbox.send(std::move(out), now_us(), n);
+      }
+    } else {
+      wait_until(batch.deliver_at_us);
+    }
+
+    if (batch.end_of_epoch) {
+      ResultBatch out;
+      out.epoch = batch.epoch;
+      out.end_of_epoch = true;
+      out.results = std::move(w.staged);
+      w.staged.clear();
+      const auto n = static_cast<std::uint64_t>(out.results.size());
+      w.outbox.send(std::move(out), now_us(), n);
+    }
+  }
+}
+
+void ClusterEngine::merger_loop() {
+  while (true) {
+    bool any = false;
+    for (auto& w : workers_) {
+      ResultBatch batch;
+      while (w->outbox.try_recv(batch)) {
+        any = true;
+        MergeSlot& m = *merge_[w->index];
+        if (batch.died) {
+          // Partial epoch of a failed worker is discarded wholesale; the
+          // replica's complete epoch (or accounted loss) replaces it.
+          m.pending.clear();
+          m.died.store(true, std::memory_order_release);
+          continue;
+        }
+        m.pending.insert(m.pending.end(), batch.results.begin(),
+                         batch.results.end());
+        if (batch.end_of_epoch) {
+          m.completed = std::move(m.pending);
+          m.pending.clear();
+          m.last_deliver_at_us = batch.deliver_at_us;
+          m.completed_epoch.store(batch.epoch, std::memory_order_release);
+        }
+      }
+    }
+    if (!any) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      std::this_thread::yield();
+    }
+  }
+}
+
+void ClusterEngine::flush_slot(std::uint32_t slot, bool end_of_epoch) {
+  auto& staging = slot_staging_[slot];
+  if (staging.empty() && !end_of_epoch) return;
+  for (std::uint32_t rep = 0; rep < cfg_.replicas; ++rep) {
+    Worker& w = *workers_[slot * cfg_.replicas + rep];
+    TupleBatch batch;
+    batch.epoch = epoch_;
+    batch.end_of_epoch = end_of_epoch;
+    batch.tuples = staging;  // replicas each get their own copy
+    const auto n = static_cast<std::uint64_t>(batch.tuples.size());
+    w.inbox.send(std::move(batch), now_us(), n);
+  }
+  staging.clear();
+}
+
+void ClusterEngine::collect_slot(std::uint32_t slot,
+                                 std::vector<ResultTuple>& out) {
+  const std::uint32_t base = slot * cfg_.replicas;
+  for (std::uint32_t rep = 0; rep < cfg_.replicas; ++rep) {
+    MergeSlot& m = *merge_[base + rep];
+    while (m.completed_epoch.load(std::memory_order_acquire) < epoch_ &&
+           !m.died.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  }
+  std::int64_t chosen = -1;
+  for (std::uint32_t rep = 0; rep < cfg_.replicas; ++rep) {
+    if (merge_[base + rep]->completed_epoch.load(
+            std::memory_order_acquire) >= epoch_) {
+      chosen = rep;
+      break;
+    }
+  }
+  if (chosen < 0) {
+    // Every replica of this slot is dead: clean degradation.
+    degraded_ = true;
+    lost_tuples_ += slot_epoch_tuples_[slot];
+    return;
+  }
+  if (static_cast<std::uint32_t>(chosen) != active_replica_[slot]) {
+    ++failovers_;
+    active_replica_[slot] = static_cast<std::uint32_t>(chosen);
+  }
+  MergeSlot& m = *merge_[base + static_cast<std::uint32_t>(chosen)];
+  wait_until(m.last_deliver_at_us);  // modeled egress latency
+  out.insert(out.end(), m.completed.begin(), m.completed.end());
+  for (std::uint32_t rep = 0; rep < cfg_.replicas; ++rep) {
+    merge_[base + rep]->completed.clear();
+  }
+}
+
+core::RunReport ClusterEngine::process(const std::vector<Tuple>& tuples) {
+  ++epoch_;
+  std::fill(slot_epoch_tuples_.begin(), slot_epoch_tuples_.end(), 0);
+  Timer wall;
+
+  for (const Tuple& t : tuples) {
+    if (cfg_.window_mode == WindowMode::kExactGlobal) tracker_.observe(t);
+    router_.route(t, scratch_slots_);
+    for (const std::uint32_t slot : scratch_slots_) {
+      ++routed_tuples_;
+      ++slot_epoch_tuples_[slot];
+      auto& staging = slot_staging_[slot];
+      staging.push_back(t);
+      if (staging.size() >= cfg_.transport.batch_size) {
+        flush_slot(slot, false);
+      }
+    }
+  }
+  for (std::uint32_t slot = 0; slot < router_.num_slots(); ++slot) {
+    flush_slot(slot, true);
+  }
+
+  std::vector<ResultTuple> epoch_results;
+  for (std::uint32_t slot = 0; slot < router_.num_slots(); ++slot) {
+    collect_slot(slot, epoch_results);
+  }
+
+  if (cfg_.window_mode == WindowMode::kExactGlobal) {
+    const auto before = epoch_results.size();
+    std::erase_if(epoch_results, [this](const ResultTuple& rt) {
+      return !tracker_.pair_in_window(rt, cfg_.window_size);
+    });
+    filtered_results_ += before - epoch_results.size();
+  }
+  // Deterministic, order-preserving emission: by probing-tuple arrival,
+  // then by stored-tuple arrival — the gathering-network contract.
+  std::sort(epoch_results.begin(), epoch_results.end(),
+            [](const ResultTuple& a, const ResultTuple& b) {
+              const auto pa = probe_seq(a), pb = probe_seq(b);
+              if (pa != pb) return pa < pb;
+              if (a.r.seq != b.r.seq) return a.r.seq < b.r.seq;
+              return a.s.seq < b.s.seq;
+            });
+
+  core::RunReport report;
+  report.tuples_processed = tuples.size();
+  report.results_emitted = epoch_results.size();
+  report.elapsed_seconds = wall.elapsed_seconds();
+
+  input_tuples_ += tuples.size();
+  merged_results_ += epoch_results.size();
+  elapsed_seconds_ += report.elapsed_seconds;
+  collected_.insert(collected_.end(),
+                    std::make_move_iterator(epoch_results.begin()),
+                    std::make_move_iterator(epoch_results.end()));
+  return report;
+}
+
+void ClusterEngine::prefill(const std::vector<Tuple>& tuples) {
+  // The engine is quiescent (before the first process() or between
+  // epochs); inner engines are warmed directly, and the next epoch's
+  // inbox traffic publishes the writes to the worker threads.
+  std::vector<std::vector<Tuple>> per_slot(router_.num_slots());
+  for (const Tuple& t : tuples) {
+    if (cfg_.window_mode == WindowMode::kExactGlobal) tracker_.observe(t);
+    router_.route(t, scratch_slots_);
+    for (const std::uint32_t slot : scratch_slots_) {
+      per_slot[slot].push_back(t);
+    }
+  }
+  for (std::uint32_t slot = 0; slot < router_.num_slots(); ++slot) {
+    if (per_slot[slot].empty()) continue;
+    for (std::uint32_t rep = 0; rep < cfg_.replicas; ++rep) {
+      workers_[slot * cfg_.replicas + rep]->engine->prefill(per_slot[slot]);
+    }
+  }
+}
+
+void ClusterEngine::program(const stream::JoinSpec& spec) {
+  HAL_CHECK(false,
+            "kCluster does not support runtime re-programming; construct a "
+            "new cluster");
+  (void)spec;
+}
+
+std::vector<ResultTuple> ClusterEngine::take_results() {
+  std::vector<ResultTuple> out = std::move(collected_);
+  collected_.clear();
+  return out;
+}
+
+ClusterReport ClusterEngine::report() const {
+  ClusterReport rep;
+  rep.input_tuples = input_tuples_;
+  rep.routed_tuples = routed_tuples_;
+  rep.merged_results = merged_results_;
+  rep.filtered_results = filtered_results_;
+  rep.failovers = failovers_;
+  rep.lost_tuples = lost_tuples_;
+  rep.degraded = degraded_;
+  rep.elapsed_seconds = elapsed_seconds_;
+  rep.workers.reserve(workers_.size());
+  for (const auto& w : workers_) {
+    WorkerReport wr;
+    wr.index = w->index;
+    wr.slot = w->slot;
+    wr.replica = w->replica;
+    wr.backend = w->engine->backend();
+    wr.tuples_in = w->tuples_in;
+    wr.results_out = w->results_out;
+    wr.data_batches_in = w->data_batches_in;
+    wr.result_batches_out = w->outbox.stats().batches;
+    wr.busy_seconds = w->busy_seconds;
+    wr.dropped = w->dropped.load(std::memory_order_acquire);
+    wr.ingress = w->inbox.stats();
+    wr.egress = w->outbox.stats();
+    rep.router_stall_spins += wr.ingress.stall_spins;
+    rep.worker_stall_spins += wr.egress.stall_spins;
+    rep.ingress_queue_high_water =
+        std::max(rep.ingress_queue_high_water, wr.ingress.queue_high_water);
+    rep.egress_queue_high_water =
+        std::max(rep.egress_queue_high_water, wr.egress.queue_high_water);
+    rep.workers.push_back(std::move(wr));
+  }
+  return rep;
+}
+
+std::unique_ptr<ClusterEngine> make_cluster_engine(const ClusterConfig& cfg) {
+  return std::make_unique<ClusterEngine>(cfg);
+}
+
+}  // namespace hal::cluster

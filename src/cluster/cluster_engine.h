@@ -1,0 +1,234 @@
+// hal::cluster — sharded multi-node stream-join runtime.
+//
+// A ClusterEngine implements the core::StreamJoinEngine facade but runs
+// the sliding-window join across N worker nodes, each wrapping an
+// unmodified single-node backend (hardware uni-flow on the cycle sim,
+// software SplitJoin, batched, ...) on its own thread. The pieces:
+//
+//   router   — partitions tuples SplitJoin-style across a worker grid
+//              (store-to-one-shard, process-against-all) or by key hash
+//              for equi-joins (see cluster/router.h for the exactness
+//              argument).
+//   transport— bounded SPSC links carrying tuple/result batches with
+//              modeled per-link bandwidth/latency (cluster/transport.h),
+//              so dist::PathModel predictions are testable against runs.
+//   workers  — one thread per worker; pops ingress batches, drives its
+//              inner engine, pushes result batches. Replication factor
+//              ≥ 2 runs hot replicas per shard slot for failover.
+//   merger   — the cluster-level gathering node: drains every worker's
+//              egress link, reassembles per-epoch result sets, and (with
+//              WindowMode::kExactGlobal) filters stale pairs so the
+//              cluster's output multiset is byte-identical to the
+//              single-node reference oracle. Results are emitted in a
+//              deterministic order (by probing-tuple arrival).
+//
+// Robustness: bounded queues give backpressure (stalls are counted, never
+// dropped); fault injection can fail-stop a worker or delay a link. A
+// failed worker's partial epoch is discarded — its replica's complete
+// epoch is used instead (failover) or, with no replica, the loss is
+// accounted and reported (clean degradation) while the cluster keeps
+// serving the surviving shards.
+//
+// An epoch is one process() call: feed, drain, merge, report. The engine
+// is quiescent between epochs, which is when report() may be read.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "cluster/router.h"
+#include "cluster/transport.h"
+#include "common/timer.h"
+#include "core/stream_join.h"
+
+namespace hal::cluster {
+
+struct FaultPlan {
+  // Fail-stop: this worker (flat index = slot * replicas + replica) dies
+  // immediately before processing its (drop_after_batches + 1)-th data
+  // batch; it announces the failure and keeps draining its inbox so the
+  // router never wedges.
+  std::optional<std::uint32_t> drop_worker;
+  std::uint32_t drop_after_batches = 0;
+  // Link fault: extra one-way delay on this worker's ingress link.
+  std::optional<std::uint32_t> delay_worker;
+  double extra_delay_us = 0.0;
+};
+
+struct ClusterConfig {
+  Partitioning partitioning = Partitioning::kKeyHash;
+  std::uint32_t shards = 4;     // kKeyHash slot count
+  std::uint32_t grid_rows = 2;  // kSplitGrid layout (slots = rows × cols)
+  std::uint32_t grid_cols = 2;
+  // Workers per shard slot; 2 enables failover under fault injection.
+  std::uint32_t replicas = 1;
+  WindowMode window_mode = WindowMode::kExactGlobal;
+
+  // Global per-stream sliding window; the per-worker engine window is
+  // derived from it (see worker_window_size()).
+  std::size_t window_size = 1 << 10;
+  stream::JoinSpec spec = stream::JoinSpec::equi_on_key();
+
+  // Template for every worker's inner engine (backend, num_cores,
+  // collect_results, hw network/clock options). window_size and spec are
+  // overridden by the cluster.
+  core::EngineConfig worker;
+  // Optional per-slot overrides (mixed-backend clusters), indexed by slot.
+  std::vector<core::EngineConfig> worker_overrides;
+
+  TransportParams transport;
+  FaultPlan faults;
+};
+
+// Per-worker engine window implied by the partitioning scheme (the
+// divisibility requirements are HAL_CHECKed at construction).
+[[nodiscard]] std::size_t worker_window_size(const ClusterConfig& cfg);
+
+// True iff the spec pins r.key == s.key, making hash partitioning lossless.
+[[nodiscard]] bool key_hashable(const stream::JoinSpec& spec);
+
+struct WorkerReport {
+  std::uint32_t index = 0;
+  std::uint32_t slot = 0;
+  std::uint32_t replica = 0;
+  core::Backend backend = core::Backend::kSwSplitJoin;
+  std::uint64_t tuples_in = 0;
+  std::uint64_t results_out = 0;
+  std::uint64_t data_batches_in = 0;
+  std::uint64_t result_batches_out = 0;
+  double busy_seconds = 0.0;  // time inside the inner engine
+  bool dropped = false;
+  LinkStats ingress;  // router → this worker (stalls charged to router)
+  LinkStats egress;   // this worker → merger (stalls charged to worker)
+};
+
+struct ClusterReport {
+  std::vector<WorkerReport> workers;
+  std::uint64_t input_tuples = 0;   // tuples offered to process()
+  std::uint64_t routed_tuples = 0;  // tuple-sends incl. grid replication
+  std::uint64_t merged_results = 0;
+  // Stale pairs removed by the exact-global window filter.
+  std::uint64_t filtered_results = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t lost_tuples = 0;  // routed to a dead, replica-less slot
+  bool degraded = false;
+  std::uint64_t router_stall_spins = 0;   // Σ ingress stalls
+  std::uint64_t worker_stall_spins = 0;   // Σ egress stalls
+  std::size_t ingress_queue_high_water = 0;
+  std::size_t egress_queue_high_water = 0;
+  double elapsed_seconds = 0.0;  // Σ process() wall time
+
+  [[nodiscard]] double throughput_tuples_per_sec() const noexcept {
+    return elapsed_seconds > 0.0
+               ? static_cast<double>(input_tuples) / elapsed_seconds
+               : 0.0;
+  }
+};
+
+class ClusterEngine final : public core::StreamJoinEngine {
+ public:
+  explicit ClusterEngine(const ClusterConfig& cfg);
+  ~ClusterEngine() override;
+
+  ClusterEngine(const ClusterEngine&) = delete;
+  ClusterEngine& operator=(const ClusterEngine&) = delete;
+
+  core::RunReport process(const std::vector<stream::Tuple>& tuples) override;
+  void prefill(const std::vector<stream::Tuple>& tuples) override;
+  void program(const stream::JoinSpec& spec) override;
+  std::vector<stream::ResultTuple> take_results() override;
+  [[nodiscard]] core::Backend backend() const noexcept override {
+    return core::Backend::kCluster;
+  }
+  [[nodiscard]] std::optional<hw::DesignStats> design_stats() const override {
+    return std::nullopt;
+  }
+
+  [[nodiscard]] const ClusterConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] std::uint32_t num_workers() const noexcept {
+    return static_cast<std::uint32_t>(workers_.size());
+  }
+  // Aggregated runtime metrics. Valid between process() calls.
+  [[nodiscard]] ClusterReport report() const;
+
+ private:
+  struct Worker {
+    Worker(std::uint32_t index, std::uint32_t slot, std::uint32_t replica,
+           const LinkParams& ingress, const LinkParams& egress)
+        : index(index), slot(slot), replica(replica), inbox(ingress),
+          outbox(egress) {}
+
+    const std::uint32_t index;
+    const std::uint32_t slot;
+    const std::uint32_t replica;
+    std::unique_ptr<core::StreamJoinEngine> engine;
+    Link<TupleBatch> inbox;
+    Link<ResultBatch> outbox;
+    std::thread thread;
+
+    // Worker-thread-owned; published to the main thread by the
+    // end-of-epoch / died message through the merger.
+    std::uint64_t tuples_in = 0;
+    std::uint64_t results_out = 0;
+    std::uint64_t data_batches_in = 0;
+    double busy_seconds = 0.0;
+    std::vector<stream::ResultTuple> staged;  // results awaiting egress
+    std::atomic<bool> dropped{false};
+  };
+
+  // Merger-side per-worker assembly state. `pending` is merger-owned;
+  // `completed` is handed to the main thread by the `completed_epoch`
+  // release store and not touched again until the next epoch's traffic.
+  struct MergeSlot {
+    std::vector<stream::ResultTuple> pending;
+    std::vector<stream::ResultTuple> completed;
+    double last_deliver_at_us = 0.0;
+    std::atomic<std::uint64_t> completed_epoch{0};
+    std::atomic<bool> died{false};
+  };
+
+  void worker_loop(Worker& w);
+  void merger_loop();
+  void flush_slot(std::uint32_t slot, bool end_of_epoch);
+  void collect_slot(std::uint32_t slot,
+                    std::vector<stream::ResultTuple>& out);
+  void wait_until(double deadline_us) const;
+  [[nodiscard]] double now_us() const { return timer_.elapsed_us(); }
+
+  ClusterConfig cfg_;
+  Router router_;
+  WindowTracker tracker_;  // used iff window_mode == kExactGlobal
+  Timer timer_;            // cluster clock: µs since construction
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::unique_ptr<MergeSlot>> merge_;
+  std::thread merger_;
+  std::atomic<bool> stop_{false};
+
+  // Main-thread epoch state.
+  std::uint64_t epoch_ = 0;
+  std::vector<std::vector<stream::Tuple>> slot_staging_;
+  std::vector<std::uint64_t> slot_epoch_tuples_;
+  std::vector<std::uint32_t> active_replica_;
+  std::vector<std::uint32_t> scratch_slots_;
+  std::vector<stream::ResultTuple> collected_;
+
+  // Accumulated report counters (main thread).
+  std::uint64_t input_tuples_ = 0;
+  std::uint64_t routed_tuples_ = 0;
+  std::uint64_t merged_results_ = 0;
+  std::uint64_t filtered_results_ = 0;
+  std::uint64_t failovers_ = 0;
+  std::uint64_t lost_tuples_ = 0;
+  bool degraded_ = false;
+  double elapsed_seconds_ = 0.0;
+};
+
+[[nodiscard]] std::unique_ptr<ClusterEngine> make_cluster_engine(
+    const ClusterConfig& cfg);
+
+}  // namespace hal::cluster

@@ -1,0 +1,47 @@
+#include "cluster/router.h"
+
+namespace hal::cluster {
+
+namespace {
+
+// Fibonacci multiplicative hash — cheap, and decorrelates the sequential
+// key patterns the generators produce from the shard index.
+[[nodiscard]] std::uint32_t hash_key(std::uint32_t key) noexcept {
+  return static_cast<std::uint32_t>(
+      (static_cast<std::uint64_t>(key) * 2654435761ULL) >> 16);
+}
+
+}  // namespace
+
+Router::Router(Partitioning partitioning, std::uint32_t rows,
+               std::uint32_t cols)
+    : partitioning_(partitioning), rows_(rows), cols_(cols) {
+  HAL_CHECK(rows_ >= 1 && cols_ >= 1, "grid must have at least one worker");
+  if (partitioning_ == Partitioning::kKeyHash) {
+    HAL_CHECK(rows_ == 1, "key-hash partitioning is a flat 1×N layout");
+  }
+}
+
+void Router::route(const stream::Tuple& t,
+                   std::vector<std::uint32_t>& slots_out) {
+  slots_out.clear();
+  if (partitioning_ == Partitioning::kKeyHash) {
+    slots_out.push_back(hash_key(t.key) % cols_);
+    return;
+  }
+  // kSplitGrid: slot index = row * cols + col. R owns a row (replicated
+  // across its columns), S owns a column (replicated down its rows).
+  if (t.origin == stream::StreamId::R) {
+    const auto row = static_cast<std::uint32_t>(count_r_++ % rows_);
+    for (std::uint32_t col = 0; col < cols_; ++col) {
+      slots_out.push_back(row * cols_ + col);
+    }
+  } else {
+    const auto col = static_cast<std::uint32_t>(count_s_++ % cols_);
+    for (std::uint32_t row = 0; row < rows_; ++row) {
+      slots_out.push_back(row * cols_ + col);
+    }
+  }
+}
+
+}  // namespace hal::cluster

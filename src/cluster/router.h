@@ -1,0 +1,151 @@
+// Tuple routing for the sharded cluster runtime.
+//
+// Two partitioning policies:
+//
+// * kSplitGrid — the SplitJoin discipline (store-to-one-shard,
+//   process-against-all) generalized to a rows×cols worker grid, the
+//   join-matrix layout: R tuples are assigned round-robin to a *row* and
+//   replicated across that row's workers; S tuples are assigned
+//   round-robin to a *column* and replicated down it. Every (r, s) pair
+//   meets at exactly one worker — (row(r), col(s)) — and, because the
+//   round-robin row/column assignment slices each stream exactly like
+//   SplitJoin's per-core turn counting, each worker's local count-based
+//   sub-window of W/rows (resp. W/cols) tuples is precisely its slice of
+//   the global W-tuple window. Works for arbitrary join predicates.
+//
+// * kKeyHash — equi-join fast path: each tuple goes to the single worker
+//   owning hash(key), so matches co-locate and no replication is needed.
+//   State is partitioned (each worker stores only its key range), which
+//   cuts per-probe scan work by the shard count — the scaling mode.
+//
+// Exactness: a worker wraps an unmodified single-node engine, which evicts
+// by *local* arrival count. Whenever a worker's local window can outlive
+// the global W-tuple window (kKeyHash, or the long side of a non-square
+// grid), the engine is given a window large enough to never *miss* a
+// global-window partner, and the merger discards the stale extras using
+// the WindowTracker: the router records, for every arrival, how many R/S
+// tuples preceded it, which is sufficient to decide post-hoc whether the
+// stored tuple of a result pair was still inside the probing tuple's
+// global window. Subset guarantee + superset filter ⇒ byte-identical
+// result multisets to the single-node oracle.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/assert.h"
+#include "stream/tuple.h"
+
+namespace hal::cluster {
+
+enum class Partitioning : std::uint8_t {
+  kSplitGrid,  // store-to-one, process-against-all (any predicate)
+  kKeyHash,    // hash(key) ownership (equi-joins)
+};
+
+[[nodiscard]] constexpr const char* to_string(Partitioning p) noexcept {
+  switch (p) {
+    case Partitioning::kSplitGrid: return "split-grid";
+    case Partitioning::kKeyHash: return "key-hash";
+  }
+  return "?";
+}
+
+// Per-shard window discipline (see header comment).
+enum class WindowMode : std::uint8_t {
+  // Workers hold enough history that, after the merger's window filter,
+  // the cluster is byte-identical to the global count-based W window.
+  kExactGlobal,
+  // Workers hold W/shards each (kKeyHash) — the discipline real
+  // key-partitioned deployments use: per-partition count-based windows.
+  // Aggregate state is W, per-probe work drops by the shard count.
+  kPartitionedLocal,
+};
+
+[[nodiscard]] constexpr const char* to_string(WindowMode m) noexcept {
+  switch (m) {
+    case WindowMode::kExactGlobal: return "exact-global";
+    case WindowMode::kPartitionedLocal: return "partitioned-local";
+  }
+  return "?";
+}
+
+class Router {
+ public:
+  Router(Partitioning partitioning, std::uint32_t rows, std::uint32_t cols);
+
+  // Shard slots (grid cells or hash partitions) the tuple must visit, in
+  // slot-index order. Must be called exactly once per tuple, in arrival
+  // order (grid assignment advances per-stream round-robin counters).
+  void route(const stream::Tuple& t, std::vector<std::uint32_t>& slots_out);
+
+  [[nodiscard]] std::uint32_t num_slots() const noexcept {
+    return rows_ * cols_;
+  }
+  [[nodiscard]] Partitioning partitioning() const noexcept {
+    return partitioning_;
+  }
+  [[nodiscard]] std::uint32_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::uint32_t cols() const noexcept { return cols_; }
+
+ private:
+  Partitioning partitioning_;
+  std::uint32_t rows_;  // kKeyHash: rows_ == 1, cols_ == shard count
+  std::uint32_t cols_;
+  std::uint64_t count_r_ = 0;  // grid round-robin turn counters
+  std::uint64_t count_s_ = 0;
+};
+
+// Arrival-order accounting for the merger's exact-global window filter.
+class WindowTracker {
+ public:
+  // Records one arrival. Tuples must be observed in arrival order; seq
+  // values must be unique across the run (the generators guarantee this).
+  void observe(const stream::Tuple& t) {
+    counts_.emplace(t.seq, Counts{seen_r_, seen_s_});
+    if (t.origin == stream::StreamId::R) {
+      ++seen_r_;
+    } else {
+      ++seen_s_;
+    }
+  }
+
+  // True iff the earlier tuple of the pair was still inside the later
+  // (probing) tuple's opposite-stream window of `window` tuples when the
+  // probe arrived — the reference oracle's probe-then-insert semantics.
+  [[nodiscard]] bool pair_in_window(const stream::ResultTuple& result,
+                                    std::size_t window) const {
+    const bool r_probes = result.r.seq > result.s.seq;
+    const stream::Tuple& probe = r_probes ? result.r : result.s;
+    const stream::Tuple& stored = r_probes ? result.s : result.r;
+    const auto probe_it = counts_.find(probe.seq);
+    const auto stored_it = counts_.find(stored.seq);
+    HAL_ASSERT_MSG(probe_it != counts_.end() && stored_it != counts_.end(),
+                   "result references a tuple the router never saw");
+    const bool stored_is_r = stored.origin == stream::StreamId::R;
+    const std::uint64_t before_probe =
+        stored_is_r ? probe_it->second.r : probe_it->second.s;
+    const std::uint64_t before_stored =
+        stored_is_r ? stored_it->second.r : stored_it->second.s;
+    // `stored` is the (before_stored + 1)-th tuple of its stream; it is
+    // still windowed at the probe iff at most `window` same-stream tuples
+    // (itself included) arrived up to the probe after its insertion point.
+    return before_probe - before_stored <= window;
+  }
+
+  [[nodiscard]] std::size_t observed() const noexcept {
+    return counts_.size();
+  }
+
+ private:
+  struct Counts {
+    std::uint64_t r;  // R tuples that arrived strictly before this one
+    std::uint64_t s;
+  };
+  std::unordered_map<std::uint64_t, Counts> counts_;
+  std::uint64_t seen_r_ = 0;
+  std::uint64_t seen_s_ = 0;
+};
+
+}  // namespace hal::cluster

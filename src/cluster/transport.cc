@@ -1,0 +1,35 @@
+#include "cluster/transport.h"
+
+namespace hal::cluster {
+
+TransportParams TransportParams::from_pipeline(const dist::PipelineParams& p) {
+  TransportParams t;
+  // Router → worker crosses the datacenter switch and the worker's NIC;
+  // the slower of the two caps the link rate, both add latency.
+  t.ingress.bandwidth_tps = p.switch_tps < p.nic_tps ? p.switch_tps
+                                                     : p.nic_tps;
+  t.ingress.latency_us = p.switch_latency_us + p.nic_latency_us;
+  // Worker → merger is a NIC-to-NIC result hop.
+  t.egress.bandwidth_tps = p.nic_tps;
+  t.egress.latency_us = p.nic_latency_us;
+  return t;
+}
+
+dist::PathModel shard_path_model(const TransportParams& t, double worker_tps,
+                                 double result_selectivity,
+                                 const std::string& name) {
+  dist::PathModel path(name);
+  const double unthrottled = 1e18;  // effectively infinite capacity
+  path.add_stage({"ingress-link",
+                  t.ingress.bandwidth_tps > 0.0 ? t.ingress.bandwidth_tps
+                                                : unthrottled,
+                  t.ingress.latency_us, 1.0});
+  path.add_stage({"worker-engine", worker_tps, 0.0, result_selectivity});
+  path.add_stage({"egress-link",
+                  t.egress.bandwidth_tps > 0.0 ? t.egress.bandwidth_tps
+                                               : unthrottled,
+                  t.egress.latency_us, 1.0});
+  return path;
+}
+
+}  // namespace hal::cluster

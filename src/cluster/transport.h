@@ -1,0 +1,140 @@
+// In-process transport layer of the hal::cluster runtime.
+//
+// The cluster models a multi-node deployment inside one process: every
+// router→worker and worker→merger connection is a *link* — a bounded SPSC
+// channel carrying tuple/result batches, with optional per-link bandwidth
+// and latency parameters. Bandwidth pacing stamps each batch with a
+// delivery deadline derived from a per-link serialization clock (a batch
+// of k tuples occupies the wire for k/bandwidth seconds), and the receiver
+// holds the batch until its deadline — so a throttled link sustains at
+// most its configured rate without ever blocking the sender beyond queue
+// capacity. This makes `dist::PathModel` predictions testable against
+// actual execution: configure the links from `dist::PipelineParams`,
+// throttle them below engine capacity, and the measured cluster throughput
+// must track `PathModel::sustainable_input_tps()`.
+//
+// Bounded queues are the backpressure mechanism (exactly as the hardware
+// engines' ready/valid FIFO links): a full inbox stalls the router, a full
+// outbox stalls the worker, and every stalled spin is counted so the
+// `ClusterReport` can attribute lost throughput to the congested link.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/spsc_queue.h"
+#include "dist/deployments.h"
+#include "dist/path_model.h"
+#include "stream/tuple.h"
+
+namespace hal::cluster {
+
+struct LinkParams {
+  // Tuples/s the link can carry; 0 disables bandwidth pacing.
+  double bandwidth_tps = 0.0;
+  // One-way propagation latency added to every batch, in microseconds.
+  double latency_us = 0.0;
+  // Bounded queue depth, in batches (backpressure threshold).
+  std::size_t capacity_batches = 64;
+};
+
+struct TransportParams {
+  // Tuples accumulated per batch before a link send (amortizes the
+  // per-message queue round trip, like the batched GPU dispatch).
+  std::size_t batch_size = 64;
+  LinkParams ingress;  // router → worker
+  LinkParams egress;   // worker → merger
+
+  // Derives link parameters from the distributed-pipeline parameter set
+  // used by the dist:: deployment models: the router→worker hop crosses
+  // the switch and the destination NIC; the result hop crosses the NIC.
+  [[nodiscard]] static TransportParams from_pipeline(
+      const dist::PipelineParams& p);
+};
+
+// One shard's data path through the cluster, expressed in the dist::
+// active-data-path vocabulary so modeled and measured throughput can be
+// compared directly: ingress link → worker engine → egress link.
+[[nodiscard]] dist::PathModel shard_path_model(const TransportParams& t,
+                                               double worker_tps,
+                                               double result_selectivity,
+                                               const std::string& name);
+
+struct TupleBatch {
+  std::uint64_t epoch = 0;
+  bool end_of_epoch = false;
+  double deliver_at_us = 0.0;  // stamped by Link::send
+  std::vector<stream::Tuple> tuples;
+};
+
+struct ResultBatch {
+  std::uint64_t epoch = 0;
+  bool end_of_epoch = false;
+  bool died = false;  // worker announced fail-stop (fault injection)
+  double deliver_at_us = 0.0;
+  std::vector<stream::ResultTuple> results;
+};
+
+// Producer-side link statistics. Owned by the producer thread while the
+// cluster runs; read by the main thread only at epoch barriers (the
+// end-of-epoch message publishes them).
+struct LinkStats {
+  std::uint64_t batches = 0;
+  std::uint64_t payload_items = 0;
+  std::uint64_t stall_spins = 0;     // failed pushes against a full queue
+  std::size_t queue_high_water = 0;  // max observed occupancy, in batches
+};
+
+// A bounded SPSC channel with bandwidth/latency modeling and stall
+// accounting. `now_us` is the caller-supplied cluster clock (microseconds
+// since engine start) so pacing composes with fault-injected extra delay.
+template <typename T>
+class Link {
+ public:
+  explicit Link(const LinkParams& params)
+      : params_(params), queue_(params.capacity_batches) {}
+
+  // Blocking send with backpressure accounting; stamps the delivery
+  // deadline but never sleeps for pacing itself (the receiver pays the
+  // modeled wire time, keeping a single producer able to feed N links at
+  // their aggregate rate).
+  void send(T msg, double now_us, std::uint64_t payload_items) {
+    double busy_us = 0.0;
+    if (params_.bandwidth_tps > 0.0 && payload_items > 0) {
+      busy_us = static_cast<double>(payload_items) * 1e6 /
+                params_.bandwidth_tps;
+    }
+    const double start_us = next_free_us_ > now_us ? next_free_us_ : now_us;
+    next_free_us_ = start_us + busy_us;
+    msg.deliver_at_us = next_free_us_ + params_.latency_us;
+
+    // Accounting must precede the push: the moment the message is
+    // visible, the consumer may publish an epoch barrier, after which the
+    // main thread is allowed to read these counters.
+    ++stats_.batches;
+    stats_.payload_items += payload_items;
+    const std::size_t occupied = queue_.size_approx() + 1;  // incl. msg
+    const std::size_t clamped =
+        occupied < params_.capacity_batches ? occupied
+                                            : params_.capacity_batches;
+    if (clamped > stats_.queue_high_water) stats_.queue_high_water = clamped;
+    while (!queue_.try_push(std::move(msg))) {
+      ++stats_.stall_spins;
+      std::this_thread::yield();
+    }
+  }
+
+  [[nodiscard]] bool try_recv(T& out) { return queue_.try_pop(out); }
+
+  [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const LinkParams& params() const noexcept { return params_; }
+
+ private:
+  LinkParams params_;
+  SpscQueue<T> queue_;
+  double next_free_us_ = 0.0;  // producer-owned serialization clock
+  LinkStats stats_;            // producer-owned
+};
+
+}  // namespace hal::cluster

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cluster/cluster_engine.h"
 #include "common/assert.h"
 #include "hw/biflow/engine.h"
 #include "hw/uniflow/engine.h"
@@ -289,6 +290,33 @@ class SwBatchAdapter final : public StreamJoinEngine {
   std::unique_ptr<sw::BatchJoinEngine> engine_;
 };
 
+// Maps the flat facade config onto a cluster: key-hash sharding when the
+// operator pins the key, otherwise the near-square split grid (rows×cols
+// closest to square with rows·cols == shards).
+std::unique_ptr<StreamJoinEngine> make_cluster_from_facade(
+    const EngineConfig& cfg) {
+  cluster::ClusterConfig ccfg;
+  ccfg.window_size = cfg.window_size;
+  ccfg.spec = cfg.spec;
+  ccfg.transport.batch_size = std::max<std::size_t>(
+      1, std::min<std::size_t>(cfg.batch_size, 256));
+  ccfg.worker = cfg;
+  ccfg.worker.backend = cfg.cluster_worker_backend;
+  if (cluster::key_hashable(cfg.spec)) {
+    ccfg.partitioning = cluster::Partitioning::kKeyHash;
+    ccfg.shards = cfg.cluster_shards;
+  } else {
+    ccfg.partitioning = cluster::Partitioning::kSplitGrid;
+    std::uint32_t rows = 1;
+    for (std::uint32_t d = 1; d * d <= cfg.cluster_shards; ++d) {
+      if (cfg.cluster_shards % d == 0) rows = d;
+    }
+    ccfg.grid_rows = rows;
+    ccfg.grid_cols = cfg.cluster_shards / rows;
+  }
+  return cluster::make_cluster_engine(ccfg);
+}
+
 }  // namespace
 
 const char* to_string(Backend b) noexcept {
@@ -298,6 +326,7 @@ const char* to_string(Backend b) noexcept {
     case Backend::kSwSplitJoin: return "sw-splitjoin";
     case Backend::kSwHandshake: return "sw-handshake";
     case Backend::kSwBatch: return "sw-batch";
+    case Backend::kCluster: return "cluster";
   }
   return "?";
 }
@@ -314,6 +343,8 @@ std::unique_ptr<StreamJoinEngine> make_engine(const EngineConfig& config) {
       return std::make_unique<SwHandshakeAdapter>(config);
     case Backend::kSwBatch:
       return std::make_unique<SwBatchAdapter>(config);
+    case Backend::kCluster:
+      return make_cluster_from_facade(config);
   }
   HAL_ASSERT_MSG(false, "unknown backend");
   return nullptr;

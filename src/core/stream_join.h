@@ -34,7 +34,9 @@ enum class Backend : std::uint8_t {
   kHwBiflow,
   kSwSplitJoin,
   kSwHandshake,
-  kSwBatch,  // GPU/CellJoin-style batched kernels
+  kSwBatch,    // GPU/CellJoin-style batched kernels
+  kCluster,    // sharded multi-worker runtime (hal::cluster) wrapping any
+               // of the above as per-shard engines
 };
 
 [[nodiscard]] const char* to_string(Backend b) noexcept;
@@ -57,6 +59,14 @@ struct EngineConfig {
 
   // kSwBatch only: tuples per data-parallel kernel dispatch.
   std::size_t batch_size = 1 << 10;
+
+  // Backend::kCluster only: shard count and the backend each shard wraps.
+  // Equi-on-key specs shard by key hash; any other predicate runs on a
+  // near-square store-to-one/process-against-all grid. For full control
+  // (mixed backends, transport modeling, replication, fault injection)
+  // construct a cluster::ClusterEngine directly.
+  std::uint32_t cluster_shards = 4;
+  Backend cluster_worker_backend = Backend::kSwSplitJoin;
 };
 
 struct RunReport {

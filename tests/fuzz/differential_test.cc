@@ -11,6 +11,7 @@
 // a seed that can be replayed.
 #include <gtest/gtest.h>
 
+#include "cluster/cluster_engine.h"
 #include "common/rng.h"
 #include "hw/opchain/op_chain_engine.h"
 #include "hw/uniflow/engine.h"
@@ -177,6 +178,118 @@ TEST_P(DifferentialFuzz, OpChainMatchesFilteredOracle) {
       << "selects=" << cfg.num_select_cores
       << " cores=" << cfg.join.num_cores
       << " window=" << cfg.join.window_size;
+}
+
+// Draws a random sharded-cluster deployment: 2–8 workers, key-hash or
+// join-matrix partitioning, a mixed bag of exact single-node backends per
+// shard, randomized transport batch size. The window is a multiple of 12
+// so every grid layout and inner-engine core count divides it.
+cluster::ClusterConfig draw_cluster(std::uint64_t seed, JoinSpec& spec_out,
+                                    std::vector<Tuple>& tuples_out) {
+  Rng rng(seed * 6364136223846793005ull + 1442695040888963407ull);
+  cluster::ClusterConfig cfg;
+  cfg.window_size = 12 * (1 + rng.next_below(8));
+
+  switch (rng.next_below(3)) {
+    case 0:
+      cfg.spec = JoinSpec::equi_on_key();
+      break;
+    case 1:
+      cfg.spec = JoinSpec::band_on_key(
+          static_cast<std::int32_t>(1 + rng.next_below(3)));
+      break;
+    default: {
+      JoinSpec spec = JoinSpec::equi_on_key();
+      spec.add(stream::JoinCondition{stream::Field::Value,
+                                     stream::Field::Value,
+                                     stream::CmpOp::Ge, 0});
+      cfg.spec = spec;
+      break;
+    }
+  }
+
+  std::uint32_t slots;
+  if (cluster::key_hashable(cfg.spec) && rng.next_bool(0.5)) {
+    cfg.partitioning = cluster::Partitioning::kKeyHash;
+    cfg.shards = static_cast<std::uint32_t>(2 + rng.next_below(7));  // 2–8
+    slots = cfg.shards;
+  } else {
+    cfg.partitioning = cluster::Partitioning::kSplitGrid;
+    constexpr std::uint32_t kGrids[][2] = {{1, 2}, {2, 1}, {2, 2}, {2, 3},
+                                           {3, 2}, {1, 4}, {4, 2}, {2, 4}};
+    const auto& g = kGrids[rng.next_below(8)];
+    cfg.grid_rows = g[0];
+    cfg.grid_cols = g[1];
+    slots = cfg.grid_rows * cfg.grid_cols;
+  }
+
+  const core::Backend exact_backends[] = {core::Backend::kSwSplitJoin,
+                                          core::Backend::kHwUniflow,
+                                          core::Backend::kSwBatch};
+  cfg.worker_overrides.assign(slots, cfg.worker);
+  for (auto& w : cfg.worker_overrides) {
+    w.backend = exact_backends[rng.next_below(3)];
+    w.num_cores = static_cast<std::uint32_t>(1 + rng.next_below(2));
+    w.batch_size = 1 + rng.next_below(64);
+  }
+  cfg.transport.batch_size = 1 + rng.next_below(48);
+
+  stream::WorkloadConfig wl;
+  wl.seed = seed + 9000;
+  wl.key_domain = static_cast<std::uint32_t>(2 + rng.next_below(64));
+  wl.distribution = rng.next_bool(0.3) ? stream::KeyDistribution::kZipf
+                                       : stream::KeyDistribution::kUniform;
+  wl.r_fraction = 0.3 + 0.4 * rng.next_double();
+  wl.deterministic_interleave = rng.next_bool(0.5);
+  stream::WorkloadGenerator gen(wl);
+  tuples_out = gen.take(3 * cfg.window_size + rng.next_below(64));
+  spec_out = cfg.spec;
+  return cfg;
+}
+
+TEST_P(DifferentialFuzz, ClusterMatchesOracle) {
+  JoinSpec spec;
+  std::vector<Tuple> tuples;
+  const cluster::ClusterConfig cfg = draw_cluster(GetParam(), spec, tuples);
+  cluster::ClusterEngine engine(cfg);
+  engine.process(tuples);
+
+  ReferenceJoin oracle(cfg.window_size, spec);
+  EXPECT_EQ(normalize(engine.take_results()),
+            normalize(oracle.process_all(tuples)))
+      << "partitioning=" << cluster::to_string(cfg.partitioning)
+      << " workers=" << engine.num_workers()
+      << " window=" << cfg.window_size << " spec=" << spec.to_string();
+}
+
+TEST_P(DifferentialFuzz, ClusterFailoverMatchesOracle) {
+  JoinSpec spec;
+  std::vector<Tuple> tuples;
+  cluster::ClusterConfig cfg = draw_cluster(GetParam() + 500, spec, tuples);
+  cfg.replicas = 2;
+  const std::uint32_t slots =
+      cfg.partitioning == cluster::Partitioning::kKeyHash
+          ? cfg.shards
+          : cfg.grid_rows * cfg.grid_cols;
+  Rng rng(GetParam() * 31 + 7);
+  // Drop one primary; its replica must carry the epoch untouched.
+  cfg.faults.drop_worker = rng.next_below(slots) * cfg.replicas;
+  cfg.faults.drop_after_batches = rng.next_below(4);
+  cluster::ClusterEngine engine(cfg);
+  engine.process(tuples);
+
+  ReferenceJoin oracle(cfg.window_size, spec);
+  EXPECT_EQ(normalize(engine.take_results()),
+            normalize(oracle.process_all(tuples)))
+      << "partitioning=" << cluster::to_string(cfg.partitioning)
+      << " workers=" << engine.num_workers()
+      << " dropped=" << *cfg.faults.drop_worker;
+  const auto rep = engine.report();
+  EXPECT_FALSE(rep.degraded);
+  EXPECT_EQ(rep.lost_tuples, 0u);
+  if (rep.workers[*cfg.faults.drop_worker].dropped) {
+    EXPECT_GE(rep.failovers, 1u);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz,
