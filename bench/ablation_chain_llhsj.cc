@@ -18,7 +18,8 @@
 #include "bench_util.h"
 #include "core/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
+  hal::bench::init(argc, argv);
   using namespace hal;
   using namespace hal::core;
 

@@ -16,7 +16,8 @@
 #include "core/harness.h"
 #include "stream/generator.h"
 
-int main() {
+int main(int argc, char** argv) {
+  hal::bench::init(argc, argv);
   using namespace hal;
   using namespace hal::core;
 

@@ -16,7 +16,8 @@
 #include "stream/reference_join.h"
 #include "sw/handshake_join.h"
 
-int main() {
+int main(int argc, char** argv) {
+  hal::bench::init(argc, argv);
   using namespace hal;
   using stream::ResultKey;
 

@@ -14,7 +14,8 @@
 #include "hw/opchain/op_chain_engine.h"
 #include "stream/generator.h"
 
-int main() {
+int main(int argc, char** argv) {
+  hal::bench::init(argc, argv);
   using namespace hal;
   using namespace hal::hw;
 

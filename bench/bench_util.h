@@ -4,16 +4,63 @@
 // series as a table, and a PASS/FAIL line per qualitative claim the paper
 // makes about that artifact (the "shape" checks — who wins, scaling law,
 // crossover). EXPERIMENTS.md embeds this output.
+//
+// Harness flags (parsed by init(), safe to omit):
+//   --obs-json=<path>  finish() writes the process metric registry as an
+//                      ObsSnapshot JSON there (plus <path>.trace.json with
+//                      the span timeline when any spans were recorded).
+//   --out-dir=<dir>    prefix for BENCH_*.json artifacts, so parallel
+//                      invocations of the same bench never interleave
+//                      writes into a shared working directory.
 #pragma once
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
+#include <string_view>
 
 #include "common/table.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hal::bench {
 
 inline int g_failures = 0;
+inline std::string g_obs_json_path;
+inline std::string g_out_dir;
+
+// Process-wide registry benches record into (directly or by pointing
+// core::MeasureOptions::registry at it). With HAL_OBS=0 this is the no-op
+// shell and the export below is skipped.
+inline obs::MetricRegistry& registry() {
+  static obs::MetricRegistry r;
+  return r;
+}
+
+inline void init(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    constexpr std::string_view kObsJson = "--obs-json=";
+    constexpr std::string_view kOutDir = "--out-dir=";
+    if (arg.substr(0, kObsJson.size()) == kObsJson) {
+      g_obs_json_path = std::string(arg.substr(kObsJson.size()));
+    } else if (arg.substr(0, kOutDir.size()) == kOutDir) {
+      g_out_dir = std::string(arg.substr(kOutDir.size()));
+      std::error_code ec;
+      std::filesystem::create_directories(g_out_dir, ec);
+      if (ec) {
+        std::fprintf(stderr, "warning: cannot create --out-dir %s: %s\n",
+                     g_out_dir.c_str(), ec.message().c_str());
+      }
+    }
+  }
+}
+
+// Where to write an output artifact, honoring --out-dir.
+inline std::string out_path(const std::string& filename) {
+  return g_out_dir.empty() ? filename : g_out_dir + "/" + filename;
+}
 
 inline void banner(const char* artifact, const char* description) {
   std::printf("\n==============================================================\n");
@@ -27,6 +74,24 @@ inline void claim(bool ok, const std::string& text) {
 }
 
 inline int finish() {
+  if (!g_obs_json_path.empty()) {
+    registry().set_counter("bench.claims_failed",
+                           static_cast<std::uint64_t>(g_failures),
+                           obs::Stability::kRuntime);
+    const std::string json = obs::to_json(registry().snapshot("bench"));
+    if (!obs::json_lint(json) || !obs::write_file(g_obs_json_path, json)) {
+      std::printf("\nFAILED to write obs snapshot to %s\n",
+                  g_obs_json_path.c_str());
+      ++g_failures;
+    } else {
+      std::printf("\nwrote obs snapshot to %s\n", g_obs_json_path.c_str());
+    }
+    const auto events = obs::drain_trace_events();
+    if (!events.empty()) {
+      (void)obs::write_file(g_obs_json_path + ".trace.json",
+                            obs::trace_to_json(events));
+    }
+  }
   if (g_failures > 0) {
     std::printf("\n%d claim check(s) FAILED\n", g_failures);
     return 1;

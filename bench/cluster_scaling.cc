@@ -61,7 +61,8 @@ cluster::ClusterConfig sharded(core::Backend backend, std::uint32_t shards,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hal::bench::init(argc, argv);
   bench::banner("Cluster scaling",
                 "sharded stream join: throughput vs shards × transport "
                 "batch × wrapped backend (key-hash, W/N windows)");
@@ -167,8 +168,13 @@ int main() {
                "measured throughput within 50% of the PathModel "
                "prediction (link-bound)");
 
+  // Fold the overload run's counters into the process registry so
+  // --obs-json captures the cluster layer's metrics too.
+  over_engine.collect_metrics(bench::registry(), "cluster.overload.");
+
   // --- JSON dump ----------------------------------------------------------
-  if (std::FILE* f = std::fopen("BENCH_cluster.json", "w")) {
+  const std::string json_path = bench::out_path("BENCH_cluster.json");
+  if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
     std::fprintf(f, "{\n  \"bench\": \"cluster_scaling\",\n");
     std::fprintf(f, "  \"window\": %zu,\n  \"tuples\": %zu,\n", kWindow,
                  kTuples);
@@ -196,7 +202,9 @@ int main() {
                  "\"measured_tps\": %.1f}\n}\n",
                  predicted, measured);
     std::fclose(f);
-    std::printf("\nwrote BENCH_cluster.json\n");
+    std::printf("\nwrote %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: cannot write %s\n", json_path.c_str());
   }
 
   return bench::finish();

@@ -8,7 +8,8 @@
 #include "bench_util.h"
 #include "dist/deployments.h"
 
-int main() {
+int main(int argc, char** argv) {
+  hal::bench::init(argc, argv);
   using namespace hal;
   using namespace hal::dist;
 

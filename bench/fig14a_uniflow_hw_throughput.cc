@@ -10,7 +10,8 @@
 #include "bench_util.h"
 #include "core/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
+  hal::bench::init(argc, argv);
   using namespace hal;
   using namespace hal::core;
 
@@ -39,6 +40,10 @@ int main() {
       MeasureOptions opts;
       opts.num_tuples = 512;
       opts.requested_mhz = 100.0;  // paper: "F:100MHz"
+      opts.registry = &bench::registry();
+      opts.obs_prefix = "fig14a.w" + std::to_string(window) + ".c" +
+                        std::to_string(cores) + ".";
+      obs::Span span("fig14a.measure_point");
       const HwThroughput t = measure_uniflow_throughput(cfg, v5, opts);
       points.push_back({window, cores, t.mtuples_per_sec(), t.fits});
       table.add_row({"2^" + std::to_string(window == (1u << 11) ? 11 : 13),

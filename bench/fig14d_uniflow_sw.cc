@@ -14,7 +14,8 @@
 #include "stream/generator.h"
 #include "sw/splitjoin.h"
 
-int main() {
+int main(int argc, char** argv) {
+  hal::bench::init(argc, argv);
   using namespace hal;
 
   bench::banner("Fig. 14d",

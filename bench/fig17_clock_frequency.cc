@@ -14,7 +14,8 @@
 #include "core/harness.h"
 #include "hw/uniflow/engine.h"
 
-int main() {
+int main(int argc, char** argv) {
+  hal::bench::init(argc, argv);
   using namespace hal;
   using namespace hal::core;
 

@@ -17,7 +17,8 @@
 #include "sw/batch_join.h"
 #include "sw/splitjoin.h"
 
-int main() {
+int main(int argc, char** argv) {
+  hal::bench::init(argc, argv);
   using namespace hal;
 
   bench::banner("Fig. 1", "accelerator spectrum: throughput vs latency "

@@ -11,7 +11,8 @@
 #include "fqp/assigner.h"
 #include "fqp/query.h"
 
-int main() {
+int main(int argc, char** argv) {
+  hal::bench::init(argc, argv);
   using namespace hal;
   using namespace hal::fqp;
   using stream::CmpOp;

@@ -8,7 +8,8 @@
 #include "fqp/multi_query.h"
 #include "fqp/temporal.h"
 
-int main() {
+int main(int argc, char** argv) {
+  hal::bench::init(argc, argv);
   using namespace hal;
   using namespace hal::fqp;
   using stream::CmpOp;

@@ -9,7 +9,8 @@
 #include "hw/biflow/engine.h"
 #include "hw/uniflow/engine.h"
 
-int main() {
+int main(int argc, char** argv) {
+  hal::bench::init(argc, argv);
   using namespace hal;
   using namespace hal::core;
 

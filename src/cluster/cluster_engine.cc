@@ -384,6 +384,57 @@ ClusterReport ClusterEngine::report() const {
   return rep;
 }
 
+void ClusterEngine::collect_metrics(obs::MetricRegistry& registry,
+                                    const std::string& prefix) const {
+  const ClusterReport rep = report();
+  registry.set_counter(prefix + "input_tuples", rep.input_tuples);
+  registry.set_counter(prefix + "routed_tuples", rep.routed_tuples);
+  registry.set_counter(prefix + "merged_results", rep.merged_results);
+  registry.set_counter(prefix + "filtered_results", rep.filtered_results);
+  registry.set_counter(prefix + "failovers", rep.failovers);
+  registry.set_counter(prefix + "lost_tuples", rep.lost_tuples);
+  registry.set_counter(prefix + "degraded", rep.degraded ? 1 : 0);
+  registry.set_counter(prefix + "router.stall_spins", rep.router_stall_spins,
+                       obs::Stability::kRuntime);
+  registry.set_counter(prefix + "worker.stall_spins", rep.worker_stall_spins,
+                       obs::Stability::kRuntime);
+  registry.set_counter(prefix + "ingress.queue_high_water",
+                       rep.ingress_queue_high_water,
+                       obs::Stability::kRuntime);
+  registry.set_counter(prefix + "egress.queue_high_water",
+                       rep.egress_queue_high_water,
+                       obs::Stability::kRuntime);
+  registry.set_gauge(prefix + "elapsed_seconds", rep.elapsed_seconds,
+                     obs::Stability::kRuntime);
+  for (const WorkerReport& wr : rep.workers) {
+    const std::string wp =
+        prefix + "worker." + std::to_string(wr.index) + ".";
+    // A worker's raw emissions are only reproducible when its inner
+    // engine's are; the threaded handshake chain races (the exact-global
+    // merge filter restores determinism cluster-wide, not per worker).
+    const obs::Stability emit_stability =
+        wr.backend == core::Backend::kSwHandshake
+            ? obs::Stability::kRuntime
+            : obs::Stability::kDeterministic;
+    registry.set_counter(wp + "tuples_in", wr.tuples_in);
+    registry.set_counter(wp + "results_out", wr.results_out, emit_stability);
+    registry.set_counter(wp + "data_batches_in", wr.data_batches_in);
+    registry.set_counter(wp + "dropped", wr.dropped ? 1 : 0);
+    registry.set_gauge(wp + "busy_seconds", wr.busy_seconds,
+                       obs::Stability::kRuntime);
+    registry.set_counter(wp + "ingress.stall_spins", wr.ingress.stall_spins,
+                         obs::Stability::kRuntime);
+    registry.set_counter(wp + "egress.stall_spins", wr.egress.stall_spins,
+                         obs::Stability::kRuntime);
+  }
+  for (const auto& w : workers_) {
+    if (!w->dropped.load(std::memory_order_acquire)) {
+      w->engine->collect_metrics(
+          registry, prefix + "worker." + std::to_string(w->index) + ".engine.");
+    }
+  }
+}
+
 std::unique_ptr<ClusterEngine> make_cluster_engine(const ClusterConfig& cfg) {
   return std::make_unique<ClusterEngine>(cfg);
 }

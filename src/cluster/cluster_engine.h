@@ -155,6 +155,12 @@ class ClusterEngine final : public core::StreamJoinEngine {
   // Aggregated runtime metrics. Valid between process() calls.
   [[nodiscard]] ClusterReport report() const;
 
+  // Folds the ClusterReport into the registry: routing/merge totals and
+  // per-worker traffic are deterministic (routing and the fault plan are
+  // batch-count driven), stall spins / queue depths / wall times are not.
+  void collect_metrics(obs::MetricRegistry& registry,
+                       const std::string& prefix) const override;
+
  private:
   struct Worker {
     Worker(std::uint32_t index, std::uint32_t slot, std::uint32_t replica,

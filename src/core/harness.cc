@@ -60,6 +60,20 @@ HwThroughput run_throughput(Engine& engine, const hw::DesignStats& stats,
   engine.run_to_quiescence(
       (stats.window_size_per_stream() + 64) * 64 + 100'000);
   out.results = engine.results().size();
+
+  if (opts.registry != nullptr) {
+    engine.collect_metrics(*opts.registry, opts.obs_prefix + "engine.");
+    opts.registry->set_counter(opts.obs_prefix + "run.tuples", out.tuples);
+    opts.registry->set_counter(opts.obs_prefix + "run.cycles", out.cycles);
+    opts.registry->set_counter(opts.obs_prefix + "run.results", out.results);
+    // Model outputs are pure functions of the design descriptor.
+    opts.registry->set_gauge(opts.obs_prefix + "run.fmax_mhz", out.fmax_mhz,
+                             obs::Stability::kDeterministic);
+    opts.registry->set_gauge(opts.obs_prefix + "run.clock_mhz", out.clock_mhz,
+                             obs::Stability::kDeterministic);
+    opts.registry->set_gauge(opts.obs_prefix + "run.power_mw", out.power_mw,
+                             obs::Stability::kDeterministic);
+  }
   return out;
 }
 
@@ -121,6 +135,14 @@ HwLatency measure_uniflow_latency(const hw::UniflowConfig& cfg,
                  "latency probe produced no result");
   out.cycles_to_last_result = engine.last_result_cycle() - start;
   out.cycles_to_quiescent = engine.cycle() - start;
+
+  if (opts.registry != nullptr) {
+    engine.collect_metrics(*opts.registry, opts.obs_prefix + "engine.");
+    opts.registry->set_counter(opts.obs_prefix + "run.cycles_to_last_result",
+                               out.cycles_to_last_result);
+    opts.registry->set_counter(opts.obs_prefix + "run.cycles_to_quiescent",
+                               out.cycles_to_quiescent);
+  }
   return out;
 }
 

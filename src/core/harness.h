@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 
 #include "hw/biflow/engine.h"
 #include "hw/model/device.h"
@@ -14,6 +15,7 @@
 #include "hw/model/resource_model.h"
 #include "hw/model/timing_model.h"
 #include "hw/uniflow/engine.h"
+#include "obs/metrics.h"
 
 namespace hal::core {
 
@@ -63,6 +65,13 @@ struct MeasureOptions {
   // low (result traffic does not bottleneck the gathering network, as in
   // the paper's throughput runs).
   std::uint32_t key_domain = 1u << 20;
+
+  // When set, the measurement publishes the engine's internal metrics
+  // (under "<obs_prefix>engine.") and its own outputs (under
+  // "<obs_prefix>run.") into this registry. With HAL_OBS=0 the registry
+  // is a no-op shell and nothing is recorded.
+  obs::MetricRegistry* registry = nullptr;
+  std::string obs_prefix;
 };
 
 // Steady-state input throughput of a uni-flow hardware design on `device`.

@@ -71,6 +71,10 @@ class HwUniflowAdapter final : public StreamJoinEngine {
   [[nodiscard]] std::optional<hw::DesignStats> design_stats() const override {
     return engine_->design_stats();
   }
+  void collect_metrics(obs::MetricRegistry& registry,
+                       const std::string& prefix) const override {
+    engine_->collect_metrics(registry, prefix);
+  }
 
  private:
   EngineConfig cfg_;
@@ -127,6 +131,10 @@ class HwBiflowAdapter final : public StreamJoinEngine {
   [[nodiscard]] std::optional<hw::DesignStats> design_stats() const override {
     return engine_->design_stats();
   }
+  void collect_metrics(obs::MetricRegistry& registry,
+                       const std::string& prefix) const override {
+    engine_->collect_metrics(registry, prefix);
+  }
 
  private:
   EngineConfig cfg_;
@@ -179,6 +187,10 @@ class SwSplitJoinAdapter final : public StreamJoinEngine {
   }
   [[nodiscard]] std::optional<hw::DesignStats> design_stats() const override {
     return std::nullopt;
+  }
+  void collect_metrics(obs::MetricRegistry& registry,
+                       const std::string& prefix) const override {
+    engine_->collect_metrics(registry, prefix);
   }
 
  private:
@@ -233,6 +245,10 @@ class SwHandshakeAdapter final : public StreamJoinEngine {
   [[nodiscard]] std::optional<hw::DesignStats> design_stats() const override {
     return std::nullopt;
   }
+  void collect_metrics(obs::MetricRegistry& registry,
+                       const std::string& prefix) const override {
+    engine_->collect_metrics(registry, prefix);
+  }
 
  private:
   std::unique_ptr<sw::HandshakeJoinEngine> engine_;
@@ -285,6 +301,10 @@ class SwBatchAdapter final : public StreamJoinEngine {
   [[nodiscard]] std::optional<hw::DesignStats> design_stats() const override {
     return std::nullopt;
   }
+  void collect_metrics(obs::MetricRegistry& registry,
+                       const std::string& prefix) const override {
+    engine_->collect_metrics(registry, prefix);
+  }
 
  private:
   std::unique_ptr<sw::BatchJoinEngine> engine_;
@@ -329,6 +349,34 @@ const char* to_string(Backend b) noexcept {
     case Backend::kCluster: return "cluster";
   }
   return "?";
+}
+
+obs::ObsSnapshot snapshot_run(const StreamJoinEngine& engine,
+                              const RunReport& report, std::string label) {
+  obs::MetricRegistry registry;
+  engine.collect_metrics(registry, "engine.");
+
+  // Result multisets are reproducible everywhere except the threaded
+  // handshake chain (window semantics there depend on crossing/arrival
+  // interleaving, so even the count races run to run).
+  const obs::Stability result_stability =
+      engine.backend() == Backend::kSwHandshake ? obs::Stability::kRuntime
+                                                : obs::Stability::kDeterministic;
+  registry.set_counter("run.tuples_processed", report.tuples_processed);
+  registry.set_counter("run.results_emitted", report.results_emitted,
+                       result_stability);
+  if (report.cycles.has_value()) {
+    registry.set_counter("run.cycles", *report.cycles);
+    // Cycle-derived time is as reproducible as the cycle count itself.
+    registry.set_gauge("run.elapsed_seconds", report.elapsed_seconds,
+                       obs::Stability::kDeterministic);
+  } else {
+    registry.set_gauge("run.elapsed_seconds", report.elapsed_seconds,
+                       obs::Stability::kRuntime);
+  }
+
+  if (label.empty()) label = to_string(engine.backend());
+  return registry.snapshot(std::move(label));
 }
 
 std::unique_ptr<StreamJoinEngine> make_engine(const EngineConfig& config) {

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "hw/model/design_stats.h"
+#include "obs/metrics.h"
 #include "stream/join_spec.h"
 #include "stream/tuple.h"
 
@@ -109,7 +110,27 @@ class StreamJoinEngine {
   // software backends return nullopt.
   [[nodiscard]] virtual std::optional<hw::DesignStats> design_stats()
       const = 0;
+
+  // Publishes the engine's internal observability counters (per-core
+  // probes/matches, stalls, queue high-water, ...) under `prefix`. Call
+  // between process() calls (quiescent engine). The default is a no-op so
+  // external StreamJoinEngine implementations keep compiling.
+  virtual void collect_metrics(obs::MetricRegistry& registry,
+                               const std::string& prefix) const {
+    (void)registry;
+    (void)prefix;
+  }
 };
+
+// One ObsSnapshot per run: a fresh registry filled with the engine's
+// internals (under "engine.") plus the RunReport (under "run."), labeled
+// with the backend name when `label` is empty. The run counters carry the
+// right Stability per backend — kSwHandshake's result count races (its
+// chain's window semantics depend on thread interleaving), so only there
+// results_emitted is kRuntime.
+[[nodiscard]] obs::ObsSnapshot snapshot_run(const StreamJoinEngine& engine,
+                                            const RunReport& report,
+                                            std::string label = {});
 
 [[nodiscard]] std::unique_ptr<StreamJoinEngine> make_engine(
     const EngineConfig& config);

@@ -218,4 +218,45 @@ std::uint64_t BiflowEngine::total_probes() const {
   return total;
 }
 
+void BiflowEngine::collect_metrics(obs::MetricRegistry& registry,
+                                   const std::string& prefix) const {
+  sim_.collect_metrics(registry, prefix);
+
+  std::uint64_t probes = 0;
+  std::uint64_t matches = 0;
+  std::uint64_t expired = 0;
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    const BiflowJoinCore& c = *cores_[i];
+    const std::string core_prefix =
+        prefix + "core." + std::to_string(i) + ".";
+    registry.set_counter(core_prefix + "probes", c.probes());
+    registry.set_counter(core_prefix + "matches", c.matches());
+    registry.set_counter(core_prefix + "entries", c.entries_processed());
+    registry.set_counter(core_prefix + "expired", c.expired());
+    probes += c.probes();
+    matches += c.matches();
+    expired += c.expired();
+  }
+  registry.set_counter(prefix + "probes", probes);
+  registry.set_counter(prefix + "matches", matches);
+  registry.set_counter(prefix + "expired", expired);
+  registry.set_counter(prefix + "results", sink_->collected().size());
+
+  std::uint64_t crossings = 0;
+  for (const auto& ch : channels_) crossings += ch->transfers();
+  registry.set_counter(prefix + "channel.crossings", crossings);
+  std::uint64_t gather_stalls = 0;
+  for (const auto& g : gnodes_) gather_stalls += g->stall_cycles();
+  registry.set_counter(prefix + "gathering.stall_cycles", gather_stalls);
+
+  for (const auto& f : tuple_fifos_) {
+    registry.set_counter(prefix + "fifo." + f->name() + ".high_water",
+                         f->high_water());
+  }
+  for (const auto& f : result_fifos_) {
+    registry.set_counter(prefix + "fifo." + f->name() + ".high_water",
+                         f->high_water());
+  }
+}
+
 }  // namespace hal::hw

@@ -14,6 +14,7 @@
 #include "hw/common/drivers.h"
 #include "hw/model/design_stats.h"
 #include "hw/uniflow/gnode.h"
+#include "obs/metrics.h"
 #include "sim/fifo.h"
 #include "sim/simulator.h"
 #include "stream/join_spec.h"
@@ -120,6 +121,12 @@ class BiflowEngine {
     return *cores_.at(i);
   }
   [[nodiscard]] std::uint64_t total_probes() const;
+
+  // Publishes cycle counts, per-core probe/match/expiry counters, channel
+  // crossings and per-FIFO occupancy high-water under `prefix`. All
+  // values are deterministic (cycle-accurate simulation).
+  void collect_metrics(obs::MetricRegistry& registry,
+                       const std::string& prefix) const;
 
  private:
   sim::Fifo<stream::Tuple>& new_tuple_fifo(std::string name,

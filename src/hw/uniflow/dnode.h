@@ -17,6 +17,7 @@
 
 #include "common/assert.h"
 #include "hw/common/word.h"
+#include "obs/enabled.h"
 #include "sim/fifo.h"
 #include "sim/module.h"
 
@@ -33,7 +34,10 @@ class DNode final : public sim::Module {
   void eval() override {
     if (!in_.can_pop()) return;
     for (const auto* out : outs_) {
-      if (!out->can_push()) return;  // broadcast backpressure
+      if (!out->can_push()) {  // broadcast backpressure
+        if constexpr (obs::kEnabled) ++stall_cycles_;
+        return;
+      }
     }
     const HwWord w = in_.pop();
     for (auto* out : outs_) out->push(w);
@@ -42,11 +46,17 @@ class DNode final : public sim::Module {
 
   [[nodiscard]] std::size_t fan_out() const noexcept { return outs_.size(); }
   [[nodiscard]] std::uint64_t forwarded() const noexcept { return forwarded_; }
+  // Cycles a word was ready but a downstream buffer was full. Always 0
+  // with HAL_OBS=0.
+  [[nodiscard]] std::uint64_t stall_cycles() const noexcept {
+    return stall_cycles_;
+  }
 
  private:
   sim::Fifo<HwWord>& in_;
   std::vector<sim::Fifo<HwWord>*> outs_;
   std::uint64_t forwarded_ = 0;
+  std::uint64_t stall_cycles_ = 0;
 };
 
 }  // namespace hal::hw

@@ -170,4 +170,41 @@ std::uint64_t UniflowEngine::total_probes() const {
   return total;
 }
 
+void UniflowEngine::collect_metrics(obs::MetricRegistry& registry,
+                                    const std::string& prefix) const {
+  sim_.collect_metrics(registry, prefix);
+
+  std::uint64_t probes = 0;
+  std::uint64_t matches = 0;
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    const IUniflowCore& c = *cores_[i];
+    const std::string core_prefix =
+        prefix + "core." + std::to_string(i) + ".";
+    registry.set_counter(core_prefix + "probes", c.probes());
+    registry.set_counter(core_prefix + "matches", c.matches());
+    registry.set_counter(core_prefix + "tuples_seen", c.tuples_seen());
+    probes += c.probes();
+    matches += c.matches();
+  }
+  registry.set_counter(prefix + "probes", probes);
+  registry.set_counter(prefix + "matches", matches);
+  registry.set_counter(prefix + "results", sink_->collected().size());
+
+  std::uint64_t dist_stalls = 0;
+  for (const auto& d : dnodes_) dist_stalls += d->stall_cycles();
+  registry.set_counter(prefix + "distribution.stall_cycles", dist_stalls);
+  std::uint64_t gather_stalls = 0;
+  for (const auto& g : gnodes_) gather_stalls += g->stall_cycles();
+  registry.set_counter(prefix + "gathering.stall_cycles", gather_stalls);
+
+  for (const auto& f : word_fifos_) {
+    registry.set_counter(prefix + "fifo." + f->name() + ".high_water",
+                         f->high_water());
+  }
+  for (const auto& f : result_fifos_) {
+    registry.set_counter(prefix + "fifo." + f->name() + ".high_water",
+                         f->high_water());
+  }
+}
+
 }  // namespace hal::hw

@@ -18,6 +18,7 @@
 #include "hw/uniflow/gnode.h"
 #include "hw/uniflow/hash_join_core.h"
 #include "hw/uniflow/join_core.h"
+#include "obs/metrics.h"
 #include "sim/fifo.h"
 #include "sim/simulator.h"
 #include "stream/join_spec.h"
@@ -95,6 +96,12 @@ class UniflowEngine {
     return *cores_.at(i);
   }
   [[nodiscard]] std::uint64_t total_probes() const;
+
+  // Publishes cycle counts, per-core probe/match counters, network
+  // stall cycles and per-FIFO occupancy high-water under `prefix`. All
+  // values are deterministic (cycle-accurate simulation).
+  void collect_metrics(obs::MetricRegistry& registry,
+                       const std::string& prefix) const;
 
  private:
   sim::Fifo<HwWord>& new_word_fifo(std::string name);

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/assert.h"
+#include "obs/enabled.h"
 #include "sim/fifo.h"
 #include "sim/module.h"
 #include "stream/tuple.h"
@@ -33,21 +34,31 @@ class GNode final : public sim::Module {
 
   void eval() override {
     auto* granted = ins_[grant_];
-    if (granted->can_pop() && out_.can_push()) {
-      out_.push(granted->pop());
-      ++forwarded_;
+    if (granted->can_pop()) {
+      if (out_.can_push()) {
+        out_.push(granted->pop());
+        ++forwarded_;
+      } else if constexpr (obs::kEnabled) {
+        ++stall_cycles_;  // granted source ready, downstream full
+      }
     }
     grant_ = (grant_ + 1) % ins_.size();
   }
 
   [[nodiscard]] std::size_t fan_in() const noexcept { return ins_.size(); }
   [[nodiscard]] std::uint64_t forwarded() const noexcept { return forwarded_; }
+  // Cycles the granted input held a result but the downstream link was
+  // full. Always 0 with HAL_OBS=0.
+  [[nodiscard]] std::uint64_t stall_cycles() const noexcept {
+    return stall_cycles_;
+  }
 
  private:
   std::vector<sim::Fifo<stream::ResultTuple>*> ins_;
   sim::Fifo<stream::ResultTuple>& out_;
   std::size_t grant_ = 0;
   std::uint64_t forwarded_ = 0;
+  std::uint64_t stall_cycles_ = 0;
 };
 
 }  // namespace hal::hw

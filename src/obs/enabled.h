@@ -1,0 +1,22 @@
+// Compile-time switch for the hal::obs observability layer.
+//
+// Build with -DHAL_OBS=0 (CMake: -DHAL_OBS=OFF) to compile every metrics
+// and tracing hook down to a no-op: the instrumented hot paths (FIFO
+// high-water tracking, per-core counters, span recording) are guarded by
+// `if constexpr (obs::kEnabled)` or expand to empty inline bodies, so a
+// disabled build carries zero runtime and zero memory overhead. This is
+// the contract that lets the figure benches (Figs. 14-17) run with
+// instrumentation in the tree without perturbing the numbers they report.
+//
+// Kept dependency-free so headers as low as sim/fifo.h can include it.
+#pragma once
+
+#ifndef HAL_OBS
+#define HAL_OBS 1
+#endif
+
+namespace hal::obs {
+
+inline constexpr bool kEnabled = (HAL_OBS != 0);
+
+}  // namespace hal::obs

@@ -1,0 +1,295 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+
+namespace hal::obs {
+
+namespace {
+
+void append_fmt(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void append_fmt(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+// %.17g round-trips every double and is byte-stable for equal values.
+void append_double(std::string& out, double v) {
+  append_fmt(out, "%.17g", v);
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          append_fmt(out, "\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string to_json(const ObsSnapshot& snapshot, const ExportOptions& opts) {
+  std::string out = "{\n  \"obs\": ";
+  append_json_string(
+      out, snapshot.label.empty() ? opts.default_label : snapshot.label);
+  append_fmt(out, ",\n  \"deterministic_only\": %s",
+             opts.include_runtime ? "false" : "true");
+  out += ",\n  \"metrics\": [";
+  bool first = true;
+  for (const MetricSnapshot& m : snapshot.metrics) {
+    if (!opts.include_runtime && m.stability == Stability::kRuntime) {
+      continue;
+    }
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\": ";
+    append_json_string(out, m.name);
+    append_fmt(out, ", \"kind\": \"%s\", \"stability\": \"%s\"",
+               to_string(m.kind), to_string(m.stability));
+    switch (m.kind) {
+      case Kind::kCounter:
+        append_fmt(out, ", \"value\": %llu}",
+                   static_cast<unsigned long long>(m.counter_value));
+        break;
+      case Kind::kGauge:
+        out += ", \"value\": ";
+        append_double(out, m.gauge_value);
+        out += '}';
+        break;
+      case Kind::kHistogram: {
+        const HistogramSnapshot& h = m.histogram.value();
+        append_fmt(out, ", \"count\": %llu, \"sum\": ",
+                   static_cast<unsigned long long>(h.count));
+        append_double(out, h.sum);
+        out += ", \"min\": ";
+        append_double(out, h.min);
+        out += ", \"max\": ";
+        append_double(out, h.max);
+        out += ", \"p50\": ";
+        append_double(out, h.p50());
+        out += ", \"p99\": ";
+        append_double(out, h.p99());
+        out += ", \"buckets\": [";
+        for (std::size_t i = 0; i < h.counts.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += "{\"le\": ";
+          if (i < h.upper_bounds.size()) {
+            append_double(out, h.upper_bounds[i]);
+          } else {
+            out += "\"inf\"";
+          }
+          append_fmt(out, ", \"count\": %llu}",
+                     static_cast<unsigned long long>(h.counts[i]));
+        }
+        out += "]}";
+        break;
+      }
+    }
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+std::string to_csv(const ObsSnapshot& snapshot, const ExportOptions& opts) {
+  std::string out = "name,kind,stability,value,count,min,max,p50,p99\n";
+  for (const MetricSnapshot& m : snapshot.metrics) {
+    if (!opts.include_runtime && m.stability == Stability::kRuntime) {
+      continue;
+    }
+    // Metric names are identifier-style (no commas/quotes); write as-is.
+    out += m.name;
+    append_fmt(out, ",%s,%s,", to_string(m.kind), to_string(m.stability));
+    switch (m.kind) {
+      case Kind::kCounter:
+        append_fmt(out, "%llu,,,,,",
+                   static_cast<unsigned long long>(m.counter_value));
+        break;
+      case Kind::kGauge:
+        append_double(out, m.gauge_value);
+        out += ",,,,,";
+        break;
+      case Kind::kHistogram: {
+        const HistogramSnapshot& h = m.histogram.value();
+        append_double(out, h.sum);
+        append_fmt(out, ",%llu,", static_cast<unsigned long long>(h.count));
+        append_double(out, h.min);
+        out += ',';
+        append_double(out, h.max);
+        out += ',';
+        append_double(out, h.p50());
+        out += ',';
+        append_double(out, h.p99());
+        break;
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+// --- json_lint -------------------------------------------------------------
+
+namespace {
+
+struct Lint {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() && std::isspace(
+                                    static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+  [[nodiscard]] bool eat(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  [[nodiscard]] bool literal(std::string_view word) {
+    if (text.substr(pos, word.size()) != word) return false;
+    pos += word.size();
+    return true;
+  }
+
+  [[nodiscard]] bool value() {
+    skip_ws();
+    if (pos >= text.size()) return false;
+    switch (text[pos]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  [[nodiscard]] bool object() {
+    if (!eat('{')) return false;
+    if (eat('}')) return true;
+    do {
+      skip_ws();
+      if (!string()) return false;
+      if (!eat(':')) return false;
+      if (!value()) return false;
+    } while (eat(','));
+    return eat('}');
+  }
+
+  [[nodiscard]] bool array() {
+    if (!eat('[')) return false;
+    if (eat(']')) return true;
+    do {
+      if (!value()) return false;
+    } while (eat(','));
+    return eat(']');
+  }
+
+  [[nodiscard]] bool string() {
+    if (pos >= text.size() || text[pos] != '"') return false;
+    ++pos;
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos;
+        if (pos >= text.size()) return false;
+        const char esc = text[pos];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos;
+            if (pos >= text.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text[pos]))) {
+              return false;
+            }
+          }
+        } else if (std::strchr("\"\\/bfnrt", esc) == nullptr) {
+          return false;
+        }
+      }
+      ++pos;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool number() {
+    const std::size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    bool digits = false;
+    while (pos < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+      digits = true;
+    }
+    if (!digits) return false;
+    if (pos < text.size() && text[pos] == '.') {
+      ++pos;
+      digits = false;
+      while (pos < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+        digits = true;
+      }
+      if (!digits) return false;
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      digits = false;
+      while (pos < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+        digits = true;
+      }
+      if (!digits) return false;
+    }
+    return pos > start;
+  }
+};
+
+}  // namespace
+
+bool json_lint(std::string_view text) {
+  Lint lint{text};
+  if (!lint.value()) return false;
+  lint.skip_ws();
+  return lint.pos == text.size();
+}
+
+bool write_file(const std::string& path, std::string_view content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t written =
+      content.empty() ? 0 : std::fwrite(content.data(), 1, content.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  return written == content.size() && closed;
+}
+
+}  // namespace hal::obs

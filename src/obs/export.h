@@ -1,0 +1,40 @@
+// Serialization of ObsSnapshots: JSON (same shape family as the
+// BENCH_*.json artifacts the benches already emit — a top-level object
+// with a label key and nested arrays of flat objects) and CSV for
+// spreadsheet-side regression tracking.
+//
+// Formatting is locale-independent and field order is fixed (snapshots
+// are name-sorted, doubles print with %.17g round-trip precision), so two
+// snapshots with equal contents serialize byte-identically — the property
+// the determinism tests lean on.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace hal::obs {
+
+struct ExportOptions {
+  // When false, metrics with Stability::kRuntime are omitted — the
+  // deterministic projection compared by the snapshot tests.
+  bool include_runtime = true;
+  // Label written into the JSON "obs" field when the snapshot has none.
+  std::string default_label = "hal";
+};
+
+[[nodiscard]] std::string to_json(const ObsSnapshot& snapshot,
+                                  const ExportOptions& opts = {});
+[[nodiscard]] std::string to_csv(const ObsSnapshot& snapshot,
+                                 const ExportOptions& opts = {});
+
+// Minimal strict JSON syntax checker (objects, arrays, strings, numbers,
+// bools, null; no trailing garbage). Used by tests to validate exporter
+// output and the BENCH_*.json artifacts without a JSON dependency.
+[[nodiscard]] bool json_lint(std::string_view text);
+
+// Writes `content` to `path` (truncating). Returns false on I/O failure.
+bool write_file(const std::string& path, std::string_view content);
+
+}  // namespace hal::obs

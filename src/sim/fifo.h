@@ -21,6 +21,7 @@
 #include <optional>
 
 #include "common/assert.h"
+#include "obs/enabled.h"
 #include "sim/module.h"
 
 namespace hal::sim {
@@ -67,6 +68,11 @@ class Fifo final : public Module {
   [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+  // Maximum committed occupancy observed since construction. Deterministic
+  // (a function of the cycle-accurate schedule); always 0 with HAL_OBS=0.
+  [[nodiscard]] std::size_t high_water() const noexcept {
+    return high_water_;
+  }
 
   void eval() override {}
 
@@ -79,6 +85,9 @@ class Fifo final : public Module {
       data_.push_back(std::move(*staged_push_));
       staged_push_.reset();
       HAL_ASSERT(data_.size() <= capacity_);
+      if constexpr (obs::kEnabled) {
+        if (data_.size() > high_water_) high_water_ = data_.size();
+      }
     }
   }
 
@@ -87,6 +96,7 @@ class Fifo final : public Module {
   std::deque<T> data_;
   std::optional<T> staged_push_;
   bool staged_pop_ = false;
+  std::size_t high_water_ = 0;
 };
 
 }  // namespace hal::sim

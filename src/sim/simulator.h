@@ -5,6 +5,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sim/module.h"
 
 namespace hal::sim {
@@ -38,6 +39,14 @@ class Simulator {
   [[nodiscard]] std::uint64_t cycle() const noexcept { return cycle_; }
   [[nodiscard]] std::size_t module_count() const noexcept {
     return modules_.size();
+  }
+
+  // Publishes the clock-domain metrics (cycle count, module count) under
+  // `prefix`. Engines layer their per-module counters on top.
+  void collect_metrics(obs::MetricRegistry& registry,
+                       const std::string& prefix) const {
+    registry.set_counter(prefix + "sim.cycles", cycle_);
+    registry.set_counter(prefix + "sim.modules", modules_.size());
   }
 
  private:

@@ -142,6 +142,7 @@ void BatchJoinEngine::run_batch(const Tuple* data, std::size_t count) {
   last_kernel_seconds_ = timer.elapsed_seconds();
   total_kernel_seconds_ += last_kernel_seconds_;
   ++batches_run_;
+  if constexpr (obs::kEnabled) batch_fills_.push_back(count);
 }
 
 SwRunReport BatchJoinEngine::process(const std::vector<Tuple>& tuples) {
@@ -157,6 +158,29 @@ SwRunReport BatchJoinEngine::process(const std::vector<Tuple>& tuples) {
   report.tuples_processed = tuples.size();
   report.results_emitted = results_.size() - before;
   return report;
+}
+
+void BatchJoinEngine::collect_metrics(obs::MetricRegistry& registry,
+                                      const std::string& prefix) const {
+  registry.set_counter(prefix + "batches_run", batches_run_);
+  registry.set_counter(prefix + "tuples_processed", count_r_ + count_s_);
+  registry.set_counter(prefix + "results", results_.size());
+  registry.set_gauge(prefix + "kernel.total_seconds", total_kernel_seconds_,
+                     obs::Stability::kRuntime);
+  registry.set_gauge(prefix + "kernel.last_seconds", last_kernel_seconds_,
+                     obs::Stability::kRuntime);
+  // Fill distribution: powers of two up to the configured batch size, so
+  // a flushed partial batch is visibly separated from the full ones.
+  std::vector<double> bounds;
+  for (std::size_t b = 1; b < cfg_.batch_size; b *= 2) {
+    bounds.push_back(static_cast<double>(b));
+  }
+  bounds.push_back(static_cast<double>(cfg_.batch_size));
+  auto& fill = registry.histogram(prefix + "batch.fill", std::move(bounds),
+                                  obs::Stability::kDeterministic);
+  for (const std::size_t f : batch_fills_) {
+    fill.record(static_cast<double>(f));
+  }
 }
 
 double BatchJoinEngine::batch_latency_seconds(double input_rate_tps) const {

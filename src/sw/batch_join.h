@@ -24,6 +24,8 @@
 #include <vector>
 
 #include "common/spsc_queue.h"
+#include "obs/enabled.h"
+#include "obs/metrics.h"
 #include "stream/join_spec.h"
 #include "stream/tuple.h"
 #include "sw/splitjoin.h"  // SwRunReport
@@ -63,6 +65,14 @@ class BatchJoinEngine {
     return last_kernel_seconds_;
   }
   [[nodiscard]] const BatchJoinConfig& config() const noexcept { return cfg_; }
+
+  // Publishes batch counts, a batch-fill histogram (how full each
+  // dispatched batch was — partial flushes show up as underfilled
+  // buckets) and kernel timing. Fill/result metrics are deterministic;
+  // kernel seconds are wall-clock and therefore kRuntime. The fill
+  // histogram accumulates records, so call at most once per registry.
+  void collect_metrics(obs::MetricRegistry& registry,
+                       const std::string& prefix) const;
 
  private:
   // A windowed tuple tagged with its per-stream arrival index, so the
@@ -117,6 +127,7 @@ class BatchJoinEngine {
   double last_kernel_seconds_ = 0.0;
   double total_kernel_seconds_ = 0.0;
   std::uint64_t batches_run_ = 0;
+  std::vector<std::size_t> batch_fills_;  // per-batch tuple counts (obs)
 };
 
 }  // namespace hal::sw

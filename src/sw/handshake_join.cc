@@ -54,6 +54,10 @@ void HandshakeJoinEngine::enter(std::uint32_t i, const Tuple& t,
   if (extra != nullptr) {
     for (const Tuple& candidate : *extra) probe(candidate);
   }
+  if constexpr (obs::kEnabled) {
+    core.probes += opposite.size() + (extra != nullptr ? extra->size() : 0);
+    ++core.entries;
+  }
 
   // Store + evict. R evicts rightward onto boundary[i], S leftward onto
   // boundary[i-1]; past the chain ends the tuple expires.
@@ -64,10 +68,12 @@ void HandshakeJoinEngine::enter(std::uint32_t i, const Tuple& t,
       // The handover stays in flight: count it before this entry retires
       // so the pending count can never dip to zero mid-chain.
       pending_.fetch_add(1, std::memory_order_relaxed);
+      if constexpr (obs::kEnabled) ++core.handovers;
       std::lock_guard<std::mutex> lk(boundaries_[i]->mu);
       boundaries_[i]->r_q.push_back(evicted);
     } else if (!is_r && i > 0) {
       pending_.fetch_add(1, std::memory_order_relaxed);
+      if constexpr (obs::kEnabled) ++core.handovers;
       std::lock_guard<std::mutex> lk(boundaries_[i - 1]->mu);
       boundaries_[i - 1]->s_q.push_back(evicted);
     }
@@ -160,6 +166,36 @@ SwRunReport HandshakeJoinEngine::process(const std::vector<Tuple>& tuples) {
   report.tuples_processed = tuples.size();
   report.results_emitted = results_count_.load(std::memory_order_acquire);
   return report;
+}
+
+void HandshakeJoinEngine::collect_metrics(obs::MetricRegistry& registry,
+                                          const std::string& prefix) const {
+  std::uint64_t probes = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t handovers = 0;
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    const Core& core = *cores_[i];
+    const std::string core_prefix =
+        prefix + "core." + std::to_string(i) + ".";
+    registry.set_counter(core_prefix + "probes", core.probes,
+                         obs::Stability::kRuntime);
+    registry.set_counter(core_prefix + "matches", core.local_results.size(),
+                         obs::Stability::kRuntime);
+    registry.set_counter(core_prefix + "entries", core.entries,
+                         obs::Stability::kRuntime);
+    registry.set_counter(core_prefix + "handovers", core.handovers,
+                         obs::Stability::kRuntime);
+    probes += core.probes;
+    entries += core.entries;
+    handovers += core.handovers;
+  }
+  registry.set_counter(prefix + "probes", probes, obs::Stability::kRuntime);
+  registry.set_counter(prefix + "entries", entries, obs::Stability::kRuntime);
+  registry.set_counter(prefix + "handovers", handovers,
+                       obs::Stability::kRuntime);
+  registry.set_counter(prefix + "results",
+                       results_count_.load(std::memory_order_acquire),
+                       obs::Stability::kRuntime);
 }
 
 std::vector<stream::ResultTuple> HandshakeJoinEngine::results() const {

@@ -27,6 +27,8 @@
 
 #include "common/spsc_queue.h"
 #include "hw/common/sub_window.h"
+#include "obs/enabled.h"
+#include "obs/metrics.h"
 #include "stream/join_spec.h"
 #include "stream/tuple.h"
 #include "sw/splitjoin.h"  // SwRunReport
@@ -63,6 +65,14 @@ class HandshakeJoinEngine {
     return cfg_;
   }
 
+  // Publishes per-core probe/match/handover tallies. Everything here is
+  // kRuntime: with more than one core the chain's window semantics depend
+  // on thread interleaving (crossings race against arrivals), so even the
+  // total result count varies run to run. Call only between process()
+  // calls (quiescent chain).
+  void collect_metrics(obs::MetricRegistry& registry,
+                       const std::string& prefix) const;
+
  private:
   struct Boundary {
     std::mutex mu;
@@ -77,6 +87,11 @@ class HandshakeJoinEngine {
     hw::SubWindow win_s;
     SpscQueue<stream::Tuple> input;  // driver feed (used at chain ends)
     std::vector<stream::ResultTuple> local_results;
+    // Core-thread-owned tallies, read at quiescence (published by the
+    // pending_ release/acquire pair).
+    std::uint64_t probes = 0;
+    std::uint64_t entries = 0;
+    std::uint64_t handovers = 0;
   };
 
   void core_loop(std::uint32_t i);

@@ -48,6 +48,12 @@ void SplitJoinEngine::core_loop(std::uint32_t index) {
 
     const bool is_r = t.origin == StreamId::R;
     const hw::SubWindow& opposite = is_r ? core.win_s : core.win_r;
+    if constexpr (obs::kEnabled) {
+      // +1 for the tuple just popped: the depth the broadcaster saw.
+      const std::size_t depth = core.inbox.size_approx() + 1;
+      if (depth > core.inbox_high_water) core.inbox_high_water = depth;
+      core.probes += opposite.size();
+    }
     // Probe: nested-loop scan over the local sub-window, exactly the
     // hardware Processing Core's job on this fraction of the window.
     for (std::size_t i = 0; i < opposite.size(); ++i) {
@@ -55,6 +61,7 @@ void SplitJoinEngine::core_loop(std::uint32_t index) {
       const Tuple& r = is_r ? t : candidate;
       const Tuple& s = is_r ? candidate : t;
       if (spec_.matches(r, s)) {
+        if constexpr (obs::kEnabled) ++core.matches;
         ResultTuple result{r, s};
         while (!core.outbox.try_push(result)) {
           std::this_thread::yield();  // gatherer backpressure
@@ -136,6 +143,29 @@ SwRunReport SplitJoinEngine::process(const std::vector<Tuple>& tuples) {
   report.tuples_processed = tuples.size();
   report.results_emitted = collected_count_.load(std::memory_order_acquire);
   return report;
+}
+
+void SplitJoinEngine::collect_metrics(obs::MetricRegistry& registry,
+                                      const std::string& prefix) const {
+  std::uint64_t probes = 0;
+  std::uint64_t matches = 0;
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    const Core& core = *cores_[i];
+    const std::string core_prefix =
+        prefix + "core." + std::to_string(i) + ".";
+    registry.set_counter(core_prefix + "probes", core.probes);
+    registry.set_counter(core_prefix + "matches", core.matches);
+    registry.set_counter(core_prefix + "inbox.high_water",
+                         core.inbox_high_water, obs::Stability::kRuntime);
+    probes += core.probes;
+    matches += core.matches;
+  }
+  registry.set_counter(prefix + "probes", probes);
+  registry.set_counter(prefix + "matches", matches);
+  registry.set_counter(prefix + "tuples_broadcast",
+                       broadcast_count_.load(std::memory_order_acquire));
+  registry.set_counter(prefix + "results",
+                       collected_count_.load(std::memory_order_acquire));
 }
 
 double SplitJoinEngine::measure_tuple_latency_seconds(const Tuple& t) {

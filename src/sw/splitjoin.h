@@ -26,6 +26,8 @@
 #include "common/spsc_queue.h"
 #include "common/stats.h"
 #include "hw/common/sub_window.h"
+#include "obs/enabled.h"
+#include "obs/metrics.h"
 #include "stream/join_spec.h"
 #include "stream/tuple.h"
 
@@ -85,6 +87,13 @@ class SplitJoinEngine {
   }
   [[nodiscard]] const SplitJoinConfig& config() const noexcept { return cfg_; }
 
+  // Publishes per-core probe/match counters (deterministic: every core
+  // scans its full sub-window for every tuple regardless of thread
+  // timing) and inbox-depth high-water marks (runtime: they depend on
+  // scheduling races). Call only while the engine is idle.
+  void collect_metrics(obs::MetricRegistry& registry,
+                       const std::string& prefix) const;
+
  private:
   struct Core {
     explicit Core(std::size_t sub_window, std::size_t queue_capacity)
@@ -98,6 +107,11 @@ class SplitJoinEngine {
     SpscQueue<stream::ResultTuple> outbox;
     std::uint64_t count_r = 0;
     std::uint64_t count_s = 0;
+    // Core-thread-owned observability tallies; read at quiescence only
+    // (the processed counter's release/acquire pair publishes them).
+    std::uint64_t probes = 0;
+    std::uint64_t matches = 0;
+    std::size_t inbox_high_water = 0;
     alignas(kCacheLineSize) std::atomic<std::uint64_t> processed{0};
   };
 

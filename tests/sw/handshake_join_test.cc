@@ -63,8 +63,14 @@ TEST_P(SwHandshakeInvariantTest, ExactlyOnceWithinWindowTolerance) {
   ASSERT_EQ(unique.size(), keys.size()) << "duplicate pairs";
 
   const std::size_t sub = p.window / p.cores;
-  const std::size_t slack =
+  std::size_t slack =
       2 * sub + 4 * p.cores + 2 * cfg.input_queue_capacity + 16;
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+  // The boundary eviction queues are unbounded, and their occupants stay
+  // visible to crossing scans; a core thread descheduled by the
+  // sanitizer's scheduler lets them pile up past the structural slack.
+  slack += p.window;
+#endif
 
   ReferenceJoin wide(p.window + slack, spec);
   const auto wide_keys = normalize(wide.process_all(tuples));
