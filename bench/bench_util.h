@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <string>
 #include <string_view>
@@ -46,7 +47,19 @@ inline void init(int argc, char** argv) {
     if (arg.substr(0, kObsJson.size()) == kObsJson) {
       g_obs_json_path = std::string(arg.substr(kObsJson.size()));
     } else if (arg.substr(0, kOutDir.size()) == kOutDir) {
-      g_out_dir = std::string(arg.substr(kOutDir.size()));
+      std::filesystem::path dir{std::string(arg.substr(kOutDir.size()))};
+      if (dir.is_relative()) {
+        // The process may run with a redirected working directory (ctest
+        // gives every test binary a private workdir); resolve relative
+        // paths against the directory the user invoked from, which the
+        // shell records in $PWD.
+        const char* pwd = std::getenv("PWD");
+        dir = (pwd != nullptr && pwd[0] != '\0'
+                   ? std::filesystem::path(pwd)
+                   : std::filesystem::current_path()) /
+              dir;
+      }
+      g_out_dir = dir.lexically_normal().string();
       std::error_code ec;
       std::filesystem::create_directories(g_out_dir, ec);
       if (ec) {

@@ -14,8 +14,15 @@
 // and a throttled-link run whose measured throughput is checked against
 // the dist::PathModel prediction for the same shard path.
 //
+// A final section re-runs the sharded join with hal::net links — every
+// batch crossing the frame codec and a real (or loopback) wire instead
+// of the in-process SPSC ring — and reports the wire tax next to the
+// SPSC baseline. `--transport=loopback|unix|tcp` picks the wire (default
+// loopback); the series lands in BENCH_net.json.
+//
 // Emits BENCH_cluster.json with the full sweep for downstream tooling.
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <string>
 #include <vector>
@@ -167,6 +174,91 @@ int main(int argc, char** argv) {
   bench::claim(measured > 0.5 * predicted && measured < 1.5 * predicted,
                "measured throughput within 50% of the PathModel "
                "prediction (link-bound)");
+
+  // --- hal::net wire tax ---------------------------------------------------
+  net::TransportKind wire = net::TransportKind::kLoopback;
+  for (int i = 1; i < argc; ++i) {
+    constexpr const char* kFlag = "--transport=";
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      if (!net::parse_transport_kind(argv[i] + std::strlen(kFlag), wire)) {
+        std::fprintf(stderr, "unknown --transport, using loopback\n");
+      }
+    }
+  }
+  bench::banner("Cluster wire tax",
+                "same sharded join, links over hal::net instead of the "
+                "SPSC ring: codec + credit + (real) socket cost");
+  std::printf("  wire: %s\n", net::to_string(wire));
+
+  struct NetPoint {
+    std::uint32_t shards;
+    double spsc_tps;
+    double net_tps;
+    cluster::ClusterReport rep;
+  };
+  std::vector<NetPoint> net_sweep;
+  const auto net_tuples =
+      std::vector<stream::Tuple>(tuples.begin(), tuples.begin() + 40'000);
+  Table net_table({"shards", "SPSC Mtuples/s", "net Mtuples/s", "ratio",
+                   "frames", "MB on wire", "credit stalls"});
+  bool results_identical = true;
+  for (const std::uint32_t shards : {2u, 4u}) {
+    cluster::ClusterConfig base =
+        sharded(core::Backend::kSwSplitJoin, shards, 64, kWindow);
+    // Exact-global windows: the threaded sw backend's window-edge
+    // tolerance is filtered out, so the result count is deterministic
+    // and the SPSC/net comparison is exact, not approximate.
+    base.window_mode = cluster::WindowMode::kExactGlobal;
+    cluster::ClusterEngine spsc_engine(base);
+    const auto spsc_run = spsc_engine.process(net_tuples);
+    const double spsc_tps = spsc_run.tuples_processed / spsc_run.elapsed_seconds;
+
+    cluster::ClusterConfig wired = base;
+    wired.transport.link_transport = wire;
+    cluster::ClusterEngine net_engine(wired);
+    const auto net_run = net_engine.process(net_tuples);
+    const double net_tps = net_run.tuples_processed / net_run.elapsed_seconds;
+    if (net_run.results_emitted != spsc_run.results_emitted) {
+      results_identical = false;
+    }
+    const cluster::ClusterReport rep = net_engine.report();
+    net_sweep.push_back({shards, spsc_tps, net_tps, rep});
+    net_table.add_row({Table::integer(shards), Table::num(spsc_tps / 1e6, 3),
+                       Table::num(net_tps / 1e6, 3),
+                       Table::num(net_tps / spsc_tps, 2),
+                       Table::integer(rep.net.frames_sent),
+                       Table::num(rep.net.bytes_sent / 1e6, 1),
+                       Table::integer(rep.net.credit_stalls)});
+  }
+  net_table.print();
+  bench::claim(results_identical,
+               "net-backed links emit exactly the SPSC result count");
+
+  const std::string net_json_path = bench::out_path("BENCH_net.json");
+  if (std::FILE* f = std::fopen(net_json_path.c_str(), "w")) {
+    std::fprintf(f, "{\n  \"bench\": \"cluster_scaling/net\",\n");
+    std::fprintf(f, "  \"transport\": \"%s\",\n  \"tuples\": %zu,\n",
+                 net::to_string(wire), net_tuples.size());
+    std::fprintf(f, "  \"sweep\": [\n");
+    for (std::size_t i = 0; i < net_sweep.size(); ++i) {
+      const auto& p = net_sweep[i];
+      std::fprintf(f,
+                   "    {\"shards\": %u, \"spsc_tps\": %.1f, \"net_tps\": "
+                   "%.1f, \"frames_sent\": %llu, \"bytes_sent\": %llu, "
+                   "\"credit_stalls\": %llu, \"acks\": %llu}%s\n",
+                   p.shards, p.spsc_tps, p.net_tps,
+                   static_cast<unsigned long long>(p.rep.net.frames_sent),
+                   static_cast<unsigned long long>(p.rep.net.bytes_sent),
+                   static_cast<unsigned long long>(p.rep.net.credit_stalls),
+                   static_cast<unsigned long long>(p.rep.net.acks_received),
+                   i + 1 < net_sweep.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", net_json_path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: cannot write %s\n", net_json_path.c_str());
+  }
 
   // Fold the overload run's counters into the process registry so
   // --obs-json captures the cluster layer's metrics too.

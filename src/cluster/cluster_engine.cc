@@ -1,5 +1,7 @@
 #include "cluster/cluster_engine.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 
 #include "common/assert.h"
@@ -100,6 +102,7 @@ ClusterEngine::ClusterEngine(const ClusterConfig& cfg)
       merge_.push_back(std::make_unique<MergeSlot>());
     }
   }
+  setup_net_links();
   for (auto& w : workers_) {
     Worker* raw = w.get();
     raw->thread = std::thread([this, raw] { worker_loop(*raw); });
@@ -107,10 +110,65 @@ ClusterEngine::ClusterEngine(const ClusterConfig& cfg)
   merger_ = std::thread([this] { merger_loop(); });
 }
 
+void ClusterEngine::setup_net_links() {
+  const net::TransportKind kind = cfg_.transport.link_transport;
+  if (kind == net::TransportKind::kInProcess) return;
+  net_transport_ = net::make_transport(kind);
+
+  static std::atomic<std::uint64_t> instance_counter{0};
+  const std::uint64_t id =
+      instance_counter.fetch_add(1, std::memory_order_relaxed);
+  std::string address;
+  switch (kind) {
+    case net::TransportKind::kLoopback:
+      address = "cluster";  // the rendezvous hub is per-engine anyway
+      break;
+    case net::TransportKind::kUnix:
+      address = "@hal-cluster-" + std::to_string(::getpid()) + "-" +
+                std::to_string(id);
+      break;
+    case net::TransportKind::kTcp:
+      address = "127.0.0.1:0";  // ephemeral; resolved below
+      break;
+    case net::TransportKind::kInProcess:
+      break;
+  }
+  net::EndpointOptions opts;
+  opts.window_frames = cfg_.transport.net_window_frames;
+  net_listener_ = net_transport_->listen(address, opts);
+  const std::string dial_address = net_listener_->address();
+
+  // One connection pair per link, established strictly dial-then-accept
+  // so accept order matches dial order. shard 0 = ingress, 1 = egress.
+  for (auto& w : workers_) {
+    for (std::uint32_t dir = 0; dir < 2; ++dir) {
+      net::EndpointOptions dial = opts;
+      dial.node_id = w->index;
+      dial.shard = dir;
+      if (dir == 0) dial.fault = cfg_.transport.net_fault;
+      net_dialers_.push_back(net_transport_->connect(dial_address, dial));
+      net::Connection* accepted = net_listener_->accept(15.0);
+      HAL_CHECK(accepted != nullptr, "net-backed link accept timed out");
+      net_acceptors_.push_back(accepted);
+      if (dir == 0) {
+        w->inbox.attach_net(net_dialers_.back().get(), accepted);
+      } else {
+        w->outbox.attach_net(net_dialers_.back().get(), accepted);
+      }
+    }
+  }
+}
+
 ClusterEngine::~ClusterEngine() {
   stop_.store(true, std::memory_order_release);
   for (auto& w : workers_) w->thread.join();
   merger_.join();
+  // Net teardown after every thread that touches a connection is gone:
+  // dialers first (their I/O threads stop), then the listener (owns the
+  // acceptor ends), then the transport.
+  net_dialers_.clear();
+  net_listener_.reset();
+  net_transport_.reset();
 }
 
 void ClusterEngine::wait_until(double deadline_us) const {
@@ -381,6 +439,11 @@ ClusterReport ClusterEngine::report() const {
         std::max(rep.egress_queue_high_water, wr.egress.queue_high_water);
     rep.workers.push_back(std::move(wr));
   }
+  if (net_transport_ != nullptr) {
+    rep.net_enabled = true;
+    for (const auto& c : net_dialers_) rep.net.add(c->stats());
+    for (const net::Connection* c : net_acceptors_) rep.net.add(c->stats());
+  }
   return rep;
 }
 
@@ -406,6 +469,9 @@ void ClusterEngine::collect_metrics(obs::MetricRegistry& registry,
                        obs::Stability::kRuntime);
   registry.set_gauge(prefix + "elapsed_seconds", rep.elapsed_seconds,
                      obs::Stability::kRuntime);
+  if (rep.net_enabled) {
+    net::collect_metrics(registry, prefix + "net.", rep.net);
+  }
   for (const WorkerReport& wr : rep.workers) {
     const std::string wp =
         prefix + "worker." + std::to_string(wr.index) + ".";

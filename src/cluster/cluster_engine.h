@@ -121,6 +121,10 @@ struct ClusterReport {
   std::size_t ingress_queue_high_water = 0;
   std::size_t egress_queue_high_water = 0;
   double elapsed_seconds = 0.0;  // Σ process() wall time
+  // Net-backed links only: every connection end's counters, summed (so
+  // each wire frame shows up once as sent and once as received).
+  bool net_enabled = false;
+  net::NetStats net;
 
   [[nodiscard]] double throughput_tuples_per_sec() const noexcept {
     return elapsed_seconds > 0.0
@@ -205,10 +209,23 @@ class ClusterEngine final : public core::StreamJoinEngine {
   void wait_until(double deadline_us) const;
   [[nodiscard]] double now_us() const { return timer_.elapsed_us(); }
 
+  // Establishes one net connection pair per worker link and attaches it
+  // (constructor, net-backed transports only).
+  void setup_net_links();
+
   ClusterConfig cfg_;
   Router router_;
   WindowTracker tracker_;  // used iff window_mode == kExactGlobal
   Timer timer_;            // cluster clock: µs since construction
+
+  // Net-backed link state (unused when link_transport == kInProcess).
+  // Dialer ends are owned here; acceptor ends by the listener. Teardown
+  // order matters: threads join first, then dialers close, then the
+  // listener (and its connections), then the transport.
+  std::unique_ptr<net::Transport> net_transport_;
+  std::unique_ptr<net::Listener> net_listener_;
+  std::vector<std::unique_ptr<net::Connection>> net_dialers_;
+  std::vector<net::Connection*> net_acceptors_;
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::unique_ptr<MergeSlot>> merge_;

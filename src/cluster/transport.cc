@@ -1,5 +1,7 @@
 #include "cluster/transport.h"
 
+#include "common/assert.h"
+
 namespace hal::cluster {
 
 TransportParams TransportParams::from_pipeline(const dist::PipelineParams& p) {
@@ -13,6 +15,54 @@ TransportParams TransportParams::from_pipeline(const dist::PipelineParams& p) {
   t.egress.bandwidth_tps = p.nic_tps;
   t.egress.latency_us = p.nic_latency_us;
   return t;
+}
+
+bool net_try_send(net::Connection& conn, const TupleBatch& b) {
+  net::TupleBatchMsg msg;
+  msg.epoch = b.epoch;
+  msg.end_of_epoch = b.end_of_epoch;
+  msg.tuples = b.tuples;
+  return conn.try_send(net::MsgType::kTupleBatch, net::encode(msg));
+}
+
+bool net_try_send(net::Connection& conn, const ResultBatch& b) {
+  net::ResultBatchMsg msg;
+  msg.epoch = b.epoch;
+  msg.end_of_epoch = b.end_of_epoch;
+  msg.died = b.died;
+  msg.results = b.results;
+  return conn.try_send(net::MsgType::kResultBatch, net::encode(msg));
+}
+
+bool net_try_recv(net::Connection& conn, TupleBatch& out) {
+  net::Frame frame;
+  if (!conn.try_recv(frame)) return false;
+  HAL_CHECK(frame.header.type == net::MsgType::kTupleBatch,
+            "unexpected message type on a tuple link");
+  net::TupleBatchMsg msg;
+  HAL_CHECK(net::decode(frame.payload, msg),
+            "undecodable tuple batch on a verified frame");
+  out.epoch = msg.epoch;
+  out.end_of_epoch = msg.end_of_epoch;
+  out.deliver_at_us = 0.0;
+  out.tuples = std::move(msg.tuples);
+  return true;
+}
+
+bool net_try_recv(net::Connection& conn, ResultBatch& out) {
+  net::Frame frame;
+  if (!conn.try_recv(frame)) return false;
+  HAL_CHECK(frame.header.type == net::MsgType::kResultBatch,
+            "unexpected message type on a result link");
+  net::ResultBatchMsg msg;
+  HAL_CHECK(net::decode(frame.payload, msg),
+            "undecodable result batch on a verified frame");
+  out.epoch = msg.epoch;
+  out.end_of_epoch = msg.end_of_epoch;
+  out.died = msg.died;
+  out.deliver_at_us = 0.0;
+  out.results = std::move(msg.results);
+  return true;
 }
 
 dist::PathModel shard_path_model(const TransportParams& t, double worker_tps,

@@ -26,6 +26,7 @@
 #include "common/spsc_queue.h"
 #include "dist/deployments.h"
 #include "dist/path_model.h"
+#include "net/transport.h"
 #include "stream/tuple.h"
 
 namespace hal::cluster {
@@ -45,6 +46,19 @@ struct TransportParams {
   std::size_t batch_size = 64;
   LinkParams ingress;  // router → worker
   LinkParams egress;   // worker → merger
+
+  // Link backing. kInProcess keeps the raw SPSC queues below (with
+  // bandwidth/latency modeling); any other kind routes every batch
+  // through a hal::net connection pair — full wire codec, credit window,
+  // and (for kUnix/kTcp) real sockets between the cluster's threads.
+  // Modeled pacing does not apply to net-backed links: the wire is real,
+  // so its latency is too.
+  net::TransportKind link_transport = net::TransportKind::kInProcess;
+  // Credit window granted on each net-backed link, in frames.
+  std::size_t net_window_frames = 64;
+  // Wire faults injected on every net-backed ingress link (recovery is
+  // the transport's job; the cluster's results must not change).
+  net::FaultPlan net_fault;
 
   // Derives link parameters from the distributed-pipeline parameter set
   // used by the dist:: deployment models: the router→worker hop crosses
@@ -86,6 +100,14 @@ struct LinkStats {
   std::size_t queue_high_water = 0;  // max observed occupancy, in batches
 };
 
+// Batch ↔ wire-message bridging for net-backed links (transport.cc).
+// try_send returns false on a refused send (credit window exhausted);
+// try_recv returns false when no data message is pending.
+[[nodiscard]] bool net_try_send(net::Connection& conn, const TupleBatch& b);
+[[nodiscard]] bool net_try_send(net::Connection& conn, const ResultBatch& b);
+[[nodiscard]] bool net_try_recv(net::Connection& conn, TupleBatch& out);
+[[nodiscard]] bool net_try_recv(net::Connection& conn, ResultBatch& out);
+
 // A bounded SPSC channel with bandwidth/latency modeling and stall
 // accounting. `now_us` is the caller-supplied cluster clock (microseconds
 // since engine start) so pacing composes with fault-injected extra delay.
@@ -95,11 +117,33 @@ class Link {
   explicit Link(const LinkParams& params)
       : params_(params), queue_(params.capacity_batches) {}
 
+  // Routes the link through a hal::net connection pair instead of the
+  // SPSC queue: the producer end encodes every batch onto `tx`, the
+  // consumer end decodes from `rx`. Call before any traffic; both
+  // connections must outlive the link's use. Modeled pacing is disabled
+  // (deliver_at_us stays 0) — a net-backed wire has real latency.
+  void attach_net(net::Connection* tx, net::Connection* rx) {
+    net_tx_ = tx;
+    net_rx_ = rx;
+  }
+  [[nodiscard]] bool net_backed() const noexcept { return net_tx_ != nullptr; }
+
   // Blocking send with backpressure accounting; stamps the delivery
   // deadline but never sleeps for pacing itself (the receiver pays the
   // modeled wire time, keeping a single producer able to feed N links at
   // their aggregate rate).
   void send(T msg, double now_us, std::uint64_t payload_items) {
+    if (net_tx_ != nullptr) {
+      ++stats_.batches;
+      stats_.payload_items += payload_items;
+      // A refused send is the wire's ready/valid stall: the peer's credit
+      // window is exhausted, exactly like a full FIFO.
+      while (!net_try_send(*net_tx_, msg)) {
+        ++stats_.stall_spins;
+        std::this_thread::yield();
+      }
+      return;
+    }
     double busy_us = 0.0;
     if (params_.bandwidth_tps > 0.0 && payload_items > 0) {
       busy_us = static_cast<double>(payload_items) * 1e6 /
@@ -125,7 +169,10 @@ class Link {
     }
   }
 
-  [[nodiscard]] bool try_recv(T& out) { return queue_.try_pop(out); }
+  [[nodiscard]] bool try_recv(T& out) {
+    if (net_rx_ != nullptr) return net_try_recv(*net_rx_, out);
+    return queue_.try_pop(out);
+  }
 
   [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const LinkParams& params() const noexcept { return params_; }
@@ -133,6 +180,8 @@ class Link {
  private:
   LinkParams params_;
   SpscQueue<T> queue_;
+  net::Connection* net_tx_ = nullptr;  // producer-side net end (or null)
+  net::Connection* net_rx_ = nullptr;  // consumer-side net end (or null)
   double next_free_us_ = 0.0;  // producer-owned serialization clock
   LinkStats stats_;            // producer-owned
 };

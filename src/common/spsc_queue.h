@@ -12,6 +12,7 @@
 #include <bit>
 #include <cstddef>
 #include <new>
+#include <utility>
 #include <vector>
 
 #include "common/assert.h"
@@ -34,18 +35,12 @@ class SpscQueue {
   SpscQueue(const SpscQueue&) = delete;
   SpscQueue& operator=(const SpscQueue&) = delete;
 
-  // Producer side. Returns false when full.
-  [[nodiscard]] bool try_push(T value) {
-    const std::size_t head = head_.load(std::memory_order_relaxed);
-    const std::size_t tail = tail_cache_;
-    if (head - tail >= capacity_) {
-      tail_cache_ = tail_.load(std::memory_order_acquire);
-      if (head - tail_cache_ >= capacity_) return false;
-    }
-    slots_[head & mask_] = std::move(value);
-    head_.store(head + 1, std::memory_order_release);
-    return true;
-  }
+  // Producer side. Returns false when full — in which case `value` is NOT
+  // consumed, so `while (!q.try_push(std::move(v)))` retry loops are safe.
+  // (A by-value parameter here would move-construct the doomed argument on
+  // the failed attempt and silently push an empty shell on the retry.)
+  [[nodiscard]] bool try_push(T&& value) { return push_impl(std::move(value)); }
+  [[nodiscard]] bool try_push(const T& value) { return push_impl(value); }
 
   // Consumer side. Returns false when empty.
   [[nodiscard]] bool try_pop(T& out) {
@@ -74,6 +69,19 @@ class SpscQueue {
   }
 
  private:
+  template <typename U>
+  [[nodiscard]] bool push_impl(U&& value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_cache_;
+    if (head - tail >= capacity_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head - tail_cache_ >= capacity_) return false;
+    }
+    slots_[head & mask_] = std::forward<U>(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
   const std::size_t capacity_;
   const std::size_t mask_;
   std::vector<T> slots_;

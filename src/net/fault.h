@@ -1,0 +1,100 @@
+// Deterministic wire-fault injection for the socket transports.
+//
+// Faults model the failure modes a real distributed data path exhibits
+// between the NICs and the switch: lost frames, corrupted frames, bursty
+// serialization delay, and short partitions. Injection happens on the
+// sender side, after the clean frame has been captured for retransmission,
+// so every fault exercises the recovery machinery (CRC detection, gap
+// reset, reconnect + replay) rather than silently losing data.
+//
+// All triggers count *wire* frames (frames actually assembled for the
+// socket, replays included), so a replayed frame lands on a different
+// counter value than the original and eventually passes; `max_fires`
+// additionally bounds the total number of injected faults, making every
+// faulted run converge.
+#pragma once
+
+#include <cstdint>
+
+namespace hal::net {
+
+struct FaultPlan {
+  // Drop: the nth, 2nth, ... outbound data frame is never written to the
+  // wire (0 disables). The receiver sees a sequence gap and forces a
+  // reconnect; the sender replays from the last acknowledgement.
+  std::uint64_t drop_every = 0;
+  // Corrupt: flip one payload byte of the wire copy (0 disables). The
+  // receiver's CRC32C check fails and the connection resets.
+  std::uint64_t corrupt_every = 0;
+  // Delay: hold the write-side flush for `delay_ms` when triggered.
+  std::uint64_t delay_every = 0;
+  double delay_ms = 0.0;
+  // Partition: after this many outbound wire frames, sever the link and
+  // refuse to redial for `partition_seconds` (one-shot; 0 disables).
+  std::uint64_t partition_after_frames = 0;
+  double partition_seconds = 0.05;
+  // Upper bound on drop+corrupt firings combined.
+  std::uint64_t max_fires = 8;
+
+  [[nodiscard]] bool any() const noexcept {
+    return drop_every != 0 || corrupt_every != 0 || delay_every != 0 ||
+           partition_after_frames != 0;
+  }
+};
+
+// Per-connection fault state. Not thread-safe; owned by the I/O loop.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan) : plan_(plan) {}
+
+  enum class Action : std::uint8_t { kPass, kDrop, kCorrupt };
+
+  // Called once per outbound data frame assembled for the wire.
+  [[nodiscard]] Action on_data_frame() noexcept {
+    ++wire_frames_;
+    if (fires_ < plan_.max_fires) {
+      if (plan_.drop_every != 0 && wire_frames_ % plan_.drop_every == 0) {
+        ++fires_;
+        return Action::kDrop;
+      }
+      if (plan_.corrupt_every != 0 &&
+          wire_frames_ % plan_.corrupt_every == 0) {
+        ++fires_;
+        return Action::kCorrupt;
+      }
+    }
+    return Action::kPass;
+  }
+
+  // Extra flush delay (ms) to apply for this frame; 0 almost always.
+  [[nodiscard]] double flush_delay_ms() noexcept {
+    if (plan_.delay_every != 0 && wire_frames_ != 0 &&
+        wire_frames_ % plan_.delay_every == 0) {
+      return plan_.delay_ms;
+    }
+    return 0.0;
+  }
+
+  // True exactly once, when the partition trigger is crossed.
+  [[nodiscard]] bool partition_now() noexcept {
+    if (!partition_fired_ && plan_.partition_after_frames != 0 &&
+        wire_frames_ >= plan_.partition_after_frames) {
+      partition_fired_ = true;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] std::uint64_t fires() const noexcept {
+    return fires_ + (partition_fired_ ? 1 : 0);
+  }
+
+ private:
+  FaultPlan plan_;
+  std::uint64_t wire_frames_ = 0;
+  std::uint64_t fires_ = 0;
+  bool partition_fired_ = false;
+};
+
+}  // namespace hal::net

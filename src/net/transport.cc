@@ -1,0 +1,105 @@
+#include "net/transport.h"
+
+#include <thread>
+
+#include "common/timer.h"
+
+namespace hal::net {
+
+const char* to_string(TransportKind k) noexcept {
+  switch (k) {
+    case TransportKind::kInProcess: return "in-process";
+    case TransportKind::kLoopback: return "loopback";
+    case TransportKind::kUnix: return "unix";
+    case TransportKind::kTcp: return "tcp";
+  }
+  return "?";
+}
+
+bool parse_transport_kind(const std::string& text,
+                          TransportKind& out) noexcept {
+  if (text == "in-process") {
+    out = TransportKind::kInProcess;
+  } else if (text == "loopback") {
+    out = TransportKind::kLoopback;
+  } else if (text == "unix") {
+    out = TransportKind::kUnix;
+  } else if (text == "tcp") {
+    out = TransportKind::kTcp;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void NetStats::add(const NetStats& o) noexcept {
+  frames_sent += o.frames_sent;
+  frames_received += o.frames_received;
+  bytes_sent += o.bytes_sent;
+  bytes_received += o.bytes_received;
+  msgs_sent += o.msgs_sent;
+  msgs_delivered += o.msgs_delivered;
+  retransmits += o.retransmits;
+  reconnects += o.reconnects;
+  connect_attempts += o.connect_attempts;
+  crc_errors += o.crc_errors;
+  gap_resets += o.gap_resets;
+  stall_resets += o.stall_resets;
+  duplicates_dropped += o.duplicates_dropped;
+  credit_stalls += o.credit_stalls;
+  send_stalls += o.send_stalls;
+  acks_sent += o.acks_sent;
+  acks_received += o.acks_received;
+  faults_injected += o.faults_injected;
+}
+
+void collect_metrics(obs::MetricRegistry& registry, const std::string& prefix,
+                     const NetStats& s) {
+  const auto set = [&](const char* name, std::uint64_t v) {
+    registry.set_counter(prefix + name, v, obs::Stability::kRuntime);
+  };
+  set("frames_sent", s.frames_sent);
+  set("frames_received", s.frames_received);
+  set("bytes_sent", s.bytes_sent);
+  set("bytes_received", s.bytes_received);
+  set("msgs_sent", s.msgs_sent);
+  set("msgs_delivered", s.msgs_delivered);
+  set("retransmits", s.retransmits);
+  set("reconnects", s.reconnects);
+  set("connect_attempts", s.connect_attempts);
+  set("crc_errors", s.crc_errors);
+  set("gap_resets", s.gap_resets);
+  set("stall_resets", s.stall_resets);
+  set("duplicates_dropped", s.duplicates_dropped);
+  set("credit_stalls", s.credit_stalls);
+  set("send_stalls", s.send_stalls);
+  set("acks_sent", s.acks_sent);
+  set("acks_received", s.acks_received);
+  set("faults_injected", s.faults_injected);
+}
+
+bool Connection::send(MsgType type, std::span<const std::uint8_t> payload,
+                      double timeout_s) {
+  Timer timer;
+  while (!try_send(type, payload)) {
+    if (peer_closed()) return false;
+    if (timeout_s >= 0.0 && timer.elapsed_seconds() > timeout_s) return false;
+    std::this_thread::yield();
+  }
+  return true;
+}
+
+bool Connection::recv(Frame& out, double timeout_s) {
+  Timer timer;
+  while (!try_recv(out)) {
+    if (peer_closed()) {
+      // One final drain: a shutdown may have raced a delivered frame.
+      return try_recv(out);
+    }
+    if (timeout_s >= 0.0 && timer.elapsed_seconds() > timeout_s) return false;
+    std::this_thread::yield();
+  }
+  return true;
+}
+
+}  // namespace hal::net

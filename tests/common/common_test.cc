@@ -155,6 +155,27 @@ TEST(SpscQueue, CapacityIsRespected) {
   EXPECT_TRUE(q.try_push(99));  // slot freed
 }
 
+TEST(SpscQueue, FailedPushDoesNotConsumeTheValue) {
+  // Regression: retry loops write `while (!q.try_push(std::move(v)))`. A
+  // push that fails on a full queue must leave `v` intact, or the retry
+  // silently enqueues a moved-from shell (this lost result batches under
+  // cluster backpressure).
+  SpscQueue<std::vector<int>> q(2);
+  ASSERT_TRUE(q.try_push(std::vector<int>{1}));
+  ASSERT_TRUE(q.try_push(std::vector<int>{2}));
+
+  std::vector<int> v{3, 4, 5};
+  ASSERT_FALSE(q.try_push(std::move(v)));
+  EXPECT_EQ(v.size(), 3u);  // still owns its payload
+
+  std::vector<int> out;
+  ASSERT_TRUE(q.try_pop(out));
+  ASSERT_TRUE(q.try_push(std::move(v)));  // retry succeeds with the payload
+  ASSERT_TRUE(q.try_pop(out));
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out, (std::vector<int>{3, 4, 5}));
+}
+
 TEST(SpscQueue, TwoThreadStress) {
   SpscQueue<std::uint64_t> q(128);
   constexpr std::uint64_t kCount = 200000;

@@ -1,0 +1,243 @@
+// Wire codec: CRC vectors, message round trips, framing, and typed
+// decode errors on malformed input.
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hal::net {
+namespace {
+
+using stream::StreamId;
+using stream::Tuple;
+
+Tuple make_tuple(std::uint32_t key, std::uint32_t value, std::uint64_t seq,
+                 StreamId origin) {
+  Tuple t;
+  t.key = key;
+  t.value = value;
+  t.seq = seq;
+  t.origin = origin;
+  return t;
+}
+
+TEST(Crc32c, MatchesKnownVectors) {
+  // The canonical check value for CRC32C: ASCII "123456789".
+  const std::uint8_t digits[] = {'1', '2', '3', '4', '5',
+                                 '6', '7', '8', '9'};
+  EXPECT_EQ(crc32c(digits), 0xE3069283u);
+  EXPECT_EQ(crc32c({}), 0u);
+}
+
+TEST(Crc32c, SeedComposesIncrementally) {
+  std::vector<std::uint8_t> data(257);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 37 + 11);
+  }
+  const std::uint32_t whole = crc32c(data);
+  for (const std::size_t split : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{128}, data.size()}) {
+    const std::span<const std::uint8_t> all(data);
+    const std::uint32_t head = crc32c(all.subspan(0, split));
+    EXPECT_EQ(crc32c(all.subspan(split), head), whole) << split;
+  }
+}
+
+TEST(WireMessages, AllTypesRoundTrip) {
+  HelloMsg hello{7, 3, 42, 106};
+  HelloMsg hello2;
+  ASSERT_TRUE(decode(encode(hello), hello2));
+  EXPECT_EQ(hello, hello2);
+
+  CreditMsg credit{999};
+  CreditMsg credit2;
+  ASSERT_TRUE(decode(encode(credit), credit2));
+  EXPECT_EQ(credit, credit2);
+
+  AckMsg ack{12345678901234ull};
+  AckMsg ack2;
+  ASSERT_TRUE(decode(encode(ack), ack2));
+  EXPECT_EQ(ack, ack2);
+
+  ShutdownMsg bye{2};
+  ShutdownMsg bye2;
+  ASSERT_TRUE(decode(encode(bye), bye2));
+  EXPECT_EQ(bye, bye2);
+
+  WatermarkMsg wm{5, 1000, 998};
+  WatermarkMsg wm2;
+  ASSERT_TRUE(decode(encode(wm), wm2));
+  EXPECT_EQ(wm, wm2);
+
+  TupleBatchMsg batch;
+  batch.epoch = 3;
+  batch.end_of_epoch = true;
+  batch.tuples = {make_tuple(1, 10, 100, StreamId::R),
+                  make_tuple(2, 20, 101, StreamId::S)};
+  TupleBatchMsg batch2;
+  ASSERT_TRUE(decode(encode(batch), batch2));
+  EXPECT_EQ(batch, batch2);
+
+  ResultBatchMsg results;
+  results.epoch = 4;
+  results.died = true;
+  results.results = {{make_tuple(1, 10, 100, StreamId::R),
+                      make_tuple(1, 30, 102, StreamId::S)}};
+  ResultBatchMsg results2;
+  ASSERT_TRUE(decode(encode(results), results2));
+  EXPECT_EQ(results, results2);
+}
+
+TEST(WireMessages, EmptyBatchesRoundTrip) {
+  TupleBatchMsg batch;
+  batch.epoch = 9;
+  TupleBatchMsg batch2;
+  ASSERT_TRUE(decode(encode(batch), batch2));
+  EXPECT_EQ(batch, batch2);
+
+  ResultBatchMsg results;
+  results.end_of_epoch = true;
+  ResultBatchMsg results2;
+  ASSERT_TRUE(decode(encode(results), results2));
+  EXPECT_EQ(results, results2);
+}
+
+TEST(WireMessages, DecodeRejectsTruncationAndTrailingBytes) {
+  const TupleBatchMsg batch{
+      1, false, {make_tuple(1, 2, 3, StreamId::R)}};
+  std::vector<std::uint8_t> payload = encode(batch);
+  TupleBatchMsg out;
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_FALSE(
+        decode(std::span<const std::uint8_t>(payload.data(), len), out))
+        << "truncated to " << len;
+  }
+  payload.push_back(0);
+  EXPECT_FALSE(decode(payload, out)) << "trailing byte accepted";
+}
+
+TEST(WireMessages, DecodeRejectsBadEnumAndCountMismatch) {
+  TupleBatchMsg batch{1, false, {make_tuple(1, 2, 3, StreamId::R)}};
+  std::vector<std::uint8_t> payload = encode(batch);
+  // Inflate the tuple count without providing the bytes.
+  std::vector<std::uint8_t> bad = payload;
+  bad[9] = 0xFF;  // count lives after epoch (u64) + flags (u8)
+  TupleBatchMsg out;
+  EXPECT_FALSE(decode(bad, out));
+  // Corrupt the origin byte of the only tuple (last byte of the payload).
+  bad = payload;
+  bad.back() = 0x7F;
+  EXPECT_FALSE(decode(bad, out));
+}
+
+TEST(FrameDecoder, SingleAndMultipleFrames) {
+  std::vector<std::uint8_t> wire;
+  const WatermarkMsg wm{2, 10, 11};
+  append_message(wire, MsgType::kWatermark, 5, wm);
+  append_message(wire, MsgType::kAck, 0, AckMsg{5});
+
+  FrameDecoder dec;
+  dec.feed(wire);
+  Frame f;
+  ASSERT_EQ(dec.next(f), DecodeStatus::kOk);
+  EXPECT_EQ(f.header.type, MsgType::kWatermark);
+  EXPECT_EQ(f.header.seq, 5u);
+  WatermarkMsg wm2;
+  ASSERT_TRUE(decode(f.payload, wm2));
+  EXPECT_EQ(wm, wm2);
+  ASSERT_EQ(dec.next(f), DecodeStatus::kOk);
+  EXPECT_EQ(f.header.type, MsgType::kAck);
+  EXPECT_EQ(dec.next(f), DecodeStatus::kNeedMore);
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(FrameDecoder, ByteAtATimeFeedReassembles) {
+  std::vector<std::uint8_t> wire;
+  TupleBatchMsg batch;
+  batch.epoch = 1;
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    batch.tuples.push_back(make_tuple(i, i * 2, i, StreamId::S));
+  }
+  append_message(wire, MsgType::kTupleBatch, 9, batch);
+
+  FrameDecoder dec;
+  Frame f;
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    dec.feed({&wire[i], 1});
+    ASSERT_EQ(dec.next(f), DecodeStatus::kNeedMore) << "at byte " << i;
+  }
+  dec.feed({&wire.back(), 1});
+  ASSERT_EQ(dec.next(f), DecodeStatus::kOk);
+  TupleBatchMsg batch2;
+  ASSERT_TRUE(decode(f.payload, batch2));
+  EXPECT_EQ(batch, batch2);
+}
+
+TEST(FrameDecoder, TypedErrorsAndPoisoning) {
+  const auto framed = [](const WatermarkMsg& m) {
+    std::vector<std::uint8_t> wire;
+    append_message(wire, MsgType::kWatermark, 1, m);
+    return wire;
+  };
+  Frame f;
+  {
+    std::vector<std::uint8_t> wire = framed({1, 2, 3});
+    wire[0] = 'X';
+    FrameDecoder dec;
+    dec.feed(wire);
+    EXPECT_EQ(dec.next(f), DecodeStatus::kBadMagic);
+    EXPECT_TRUE(dec.poisoned());
+    // Poisoned until reset: further next() calls repeat the error.
+    EXPECT_EQ(dec.next(f), DecodeStatus::kBadMagic);
+    dec.reset();
+    dec.feed(framed({1, 2, 3}));
+    EXPECT_EQ(dec.next(f), DecodeStatus::kOk);
+  }
+  {
+    std::vector<std::uint8_t> wire = framed({1, 2, 3});
+    wire[4] = kProtocolVersion + 1;
+    FrameDecoder dec;
+    dec.feed(wire);
+    EXPECT_EQ(dec.next(f), DecodeStatus::kBadVersion);
+  }
+  {
+    std::vector<std::uint8_t> wire = framed({1, 2, 3});
+    wire[5] = 0xEE;
+    FrameDecoder dec;
+    dec.feed(wire);
+    EXPECT_EQ(dec.next(f), DecodeStatus::kBadType);
+  }
+  {
+    std::vector<std::uint8_t> wire = framed({1, 2, 3});
+    wire[11] = 0xFF;  // payload_len high byte -> > kMaxPayload
+    FrameDecoder dec;
+    dec.feed(wire);
+    EXPECT_EQ(dec.next(f), DecodeStatus::kOversized);
+  }
+  {
+    std::vector<std::uint8_t> wire = framed({1, 2, 3});
+    wire[kHeaderSize] ^= 0x01;  // first payload byte
+    FrameDecoder dec;
+    dec.feed(wire);
+    EXPECT_EQ(dec.next(f), DecodeStatus::kBadCrc);
+  }
+}
+
+TEST(FrameDecoder, OversizedLengthNeverAllocates) {
+  // A frame header whose length field is bogus must fail before any
+  // payload-sized allocation happens (the payload bytes don't exist).
+  std::vector<std::uint8_t> wire;
+  append_message(wire, MsgType::kAck, 0, AckMsg{1});
+  wire[8] = 0xFF;
+  wire[9] = 0xFF;
+  wire[10] = 0xFF;
+  wire[11] = 0x00;  // 16 MiB - 1: within kMaxPayload, but bytes missing
+  FrameDecoder dec;
+  dec.feed(wire);
+  Frame f;
+  EXPECT_EQ(dec.next(f), DecodeStatus::kNeedMore);  // waits, doesn't crash
+}
+
+}  // namespace
+}  // namespace hal::net
