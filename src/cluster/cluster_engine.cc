@@ -3,8 +3,11 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
+#include <span>
 
 #include "common/assert.h"
+#include "common/backoff.h"
 
 namespace hal::cluster {
 
@@ -171,20 +174,29 @@ ClusterEngine::~ClusterEngine() {
   net_transport_.reset();
 }
 
+// Deadline-aware wait for the modeled wire time: sleep in coarse chunks
+// while the deadline is comfortably far (so paced links do not burn a
+// core), then yield-spin the final stretch for the precision the pacing
+// tests assert. The 500 µs guard absorbs OS sleep overshoot.
 void ClusterEngine::wait_until(double deadline_us) const {
+  while (deadline_us - now_us() > 500.0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
   while (now_us() < deadline_us) std::this_thread::yield();
 }
 
 void ClusterEngine::worker_loop(Worker& w) {
   const bool is_drop_target =
       cfg_.faults.drop_worker && *cfg_.faults.drop_worker == w.index;
+  SpinBackoff backoff;
   while (true) {
     TupleBatch batch;
     if (!w.inbox.try_recv(batch)) {
       if (stop_.load(std::memory_order_acquire)) return;
-      std::this_thread::yield();
+      backoff.pause();
       continue;
     }
+    backoff.reset();
     if (w.dropped.load(std::memory_order_relaxed)) continue;  // drain only
 
     if (!batch.tuples.empty()) {
@@ -233,6 +245,7 @@ void ClusterEngine::worker_loop(Worker& w) {
 }
 
 void ClusterEngine::merger_loop() {
+  SpinBackoff backoff;
   while (true) {
     bool any = false;
     for (auto& w : workers_) {
@@ -257,9 +270,11 @@ void ClusterEngine::merger_loop() {
         }
       }
     }
-    if (!any) {
+    if (any) {
+      backoff.reset();
+    } else {
       if (stop_.load(std::memory_order_acquire)) return;
-      std::this_thread::yield();
+      backoff.pause();
     }
   }
 }
@@ -282,12 +297,14 @@ void ClusterEngine::flush_slot(std::uint32_t slot, bool end_of_epoch) {
 void ClusterEngine::collect_slot(std::uint32_t slot,
                                  std::vector<ResultTuple>& out) {
   const std::uint32_t base = slot * cfg_.replicas;
+  SpinBackoff backoff;
   for (std::uint32_t rep = 0; rep < cfg_.replicas; ++rep) {
     MergeSlot& m = *merge_[base + rep];
     while (m.completed_epoch.load(std::memory_order_acquire) < epoch_ &&
            !m.died.load(std::memory_order_acquire)) {
-      std::this_thread::yield();
+      backoff.pause();
     }
+    backoff.reset();
   }
   std::int64_t chosen = -1;
   for (std::uint32_t rep = 0; rep < cfg_.replicas; ++rep) {
@@ -320,19 +337,23 @@ core::RunReport ClusterEngine::process(const std::vector<Tuple>& tuples) {
   std::fill(slot_epoch_tuples_.begin(), slot_epoch_tuples_.end(), 0);
   Timer wall;
 
-  for (const Tuple& t : tuples) {
-    if (cfg_.window_mode == WindowMode::kExactGlobal) tracker_.observe(t);
-    router_.route(t, scratch_slots_);
-    for (const std::uint32_t slot : scratch_slots_) {
-      ++routed_tuples_;
-      ++slot_epoch_tuples_[slot];
-      auto& staging = slot_staging_[slot];
-      staging.push_back(t);
-      if (staging.size() >= cfg_.transport.batch_size) {
-        flush_slot(slot, false);
-      }
-    }
+  // Batched ingress: the whole epoch routes as one span (one virtual-free
+  // pass, no per-tuple scratch vector) and the tracker map is pre-sized,
+  // so the router amortizes its per-tuple dispatch the way the engines do.
+  if (cfg_.window_mode == WindowMode::kExactGlobal) {
+    tracker_.reserve(tuples.size());
+    for (const Tuple& t : tuples) tracker_.observe(t);
   }
+  router_.route_span(
+      std::span<const Tuple>(tuples), [&](const Tuple& t, std::uint32_t slot) {
+        ++routed_tuples_;
+        ++slot_epoch_tuples_[slot];
+        auto& staging = slot_staging_[slot];
+        staging.push_back(t);
+        if (staging.size() >= cfg_.transport.batch_size) {
+          flush_slot(slot, false);
+        }
+      });
   for (std::uint32_t slot = 0; slot < router_.num_slots(); ++slot) {
     flush_slot(slot, true);
   }
@@ -484,7 +505,12 @@ void ClusterEngine::collect_metrics(obs::MetricRegistry& registry,
             : obs::Stability::kDeterministic;
     registry.set_counter(wp + "tuples_in", wr.tuples_in);
     registry.set_counter(wp + "results_out", wr.results_out, emit_stability);
-    registry.set_counter(wp + "data_batches_in", wr.data_batches_in);
+    // Wire framing, not data: the batch count tracks the transport
+    // granularity (TransportParams::batch_size / dispatch_batch), so it is
+    // runtime-shaped like the stall and high-water counters — the
+    // deterministic projection must not change with the dispatch path.
+    registry.set_counter(wp + "data_batches_in", wr.data_batches_in,
+                         obs::Stability::kRuntime);
     registry.set_counter(wp + "dropped", wr.dropped ? 1 : 0);
     registry.set_gauge(wp + "busy_seconds", wr.busy_seconds,
                        obs::Stability::kRuntime);

@@ -22,11 +22,15 @@ Router::Router(Partitioning partitioning, std::uint32_t rows,
   }
 }
 
+std::uint32_t Router::hash_slot(std::uint32_t key) const noexcept {
+  return hash_key(key) % cols_;
+}
+
 void Router::route(const stream::Tuple& t,
                    std::vector<std::uint32_t>& slots_out) {
   slots_out.clear();
   if (partitioning_ == Partitioning::kKeyHash) {
-    slots_out.push_back(hash_key(t.key) % cols_);
+    slots_out.push_back(hash_slot(t.key));
     return;
   }
   // kSplitGrid: slot index = row * cols + col. R owns a row (replicated

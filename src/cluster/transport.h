@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/backoff.h"
 #include "common/spsc_queue.h"
 #include "dist/deployments.h"
 #include "dist/path_model.h"
@@ -138,9 +139,10 @@ class Link {
       stats_.payload_items += payload_items;
       // A refused send is the wire's ready/valid stall: the peer's credit
       // window is exhausted, exactly like a full FIFO.
+      SpinBackoff backoff;
       while (!net_try_send(*net_tx_, msg)) {
         ++stats_.stall_spins;
-        std::this_thread::yield();
+        backoff.pause();
       }
       return;
     }
@@ -163,9 +165,10 @@ class Link {
         occupied < params_.capacity_batches ? occupied
                                             : params_.capacity_batches;
     if (clamped > stats_.queue_high_water) stats_.queue_high_water = clamped;
+    SpinBackoff backoff;
     while (!queue_.try_push(std::move(msg))) {
       ++stats_.stall_spins;
-      std::this_thread::yield();
+      backoff.pause();
     }
   }
 

@@ -146,6 +146,54 @@ HwLatency measure_uniflow_latency(const hw::UniflowConfig& cfg,
   return out;
 }
 
+SwMeasurement measure_sw_throughput(const EngineConfig& cfg,
+                                    const MeasureOptions& opts) {
+  EngineConfig run_cfg = cfg;
+  if (opts.dispatch_batch > 0) run_cfg.dispatch_batch = opts.dispatch_batch;
+  auto engine = make_engine(run_cfg);
+
+  // Warm the windows to steady state. Handshake chains bind the window to
+  // the flow, so their warmup streams through the untimed path; everything
+  // else takes the state-injection shortcut.
+  auto fill = steady_state_fill(run_cfg.window_size, opts.key_domain,
+                                opts.seed + 1000);
+  const bool handshake =
+      run_cfg.backend == Backend::kSwHandshake ||
+      (run_cfg.backend == Backend::kCluster &&
+       run_cfg.cluster_worker_backend == Backend::kSwHandshake);
+  if (handshake) {
+    (void)engine->process(fill);
+    (void)engine->take_results();
+  } else {
+    engine->prefill(fill);
+  }
+
+  WorkloadConfig wl;
+  wl.seed = opts.seed;
+  wl.key_domain = opts.key_domain;
+  WorkloadGenerator gen(wl);
+  // Continue the seq numbering after the warmup so window accounting (and
+  // the cluster's exact-global filter, which requires unique seqs) stays
+  // consistent.
+  auto workload = gen.take(opts.num_tuples);
+  for (auto& t : workload) t.seq += fill.size();
+  const RunReport report = engine->process(workload);
+
+  SwMeasurement out;
+  out.tuples = report.tuples_processed;
+  out.results = report.results_emitted;
+  out.elapsed_seconds = report.elapsed_seconds;
+
+  if (opts.registry != nullptr) {
+    engine->collect_metrics(*opts.registry, opts.obs_prefix + "engine.");
+    opts.registry->set_counter(opts.obs_prefix + "run.tuples", out.tuples);
+    opts.registry->set_counter(opts.obs_prefix + "run.results", out.results);
+    opts.registry->set_gauge(opts.obs_prefix + "run.tuples_per_sec",
+                             out.tuples_per_sec(), obs::Stability::kRuntime);
+  }
+  return out;
+}
+
 HwModelPoint evaluate_design(const hw::DesignStats& stats,
                              const hw::FpgaDevice& device) {
   const hw::ResourceModel resources;

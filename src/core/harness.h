@@ -9,6 +9,7 @@
 #include <optional>
 #include <string>
 
+#include "core/stream_join.h"
 #include "hw/biflow/engine.h"
 #include "hw/model/device.h"
 #include "hw/model/power_model.h"
@@ -66,6 +67,12 @@ struct MeasureOptions {
   // the paper's throughput runs).
   std::uint32_t key_domain = 1u << 20;
 
+  // Software/cluster measurements only: dispatch granularity of the
+  // batched data path. 0 keeps the EngineConfig's own dispatch_batch
+  // (default tuple-at-a-time); n overrides it for this measurement, so
+  // batch-size sweeps reuse one config.
+  std::size_t dispatch_batch = 0;
+
   // When set, the measurement publishes the engine's internal metrics
   // (under "<obs_prefix>engine.") and its own outputs (under
   // "<obs_prefix>run.") into this registry. With HAL_OBS=0 the registry
@@ -90,6 +97,24 @@ struct MeasureOptions {
 [[nodiscard]] HwLatency measure_uniflow_latency(const hw::UniflowConfig& cfg,
                                                 const hw::FpgaDevice& device,
                                                 const MeasureOptions& opts);
+
+// Wall-clock throughput of a software or cluster backend at steady state:
+// windows are warmed to 2·W tuples first (prefilled, or streamed for
+// backends without state injection), then `num_tuples` fresh tuples are
+// timed end to end through the path selected by dispatch_batch.
+struct SwMeasurement {
+  std::uint64_t tuples = 0;
+  std::uint64_t results = 0;
+  double elapsed_seconds = 0.0;
+
+  [[nodiscard]] double tuples_per_sec() const noexcept {
+    return elapsed_seconds > 0.0
+               ? static_cast<double>(tuples) / elapsed_seconds
+               : 0.0;
+  }
+};
+[[nodiscard]] SwMeasurement measure_sw_throughput(const EngineConfig& cfg,
+                                                  const MeasureOptions& opts);
 
 // Model-only evaluation (fit, F_max, power) for sweeps that do not need a
 // simulation run, e.g. Fig. 17.

@@ -144,7 +144,8 @@ class HwBiflowAdapter final : public StreamJoinEngine {
 
 class SwSplitJoinAdapter final : public StreamJoinEngine {
  public:
-  explicit SwSplitJoinAdapter(const EngineConfig& cfg) : spec_(cfg.spec) {
+  explicit SwSplitJoinAdapter(const EngineConfig& cfg)
+      : spec_(cfg.spec), dispatch_batch_(cfg.dispatch_batch) {
     sw::SplitJoinConfig sw_cfg;
     sw_cfg.num_cores = cfg.num_cores;
     sw_cfg.window_size = cfg.window_size;
@@ -153,7 +154,9 @@ class SwSplitJoinAdapter final : public StreamJoinEngine {
   }
 
   RunReport process(const std::vector<Tuple>& tuples) override {
-    const sw::SwRunReport r = engine_->process(tuples);
+    const sw::SwRunReport r =
+        dispatch_batch_ > 0 ? engine_->process_batched(tuples, dispatch_batch_)
+                            : engine_->process(tuples);
     RunReport report;
     report.tuples_processed = r.tuples_processed;
     report.results_emitted = r.results_emitted - last_emitted_;
@@ -195,13 +198,15 @@ class SwSplitJoinAdapter final : public StreamJoinEngine {
 
  private:
   stream::JoinSpec spec_;
+  std::size_t dispatch_batch_ = 0;
   std::unique_ptr<sw::SplitJoinEngine> engine_;
   std::uint64_t last_emitted_ = 0;
 };
 
 class SwHandshakeAdapter final : public StreamJoinEngine {
  public:
-  explicit SwHandshakeAdapter(const EngineConfig& cfg) {
+  explicit SwHandshakeAdapter(const EngineConfig& cfg)
+      : dispatch_batch_(cfg.dispatch_batch) {
     sw::HandshakeJoinConfig sw_cfg;
     sw_cfg.num_cores = cfg.num_cores;
     sw_cfg.window_size = cfg.window_size;
@@ -209,7 +214,9 @@ class SwHandshakeAdapter final : public StreamJoinEngine {
   }
 
   RunReport process(const std::vector<Tuple>& tuples) override {
-    const sw::SwRunReport r = engine_->process(tuples);
+    const sw::SwRunReport r =
+        dispatch_batch_ > 0 ? engine_->process_batched(tuples, dispatch_batch_)
+                            : engine_->process(tuples);
     RunReport report;
     report.tuples_processed = r.tuples_processed;
     report.results_emitted = r.results_emitted - last_emitted_;
@@ -251,6 +258,7 @@ class SwHandshakeAdapter final : public StreamJoinEngine {
   }
 
  private:
+  std::size_t dispatch_batch_ = 0;
   std::unique_ptr<sw::HandshakeJoinEngine> engine_;
   std::size_t taken_ = 0;
   std::uint64_t last_emitted_ = 0;
@@ -263,11 +271,16 @@ class SwBatchAdapter final : public StreamJoinEngine {
     sw_cfg.num_workers = cfg.num_cores;
     sw_cfg.window_size = cfg.window_size;
     sw_cfg.batch_size = std::min(cfg.batch_size, cfg.window_size);
+    // The kernel engine is batched by construction; dispatch_batch just
+    // overrides the per-call granularity (capped by the window).
+    dispatch_batch_ = std::min(cfg.dispatch_batch, cfg.window_size);
     engine_ = std::make_unique<sw::BatchJoinEngine>(sw_cfg, cfg.spec);
   }
 
   RunReport process(const std::vector<Tuple>& tuples) override {
-    const sw::SwRunReport r = engine_->process(tuples);
+    const sw::SwRunReport r =
+        dispatch_batch_ > 0 ? engine_->process_batched(tuples, dispatch_batch_)
+                            : engine_->process(tuples);
     RunReport report;
     report.tuples_processed = r.tuples_processed;
     report.results_emitted = r.results_emitted;
@@ -307,6 +320,7 @@ class SwBatchAdapter final : public StreamJoinEngine {
   }
 
  private:
+  std::size_t dispatch_batch_ = 0;
   std::unique_ptr<sw::BatchJoinEngine> engine_;
 };
 
@@ -318,8 +332,13 @@ std::unique_ptr<StreamJoinEngine> make_cluster_from_facade(
   cluster::ClusterConfig ccfg;
   ccfg.window_size = cfg.window_size;
   ccfg.spec = cfg.spec;
-  ccfg.transport.batch_size = std::max<std::size_t>(
-      1, std::min<std::size_t>(cfg.batch_size, 256));
+  // dispatch_batch, when set, governs the shard transport granularity too:
+  // one ingress batch = one Link message = one wire frame = one batched
+  // worker dispatch.
+  const std::size_t wire_batch =
+      cfg.dispatch_batch > 0 ? cfg.dispatch_batch : cfg.batch_size;
+  ccfg.transport.batch_size =
+      std::max<std::size_t>(1, std::min<std::size_t>(wire_batch, 256));
   ccfg.worker = cfg;
   ccfg.worker.backend = cfg.cluster_worker_backend;
   if (cluster::key_hashable(cfg.spec)) {

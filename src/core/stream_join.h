@@ -61,6 +61,15 @@ struct EngineConfig {
   // kSwBatch only: tuples per data-parallel kernel dispatch.
   std::size_t batch_size = 1 << 10;
 
+  // Software + cluster backends: dispatch granularity of the batched data
+  // path. 0 = tuple-at-a-time (the oracle path); n >= 1 slices every
+  // process() call into arrival-order TupleBatch spans of n, which travel
+  // as one queue push / one wire frame each and probe through the
+  // engines' vectorized contiguous-key kernels. Results and deterministic
+  // metrics are identical either way; only the dispatch cost changes.
+  // Cluster workers and the shard transport inherit this granularity.
+  std::size_t dispatch_batch = 0;
+
   // Backend::kCluster only: shard count and the backend each shard wraps.
   // Equi-on-key specs shard by key hash; any other predicate runs on a
   // near-square store-to-one/process-against-all grid. For full control

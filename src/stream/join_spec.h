@@ -84,6 +84,15 @@ class JoinSpec {
     return conjuncts_;
   }
 
+  // True iff the spec is exactly key == key with no band — the workload of
+  // the paper's evaluation, and the shape the batched engines' vectorized
+  // key-compare kernel handles; everything else takes the generic
+  // tuple-at-a-time comparator.
+  [[nodiscard]] bool is_pure_key_equi() const noexcept {
+    return conjuncts_.size() == 1 &&
+           conjuncts_[0] == JoinCondition{Field::Key, Field::Key, CmpOp::Eq, 0};
+  }
+
   [[nodiscard]] std::string to_string() const;
 
   friend bool operator==(const JoinSpec&, const JoinSpec&) = default;

@@ -1,0 +1,12 @@
+#include "stream/tuple_batch.h"
+
+namespace hal::stream {
+
+std::vector<Tuple> TupleBatch::to_tuples() const {
+  std::vector<Tuple> out;
+  out.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) out.push_back(tuple_at(i));
+  return out;
+}
+
+}  // namespace hal::stream

@@ -1,0 +1,93 @@
+// Structure-of-arrays tuple batch: the unit of the batched data path.
+//
+// The software engines' per-tuple dispatch cost (one virtual call, one
+// SPSC push, one cache line of `Tuple` per element) is what separates them
+// from the hardware pipelines, where a new tuple enters every clock. A
+// TupleBatch amortizes that cost: the key of every tuple sits in one
+// contiguous `uint32_t` array so a probe kernel can scan it with
+// auto-vectorized compares, while the full tuples ride alongside for
+// result materialization. Batches are views of a moment in the input
+// stream — they preserve arrival order, so a batched engine that consumes
+// a batch element-by-element is observationally identical to the
+// tuple-at-a-time path (the correctness oracle for differential tests).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/assert.h"
+#include "stream/tuple.h"
+
+namespace hal::stream {
+
+class TupleBatch {
+ public:
+  TupleBatch() = default;
+
+  // Build a batch from a contiguous run of tuples (arrival order kept).
+  static TupleBatch from(std::span<const Tuple> tuples) {
+    TupleBatch b;
+    b.reserve(tuples.size());
+    for (const Tuple& t : tuples) b.push_back(t);
+    return b;
+  }
+
+  void reserve(std::size_t n) {
+    keys_.reserve(n);
+    values_.reserve(n);
+    seqs_.reserve(n);
+    origins_.reserve(n);
+  }
+
+  void push_back(const Tuple& t) {
+    keys_.push_back(t.key);
+    values_.push_back(t.value);
+    seqs_.push_back(t.seq);
+    origins_.push_back(t.origin);
+  }
+
+  void clear() noexcept {
+    keys_.clear();
+    values_.clear();
+    seqs_.clear();
+    origins_.clear();
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return keys_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return keys_.empty(); }
+
+  // The contiguous key lane the vectorized probe kernels scan.
+  [[nodiscard]] const std::uint32_t* keys() const noexcept {
+    return keys_.data();
+  }
+
+  [[nodiscard]] std::uint32_t key_at(std::size_t i) const noexcept {
+    HAL_ASSERT(i < keys_.size());
+    return keys_[i];
+  }
+
+  [[nodiscard]] StreamId origin_at(std::size_t i) const noexcept {
+    HAL_ASSERT(i < origins_.size());
+    return origins_[i];
+  }
+
+  // Reassemble element i as a full Tuple (result materialization, and the
+  // bridge back to any tuple-at-a-time API).
+  [[nodiscard]] Tuple tuple_at(std::size_t i) const noexcept {
+    HAL_ASSERT(i < keys_.size());
+    return Tuple{keys_[i], values_[i], seqs_[i], origins_[i]};
+  }
+
+  // Materialize the whole batch back to AoS form.
+  [[nodiscard]] std::vector<Tuple> to_tuples() const;
+
+ private:
+  std::vector<std::uint32_t> keys_;
+  std::vector<std::uint32_t> values_;
+  std::vector<std::uint64_t> seqs_;
+  std::vector<StreamId> origins_;
+};
+
+}  // namespace hal::stream

@@ -1,6 +1,7 @@
 #include "sw/batch_join.h"
 
 #include "common/assert.h"
+#include "common/backoff.h"
 #include "common/timer.h"
 
 namespace hal::sw {
@@ -20,11 +21,16 @@ BatchJoinEngine::BatchJoinEngine(BatchJoinConfig cfg, stream::JoinSpec spec)
   HAL_CHECK(cfg_.batch_size <= cfg_.window_size,
             "batch larger than the window would let in-batch pairs expire "
             "mid-batch");
+  pure_key_equi_ = spec_.is_pure_key_equi();
   sub_window_ = cfg_.window_size / cfg_.num_workers;
   for (std::uint32_t i = 0; i < cfg_.num_workers; ++i) {
     auto slice = std::make_unique<WorkerSlice>();
     slice->win_r.resize(sub_window_);
     slice->win_s.resize(sub_window_);
+    slice->keys_r.resize(sub_window_, 0);
+    slice->keys_s.resize(sub_window_, 0);
+    slice->arrivals_r.resize(sub_window_, 0);
+    slice->arrivals_s.resize(sub_window_, 0);
     slices_.push_back(std::move(slice));
   }
   for (std::uint32_t i = 0; i < cfg_.num_workers; ++i) {
@@ -41,9 +47,13 @@ void BatchJoinEngine::insert_into_slice(WorkerSlice& slice, const Tuple& t,
                                         std::uint64_t arrival) {
   const bool is_r = t.origin == StreamId::R;
   auto& win = is_r ? slice.win_r : slice.win_s;
+  auto& keys = is_r ? slice.keys_r : slice.keys_s;
+  auto& arrivals = is_r ? slice.arrivals_r : slice.arrivals_s;
   std::size_t& head = is_r ? slice.head_r : slice.head_s;
   std::size_t& size = is_r ? slice.size_r : slice.size_s;
   win[head] = Entry{t, arrival};
+  keys[head] = t.key;
+  arrivals[head] = arrival;
   head = (head + 1) % sub_window_;
   if (size < sub_window_) ++size;
 }
@@ -51,14 +61,16 @@ void BatchJoinEngine::insert_into_slice(WorkerSlice& slice, const Tuple& t,
 void BatchJoinEngine::worker_loop(std::uint32_t index) {
   WorkerSlice& slice = *slices_[index];
   std::uint64_t seen_generation = 0;
+  SpinBackoff backoff;
   while (true) {
     const std::uint64_t gen = generation_.load(std::memory_order_acquire);
     if (gen == seen_generation) {
       if (stop_.load(std::memory_order_acquire)) return;
-      std::this_thread::yield();
+      backoff.pause();
       continue;
     }
     seen_generation = gen;
+    backoff.reset();
 
     // The batch kernel: every batch tuple probes this worker's slices of
     // the pre-batch window state. Logical expiry: for the batch tuple at
@@ -77,6 +89,31 @@ void BatchJoinEngine::worker_loop(std::uint32_t index) {
       const std::uint64_t cutoff = opposite_total > cfg_.window_size
                                        ? opposite_total - cfg_.window_size
                                        : 0;
+      if (pure_key_equi_) {
+        // Two-pass equi kernel over the dense key/arrival lanes: a
+        // branchless vectorizable count (key match AND still resident),
+        // then a scalar materialization pass only when something hit.
+        const std::uint32_t* keys =
+            (is_r ? slice.keys_s : slice.keys_r).data();
+        const std::uint64_t* arrivals =
+            (is_r ? slice.arrivals_s : slice.arrivals_r).data();
+        const std::uint32_t key = t.key;
+        std::size_t hits = 0;
+        for (std::size_t k = 0; k < size; ++k) {
+          hits += static_cast<std::size_t>((keys[k] == key) &
+                                           (arrivals[k] >= cutoff));
+        }
+        if (hits == 0) continue;
+        for (std::size_t k = 0; k < size; ++k) {
+          if (keys[k] == key && arrivals[k] >= cutoff) {
+            const Entry& candidate = win[k];
+            const Tuple& r = is_r ? t : candidate.tuple;
+            const Tuple& s = is_r ? candidate.tuple : t;
+            slice.out.push_back(ResultTuple{r, s});
+          }
+        }
+        continue;
+      }
       for (std::size_t k = 0; k < size; ++k) {
         const Entry& candidate = win[k];
         if (candidate.arrival < cutoff) continue;  // logically expired
@@ -122,8 +159,11 @@ void BatchJoinEngine::run_batch(const Tuple* data, std::size_t count) {
     }
   }
 
-  while (done_count_.load(std::memory_order_acquire) < cfg_.num_workers) {
-    std::this_thread::yield();
+  {
+    SpinBackoff backoff;
+    while (done_count_.load(std::memory_order_acquire) < cfg_.num_workers) {
+      backoff.pause();
+    }
   }
 
   // Collect worker results, then append the batch to the windows
@@ -146,11 +186,19 @@ void BatchJoinEngine::run_batch(const Tuple* data, std::size_t count) {
 }
 
 SwRunReport BatchJoinEngine::process(const std::vector<Tuple>& tuples) {
+  return process_batched(tuples, cfg_.batch_size);
+}
+
+SwRunReport BatchJoinEngine::process_batched(const std::vector<Tuple>& tuples,
+                                             std::size_t batch_size) {
+  if (batch_size == 0) batch_size = 1;
+  HAL_CHECK(batch_size <= cfg_.window_size,
+            "batch larger than the window would let in-batch pairs expire "
+            "mid-batch");
   Timer timer;
   const std::uint64_t before = results_.size();
-  for (std::size_t pos = 0; pos < tuples.size(); pos += cfg_.batch_size) {
-    const std::size_t count =
-        std::min(cfg_.batch_size, tuples.size() - pos);
+  for (std::size_t pos = 0; pos < tuples.size(); pos += batch_size) {
+    const std::size_t count = std::min(batch_size, tuples.size() - pos);
     run_batch(tuples.data() + pos, count);
   }
   SwRunReport report;

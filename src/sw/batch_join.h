@@ -50,6 +50,15 @@ class BatchJoinEngine {
   // it is flushed) and blocks until every batch completed.
   SwRunReport process(const std::vector<stream::Tuple>& tuples);
 
+  // Same, but with an explicit dispatch granularity overriding the
+  // configured batch_size for this call (still capped by the window —
+  // larger batches would let in-batch pairs expire mid-batch). Batch size
+  // changes when results appear, never which: the result multiset is
+  // identical for every granularity, including 1 (the tuple-at-a-time
+  // oracle).
+  SwRunReport process_batched(const std::vector<stream::Tuple>& tuples,
+                              std::size_t batch_size);
+
   // Latency of the first result of a batch: seconds from the arrival of a
   // batch's first tuple until the batch's results are available, at the
   // given sustained input rate (tuples/s). Computed from the measured
@@ -86,9 +95,17 @@ class BatchJoinEngine {
 
   struct WorkerSlice {
     // Sub-windows owned by this worker (round-robin slices, as in
-    // SplitJoin, so the union is the exact count-based window).
+    // SplitJoin, so the union is the exact count-based window). The key
+    // and arrival lanes mirror the Entry array in storage order so the
+    // equi-join kernel can run a branchless count pass over dense arrays
+    // (key match AND not logically expired) before the rare scalar
+    // materialization pass.
     std::vector<Entry> win_r;
     std::vector<Entry> win_s;
+    std::vector<std::uint32_t> keys_r;
+    std::vector<std::uint32_t> keys_s;
+    std::vector<std::uint64_t> arrivals_r;
+    std::vector<std::uint64_t> arrivals_s;
     std::size_t head_r = 0;  // circular
     std::size_t head_s = 0;
     std::size_t size_r = 0;
@@ -103,6 +120,7 @@ class BatchJoinEngine {
 
   BatchJoinConfig cfg_;
   stream::JoinSpec spec_;
+  bool pure_key_equi_ = false;
   std::size_t sub_window_ = 0;
 
   std::vector<std::unique_ptr<WorkerSlice>> slices_;

@@ -1,12 +1,16 @@
 #include "sw/handshake_join.h"
 
+#include <span>
+
 #include "common/assert.h"
+#include "common/backoff.h"
 #include "common/timer.h"
 
 namespace hal::sw {
 
 using stream::StreamId;
 using stream::Tuple;
+using stream::TupleBatch;
 
 HandshakeJoinEngine::HandshakeJoinEngine(HandshakeJoinConfig cfg,
                                          stream::JoinSpec spec)
@@ -16,6 +20,7 @@ HandshakeJoinEngine::HandshakeJoinEngine(HandshakeJoinConfig cfg,
             "window must hold at least one tuple per core");
   HAL_CHECK(cfg_.window_size % cfg_.num_cores == 0,
             "window_size must be a multiple of num_cores");
+  pure_key_equi_ = spec_.is_pure_key_equi();
   const std::size_t sub_window = cfg_.window_size / cfg_.num_cores;
   for (std::uint32_t i = 0; i < cfg_.num_cores; ++i) {
     cores_.push_back(
@@ -40,20 +45,38 @@ void HandshakeJoinEngine::enter(std::uint32_t i, const Tuple& t,
   const bool is_r = t.origin == StreamId::R;
 
   // Entry scan: opposite sub-window plus the still-resident occupants of
-  // the opposite eviction queue on the entry boundary.
-  const hw::SubWindow& opposite = is_r ? core.win_s : core.win_r;
-  auto probe = [&](const Tuple& candidate) {
+  // the opposite eviction queue on the entry boundary. The sub-window leg
+  // takes the vectorized contiguous-key kernel on pure equi-joins; the
+  // per-match counter add is relaxed (see pending_'s ordering note).
+  const SoaWindow& opposite = is_r ? core.win_s : core.win_r;
+  std::uint64_t hits = 0;
+  auto emit = [&](const Tuple& candidate) {
     const Tuple& r = is_r ? t : candidate;
     const Tuple& s = is_r ? candidate : t;
-    if (spec_.matches(r, s)) {
-      core.local_results.push_back(stream::ResultTuple{r, s});
-      results_count_.fetch_add(1, std::memory_order_release);
-    }
+    core.local_results.push_back(stream::ResultTuple{r, s});
   };
-  for (std::size_t k = 0; k < opposite.size(); ++k) probe(opposite.at(k));
-  if (extra != nullptr) {
-    for (const Tuple& candidate : *extra) probe(candidate);
+  if (pure_key_equi_) {
+    hits += opposite.collect_equal(t.key, emit);
+  } else {
+    hits += opposite.collect_matching(
+        [&](const Tuple& candidate) {
+          const Tuple& r = is_r ? t : candidate;
+          const Tuple& s = is_r ? candidate : t;
+          return spec_.matches(r, s);
+        },
+        emit);
   }
+  if (extra != nullptr) {
+    for (const Tuple& candidate : *extra) {
+      const Tuple& r = is_r ? t : candidate;
+      const Tuple& s = is_r ? candidate : t;
+      if (spec_.matches(r, s)) {
+        emit(candidate);
+        ++hits;
+      }
+    }
+  }
+  if (hits > 0) results_count_.fetch_add(hits, std::memory_order_relaxed);
   if constexpr (obs::kEnabled) {
     core.probes += opposite.size() + (extra != nullptr ? extra->size() : 0);
     ++core.entries;
@@ -61,9 +84,9 @@ void HandshakeJoinEngine::enter(std::uint32_t i, const Tuple& t,
 
   // Store + evict. R evicts rightward onto boundary[i], S leftward onto
   // boundary[i-1]; past the chain ends the tuple expires.
-  hw::SubWindow& own = is_r ? core.win_r : core.win_s;
+  SoaWindow& own = is_r ? core.win_r : core.win_s;
   if (own.size() == own.capacity()) {
-    const Tuple evicted = own.at(0);
+    const Tuple evicted = own.oldest();
     if (is_r && i + 1 < cfg_.num_cores) {
       // The handover stays in flight: count it before this entry retires
       // so the pending count can never dip to zero mid-chain.
@@ -92,8 +115,13 @@ void HandshakeJoinEngine::core_loop(std::uint32_t i) {
   // acquisition happened either in process() (fresh input) or in enter()
   // (handover). The release ordering makes all of the entry's effects —
   // stored results included — visible to whoever observes pending_ == 0.
-  auto retire = [this] { pending_.fetch_sub(1, std::memory_order_release); };
+  // A whole input batch retires with a single release RMW: its batch
+  // boundary, which is what lets the per-match adds above stay relaxed.
+  auto retire = [this](std::uint64_t n) {
+    pending_.fetch_sub(n, std::memory_order_release);
+  };
 
+  SpinBackoff backoff;
   while (true) {
     bool did_work = false;
     const bool r_first = prefer_r;
@@ -102,10 +130,18 @@ void HandshakeJoinEngine::core_loop(std::uint32_t i) {
     // Fresh input at the chain ends (either stream for a 1-core chain).
     auto try_input = [&] {
       if (!leftmost && !rightmost) return false;
+      BatchPtr batch;
+      if (core.batch_input.try_pop(batch)) {
+        for (std::size_t k = 0; k < batch->size(); ++k) {
+          enter(i, batch->tuple_at(k), nullptr);
+        }
+        retire(batch->size());
+        return true;
+      }
       Tuple t;
       if (!core.input.try_pop(t)) return false;
       enter(i, t, nullptr);
-      retire();
+      retire(1);
       return true;
     };
     auto try_r = [&] {
@@ -117,7 +153,7 @@ void HandshakeJoinEngine::core_loop(std::uint32_t i) {
       b.r_q.pop_front();
       enter(i, t, &b.s_q);  // lock held across the scan: atomic crossing
       lk.unlock();
-      retire();
+      retire(1);
       return true;
     };
     auto try_s = [&] {
@@ -129,7 +165,7 @@ void HandshakeJoinEngine::core_loop(std::uint32_t i) {
       b.s_q.pop_front();
       enter(i, t, &b.r_q);
       lk.unlock();
-      retire();
+      retire(1);
       return true;
     };
 
@@ -142,10 +178,12 @@ void HandshakeJoinEngine::core_loop(std::uint32_t i) {
       did_work = try_s() || try_input() || try_r();
     }
 
-    if (!did_work) {
-      if (stop_.load(std::memory_order_acquire)) return;
-      std::this_thread::yield();
+    if (did_work) {
+      backoff.reset();
+      continue;
     }
+    if (stop_.load(std::memory_order_acquire)) return;
+    backoff.pause();
   }
 }
 
@@ -156,10 +194,55 @@ SwRunReport HandshakeJoinEngine::process(const std::vector<Tuple>& tuples) {
   for (const Tuple& t : tuples) {
     pending_.fetch_add(1, std::memory_order_relaxed);
     auto& q = t.origin == StreamId::R ? left.input : right.input;
-    while (!q.try_push(t)) std::this_thread::yield();
+    SpinBackoff backoff;
+    while (!q.try_push(t)) backoff.pause();
   }
-  while (pending_.load(std::memory_order_acquire) != 0) {
-    std::this_thread::yield();
+  {
+    SpinBackoff backoff;
+    while (pending_.load(std::memory_order_acquire) != 0) backoff.pause();
+  }
+  SwRunReport report;
+  report.elapsed_seconds = timer.elapsed_seconds();
+  report.tuples_processed = tuples.size();
+  report.results_emitted = results_count_.load(std::memory_order_acquire);
+  return report;
+}
+
+SwRunReport HandshakeJoinEngine::process_batched(
+    const std::vector<Tuple>& tuples, std::size_t batch_size) {
+  const std::size_t step = batch_size == 0 ? 1 : batch_size;
+  Timer timer;
+  Core& left = *cores_.front();
+  Core& right = *cores_.back();
+  auto feed = [this](Core& core, TupleBatch&& span) {
+    if (span.empty()) return;
+    const std::uint64_t n = span.size();
+    pending_.fetch_add(n, std::memory_order_relaxed);
+    auto batch = std::make_shared<const TupleBatch>(std::move(span));
+    SpinBackoff backoff;
+    BatchPtr to_push = batch;
+    while (!core.batch_input.try_push(std::move(to_push))) backoff.pause();
+  };
+  for (std::size_t pos = 0; pos < tuples.size(); pos += step) {
+    const std::size_t count = std::min(step, tuples.size() - pos);
+    const std::span<const Tuple> span(tuples.data() + pos, count);
+    if (cfg_.num_cores == 1) {
+      // One core is both chain ends: the mixed span enters in exact
+      // arrival order, keeping the 1-core chain an exact oracle.
+      feed(left, TupleBatch::from(span));
+    } else {
+      TupleBatch r_span;
+      TupleBatch s_span;
+      for (const Tuple& t : span) {
+        (t.origin == StreamId::R ? r_span : s_span).push_back(t);
+      }
+      feed(left, std::move(r_span));
+      feed(right, std::move(s_span));
+    }
+  }
+  {
+    SpinBackoff backoff;
+    while (pending_.load(std::memory_order_acquire) != 0) backoff.pause();
   }
   SwRunReport report;
   report.elapsed_seconds = timer.elapsed_seconds();

@@ -15,6 +15,16 @@
 // Lock acquisition is ordered (entry boundary first, eviction boundary
 // second; R operations lean rightward, S leftward), which excludes
 // deadlock cycles on the boundary mutexes.
+//
+// The batched data path (`process_batched`) feeds the chain ends one
+// TupleBatch per SPSC push instead of one tuple; the consuming end core
+// enters the batch's tuples in arrival order and retires the whole batch
+// with a single release RMW on `pending_`. Entry scans use the same
+// vectorized contiguous-key kernel as SplitJoin when the spec is a pure
+// key equi-join. Batching widens the feeder decoupling (the ordering-
+// precision knob below now counts batches, not tuples), which multi-core
+// tests must absorb with the usual window tolerance; a 1-core chain
+// consumes mixed batches in exact arrival order and stays an exact oracle.
 #pragma once
 
 #include <atomic>
@@ -26,11 +36,12 @@
 #include <vector>
 
 #include "common/spsc_queue.h"
-#include "hw/common/sub_window.h"
 #include "obs/enabled.h"
 #include "obs/metrics.h"
 #include "stream/join_spec.h"
 #include "stream/tuple.h"
+#include "stream/tuple_batch.h"
+#include "sw/soa_window.h"
 #include "sw/splitjoin.h"  // SwRunReport
 
 namespace hal::sw {
@@ -59,6 +70,13 @@ class HandshakeJoinEngine {
   // queues empty, all cores idle). Results accumulate across calls.
   SwRunReport process(const std::vector<stream::Tuple>& tuples);
 
+  // Batched feed: slices `tuples` into arrival-order spans of
+  // `batch_size`. With one core the mixed span enters as-is (exact
+  // arrival order, same results as `process`); with more cores each span
+  // is split per stream and handed to its chain end as one batch.
+  SwRunReport process_batched(const std::vector<stream::Tuple>& tuples,
+                              std::size_t batch_size);
+
   // Results collected so far (call only between process() calls).
   [[nodiscard]] std::vector<stream::ResultTuple> results() const;
   [[nodiscard]] const HandshakeJoinConfig& config() const noexcept {
@@ -74,6 +92,8 @@ class HandshakeJoinEngine {
                        const std::string& prefix) const;
 
  private:
+  using BatchPtr = std::shared_ptr<const stream::TupleBatch>;
+
   struct Boundary {
     std::mutex mu;
     std::deque<stream::Tuple> r_q;  // evicted from core b, visible, → b+1
@@ -82,10 +102,14 @@ class HandshakeJoinEngine {
 
   struct Core {
     Core(std::size_t sub_window, std::size_t queue_capacity)
-        : win_r(sub_window), win_s(sub_window), input(queue_capacity) {}
-    hw::SubWindow win_r;
-    hw::SubWindow win_s;
+        : win_r(sub_window),
+          win_s(sub_window),
+          input(queue_capacity),
+          batch_input(queue_capacity) {}
+    SoaWindow win_r;
+    SoaWindow win_s;
     SpscQueue<stream::Tuple> input;  // driver feed (used at chain ends)
+    SpscQueue<BatchPtr> batch_input;  // batched driver feed (chain ends)
     std::vector<stream::ResultTuple> local_results;
     // Core-thread-owned tallies, read at quiescence (published by the
     // pending_ release/acquire pair).
@@ -103,13 +127,17 @@ class HandshakeJoinEngine {
 
   HandshakeJoinConfig cfg_;
   stream::JoinSpec spec_;
+  bool pure_key_equi_ = false;
   std::vector<std::unique_ptr<Core>> cores_;
   std::vector<std::unique_ptr<Boundary>> boundaries_;  // size N-1
   std::vector<std::thread> threads_;
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> results_count_{0};
   // Tuples in flight anywhere in the chain (fresh input + handovers);
-  // zero ⇔ the chain is drained and all results are visible.
+  // zero ⇔ the chain is drained and all results are visible. Per-match
+  // results_count_ adds are relaxed; the release edge that publishes them
+  // (and local_results) is the fetch_sub on pending_ when an entry or a
+  // whole batch retires, paired with process()'s acquire load of zero.
   std::atomic<std::uint64_t> pending_{0};
 };
 

@@ -1,0 +1,115 @@
+// Structure-of-arrays sub-window for the software join cores.
+//
+// Drop-in replacement for the AoS `hw::SubWindow` storage with the same
+// count-based semantics (insert overwrites the oldest entry once full;
+// `at(i)` is age-ordered), plus a contiguous key lane in *storage order*
+// for the batched probe kernels. Scanning in storage order instead of age
+// order is sound for windowed joins: every slot in [0, size) is a resident
+// tuple, candidate order affects neither the match count nor the result
+// multiset, and the probe/match tallies the deterministic obs projection
+// publishes are order-independent sums. What storage order buys is a probe
+// loop over a dense `uint32_t` array with no modular index arithmetic —
+// the shape compilers auto-vectorize.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.h"
+#include "stream/tuple.h"
+
+namespace hal::sw {
+
+class SoaWindow {
+ public:
+  explicit SoaWindow(std::size_t capacity)
+      : slots_(capacity), keys_(capacity, 0) {
+    HAL_CHECK(capacity > 0, "sub-window capacity must be positive");
+  }
+
+  void insert(const stream::Tuple& t) noexcept {
+    slots_[write_pos_] = t;
+    keys_[write_pos_] = t.key;
+    write_pos_ = (write_pos_ + 1) % slots_.size();
+    if (size_ < slots_.size()) ++size_;
+  }
+
+  // Logical index 0 = oldest resident tuple (the tuple-at-a-time oracle
+  // path and the handshake eviction both want age order).
+  [[nodiscard]] const stream::Tuple& at(std::size_t i) const noexcept {
+    HAL_ASSERT(i < size_);
+    const std::size_t oldest = size_ < slots_.size() ? 0 : write_pos_;
+    return slots_[(oldest + i) % slots_.size()];
+  }
+
+  [[nodiscard]] const stream::Tuple& oldest() const noexcept { return at(0); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+  void clear() noexcept {
+    size_ = 0;
+    write_pos_ = 0;
+  }
+
+  // Storage-order access for the batched kernels. Slots [0, size) are all
+  // resident; keys()[i] is the key of slot(i).
+  [[nodiscard]] const std::uint32_t* keys() const noexcept {
+    return keys_.data();
+  }
+  [[nodiscard]] const stream::Tuple& slot(std::size_t i) const noexcept {
+    HAL_ASSERT(i < size_);
+    return slots_[i];
+  }
+
+  // Branchless equi-probe count over the contiguous key lane. This is the
+  // hot loop of the batched data path: one compare + add per resident
+  // tuple, no data-dependent branch, auto-vectorizable.
+  [[nodiscard]] std::size_t count_equal(std::uint32_t key) const noexcept {
+    const std::uint32_t* k = keys_.data();
+    const std::size_t n = size_;
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      hits += static_cast<std::size_t>(k[i] == key);
+    }
+    return hits;
+  }
+
+  // Two-pass equi-probe: vectorized count first, scalar materialization
+  // only when the count is non-zero (rare at low selectivity, so the
+  // common case never leaves the dense count loop). `emit` receives the
+  // matching resident tuple; returns the match count.
+  template <typename Emit>
+  std::size_t collect_equal(std::uint32_t key, Emit&& emit) const {
+    const std::size_t hits = count_equal(key);
+    if (hits == 0) return 0;
+    const std::uint32_t* k = keys_.data();
+    for (std::size_t i = 0; i < size_; ++i) {
+      if (k[i] == key) emit(slots_[i]);
+    }
+    return hits;
+  }
+
+  // Generic-predicate scan in storage order (non-equi specs take this
+  // path; same candidate set as the oracle, different visit order).
+  template <typename Pred, typename Emit>
+  std::size_t collect_matching(Pred&& pred, Emit&& emit) const {
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < size_; ++i) {
+      const stream::Tuple& candidate = slots_[i];
+      if (pred(candidate)) {
+        ++hits;
+        emit(candidate);
+      }
+    }
+    return hits;
+  }
+
+ private:
+  std::vector<stream::Tuple> slots_;
+  std::vector<std::uint32_t> keys_;  // keys_[i] mirrors slots_[i].key
+  std::size_t write_pos_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace hal::sw

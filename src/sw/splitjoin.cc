@@ -1,8 +1,11 @@
 #include "sw/splitjoin.h"
 
 #include <chrono>
+#include <span>
+#include <utility>
 
 #include "common/assert.h"
+#include "common/backoff.h"
 #include "common/timer.h"
 
 namespace hal::sw {
@@ -10,6 +13,7 @@ namespace hal::sw {
 using stream::ResultTuple;
 using stream::StreamId;
 using stream::Tuple;
+using stream::TupleBatch;
 
 SplitJoinEngine::SplitJoinEngine(SplitJoinConfig cfg, stream::JoinSpec spec)
     : cfg_(cfg), spec_(std::move(spec)) {
@@ -18,6 +22,7 @@ SplitJoinEngine::SplitJoinEngine(SplitJoinConfig cfg, stream::JoinSpec spec)
             "window must hold at least one tuple per core");
   HAL_CHECK(cfg_.window_size % cfg_.num_cores == 0,
             "window_size must be a multiple of num_cores");
+  pure_key_equi_ = spec_.is_pure_key_equi();
   const std::size_t sub_window = cfg_.window_size / cfg_.num_cores;
   cores_.reserve(cfg_.num_cores);
   for (std::uint32_t i = 0; i < cfg_.num_cores; ++i) {
@@ -36,84 +41,213 @@ SplitJoinEngine::~SplitJoinEngine() {
   collector_.join();
 }
 
+void SplitJoinEngine::process_one(Core& core, std::uint32_t index,
+                                  const Tuple& t) {
+  const bool is_r = t.origin == StreamId::R;
+  const SoaWindow& opposite = is_r ? core.win_s : core.win_r;
+  if constexpr (obs::kEnabled) {
+    // +1 for the tuple just popped: the depth the broadcaster saw.
+    const std::size_t depth = core.inbox.size_approx() + 1;
+    if (depth > core.inbox_high_water) core.inbox_high_water = depth;
+    core.probes += opposite.size();
+  }
+  // Probe: nested-loop scan over the local sub-window, exactly the
+  // hardware Processing Core's job on this fraction of the window.
+  for (std::size_t i = 0; i < opposite.size(); ++i) {
+    const Tuple& candidate = opposite.at(i);
+    const Tuple& r = is_r ? t : candidate;
+    const Tuple& s = is_r ? candidate : t;
+    if (spec_.matches(r, s)) {
+      if constexpr (obs::kEnabled) ++core.matches;
+      ResultTuple result{r, s};
+      SpinBackoff backoff;  // gatherer backpressure
+      while (!core.outbox.try_push(result)) backoff.pause();
+      result_count_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  // Store: round-robin turn counting, identical to the Storage Core.
+  SoaWindow& own = is_r ? core.win_r : core.win_s;
+  std::uint64_t& count = is_r ? core.count_r : core.count_s;
+  if (count % cfg_.num_cores == index) own.insert(t);
+  ++count;
+
+  // The size-1 "batch boundary": this release RMW publishes the relaxed
+  // result_count_ add and the window/tally writes above.
+  core.processed.fetch_add(1, std::memory_order_release);
+}
+
+void SplitJoinEngine::process_batch(Core& core, std::uint32_t index,
+                                    const TupleBatch& batch) {
+  const bool count_only = !cfg_.collect_results;
+  core.match_buf.clear();
+  std::size_t batch_matches = 0;
+  const std::size_t n = batch.size();
+  if constexpr (obs::kEnabled) {
+    const std::size_t depth = core.batch_inbox.size_approx() + 1;
+    if (depth > core.inbox_high_water) core.inbox_high_water = depth;
+  }
+  // Tuples are consumed in arrival order with the same probe-then-insert
+  // step as process_one — batching changes the dispatch and flush
+  // granularity, never the per-tuple semantics, which is what keeps the
+  // deterministic obs projection byte-identical to the oracle path.
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool is_r = batch.origin_at(i) == StreamId::R;
+    const SoaWindow& opposite = is_r ? core.win_s : core.win_r;
+    if constexpr (obs::kEnabled) core.probes += opposite.size();
+    std::size_t hits = 0;
+    if (pure_key_equi_ && count_only) {
+      // Pure count kernel: one vectorized pass, nothing materialized.
+      hits = opposite.count_equal(batch.key_at(i));
+    } else if (pure_key_equi_) {
+      const Tuple t = batch.tuple_at(i);
+      hits = opposite.collect_equal(batch.key_at(i), [&](const Tuple& c) {
+        core.match_buf.push_back(is_r ? ResultTuple{t, c}
+                                      : ResultTuple{c, t});
+      });
+    } else {
+      const Tuple t = batch.tuple_at(i);
+      hits = opposite.collect_matching(
+          [&](const Tuple& c) {
+            const Tuple& r = is_r ? t : c;
+            const Tuple& s = is_r ? c : t;
+            return spec_.matches(r, s);
+          },
+          [&](const Tuple& c) {
+            if (!count_only) {
+              core.match_buf.push_back(is_r ? ResultTuple{t, c}
+                                            : ResultTuple{c, t});
+            }
+          });
+    }
+    if constexpr (obs::kEnabled) core.matches += hits;
+    batch_matches += hits;
+
+    SoaWindow& own = is_r ? core.win_r : core.win_s;
+    std::uint64_t& count = is_r ? core.count_r : core.count_s;
+    if (count % cfg_.num_cores == index) own.insert(batch.tuple_at(i));
+    ++count;
+  }
+  // Flush: one outbox push + one relaxed counter add for the whole batch.
+  // In count-only mode the collector is bypassed entirely — the core
+  // settles both counters itself (they are multi-producer atomics; the
+  // "collector-owned" convention only applies to the materializing path).
+  if (batch_matches > 0) {
+    if (count_only) {
+      result_count_.fetch_add(batch_matches, std::memory_order_relaxed);
+      collected_count_.fetch_add(batch_matches, std::memory_order_relaxed);
+    } else {
+      std::vector<ResultTuple> flush;
+      flush.swap(core.match_buf);
+      SpinBackoff backoff;  // gatherer backpressure
+      while (!core.batch_outbox.try_push(std::move(flush))) backoff.pause();
+      result_count_.fetch_add(batch_matches, std::memory_order_relaxed);
+    }
+  }
+  // Batch boundary: one release RMW publishes everything above.
+  core.processed.fetch_add(n, std::memory_order_release);
+}
+
 void SplitJoinEngine::core_loop(std::uint32_t index) {
   Core& core = *cores_[index];
+  SpinBackoff backoff;
   while (true) {
+    bool did_work = false;
+    BatchPtr batch;
+    if (core.batch_inbox.try_pop(batch)) {
+      process_batch(core, index, *batch);
+      did_work = true;
+    }
     Tuple t;
-    if (!core.inbox.try_pop(t)) {
-      if (stop_.load(std::memory_order_acquire)) return;
-      std::this_thread::yield();
+    if (core.inbox.try_pop(t)) {
+      process_one(core, index, t);
+      did_work = true;
+    }
+    if (did_work) {
+      backoff.reset();
       continue;
     }
-
-    const bool is_r = t.origin == StreamId::R;
-    const hw::SubWindow& opposite = is_r ? core.win_s : core.win_r;
-    if constexpr (obs::kEnabled) {
-      // +1 for the tuple just popped: the depth the broadcaster saw.
-      const std::size_t depth = core.inbox.size_approx() + 1;
-      if (depth > core.inbox_high_water) core.inbox_high_water = depth;
-      core.probes += opposite.size();
-    }
-    // Probe: nested-loop scan over the local sub-window, exactly the
-    // hardware Processing Core's job on this fraction of the window.
-    for (std::size_t i = 0; i < opposite.size(); ++i) {
-      const Tuple& candidate = opposite.at(i);
-      const Tuple& r = is_r ? t : candidate;
-      const Tuple& s = is_r ? candidate : t;
-      if (spec_.matches(r, s)) {
-        if constexpr (obs::kEnabled) ++core.matches;
-        ResultTuple result{r, s};
-        while (!core.outbox.try_push(result)) {
-          std::this_thread::yield();  // gatherer backpressure
-        }
-        result_count_.fetch_add(1, std::memory_order_release);
-      }
-    }
-    // Store: round-robin turn counting, identical to the Storage Core.
-    hw::SubWindow& own = is_r ? core.win_r : core.win_s;
-    std::uint64_t& count = is_r ? core.count_r : core.count_s;
-    if (count % cfg_.num_cores == index) own.insert(t);
-    ++count;
-
-    core.processed.fetch_add(1, std::memory_order_release);
+    if (stop_.load(std::memory_order_acquire)) return;
+    backoff.pause();
   }
 }
 
 void SplitJoinEngine::collector_loop() {
+  SpinBackoff backoff;
   while (true) {
-    bool any = false;
+    std::size_t drained = 0;
     for (auto& core : cores_) {
+      std::uint64_t from_core = 0;
       ResultTuple result;
       while (core->outbox.try_pop(result)) {
-        any = true;
+        ++from_core;
         if (cfg_.collect_results) collected_.push_back(result);
-        collected_count_.fetch_add(1, std::memory_order_release);
+      }
+      std::vector<ResultTuple> flush;
+      while (core->batch_outbox.try_pop(flush)) {
+        from_core += flush.size();
+        if (cfg_.collect_results) {
+          collected_.insert(collected_.end(), flush.begin(), flush.end());
+        }
+      }
+      if (from_core > 0) {
+        // One release add per drained core: publishes the collected_
+        // appends to whoever acquires collected_count_ (wait_quiescent).
+        collected_count_.fetch_add(from_core, std::memory_order_release);
+        drained += from_core;
       }
     }
-    if (!any) {
-      if (stop_.load(std::memory_order_acquire)) return;
-      std::this_thread::yield();
+    if (drained > 0) {
+      backoff.reset();
+      continue;
     }
+    if (stop_.load(std::memory_order_acquire)) return;
+    backoff.pause();
   }
 }
 
 void SplitJoinEngine::broadcast(const Tuple& t) {
   for (auto& core : cores_) {
-    while (!core->inbox.try_push(t)) std::this_thread::yield();
+    SpinBackoff backoff;
+    while (!core->inbox.try_push(t)) backoff.pause();
   }
   broadcast_count_.fetch_add(1, std::memory_order_release);
 }
 
+void SplitJoinEngine::broadcast_batch(const BatchPtr& batch) {
+  for (auto& core : cores_) {
+    SpinBackoff backoff;
+    BatchPtr copy = batch;  // refcount bump, not a data copy
+    while (!core->batch_inbox.try_push(std::move(copy))) backoff.pause();
+  }
+  broadcast_count_.fetch_add(batch->size(), std::memory_order_release);
+}
+
+// Ordering contract. Per-match result_count_ adds and per-tuple tallies
+// are relaxed / plain; the only release edges on the processing side are
+// (a) each core's `processed.fetch_add(n, release)` at its batch boundary
+// (n == 1 on the tuple path) and (b) the collector's per-sweep
+// `collected_count_` release add. Correspondingly this function:
+//   1. acquires `processed` per core until it reaches broadcast_count_ —
+//      that acquire pairs with (a) and makes every relaxed result_count_
+//      add, window write, and obs tally of those tuples visible here, so
+//      result_count_ read afterwards is final for this quiescent period;
+//   2. acquires `collected_count_` until it catches result_count_ — that
+//      pairs with (b) and publishes the collector's `collected_` appends
+//      to the caller.
+// A release RMW (not a standalone fence) is used at the batch boundary so
+// the contract is visible to TSan, which does not model bare fences.
 void SplitJoinEngine::wait_quiescent() {
   const std::uint64_t target = broadcast_count_.load(std::memory_order_acquire);
+  SpinBackoff backoff;
   for (auto& core : cores_) {
     while (core->processed.load(std::memory_order_acquire) < target) {
-      std::this_thread::yield();
+      backoff.pause();
     }
+    backoff.reset();
   }
   while (collected_count_.load(std::memory_order_acquire) <
          result_count_.load(std::memory_order_acquire)) {
-    std::this_thread::yield();
+    backoff.pause();
   }
 }
 
@@ -137,6 +271,24 @@ void SplitJoinEngine::prefill(const std::vector<Tuple>& tuples) {
 SwRunReport SplitJoinEngine::process(const std::vector<Tuple>& tuples) {
   Timer timer;
   for (const Tuple& t : tuples) broadcast(t);
+  wait_quiescent();
+  SwRunReport report;
+  report.elapsed_seconds = timer.elapsed_seconds();
+  report.tuples_processed = tuples.size();
+  report.results_emitted = collected_count_.load(std::memory_order_acquire);
+  return report;
+}
+
+SwRunReport SplitJoinEngine::process_batched(const std::vector<Tuple>& tuples,
+                                             std::size_t batch_size) {
+  const std::size_t step = batch_size == 0 ? 1 : batch_size;
+  Timer timer;
+  for (std::size_t pos = 0; pos < tuples.size(); pos += step) {
+    const std::size_t count = std::min(step, tuples.size() - pos);
+    auto batch = std::make_shared<TupleBatch>(
+        TupleBatch::from(std::span(tuples.data() + pos, count)));
+    broadcast_batch(batch);
+  }
   wait_quiescent();
   SwRunReport report;
   report.elapsed_seconds = timer.elapsed_seconds();

@@ -15,6 +15,18 @@
 // memory — the paper's point that the software variant pays main-memory
 // traffic for every probe while the FPGA couples each sub-window to its
 // core's BRAM.
+//
+// Two data paths share the engine:
+//   - tuple-at-a-time (`process`): one SPSC push per core per tuple, one
+//     branchy probe per candidate. This is the correctness oracle and the
+//     cost model of the paper's measured software baseline.
+//   - batched (`process_batched`): arrival-order tuple batches travel as
+//     one SPSC push per core per batch; each core runs a vectorizable
+//     probe kernel over its contiguous sub-window key lane and flushes
+//     buffered matches with one outbox push + one counter add per batch.
+//     Per-tuple semantics (probe-then-insert, round-robin store) are
+//     preserved exactly, so the result multiset and the deterministic obs
+//     projection are byte-identical to the oracle path.
 #pragma once
 
 #include <atomic>
@@ -25,11 +37,12 @@
 
 #include "common/spsc_queue.h"
 #include "common/stats.h"
-#include "hw/common/sub_window.h"
 #include "obs/enabled.h"
 #include "obs/metrics.h"
 #include "stream/join_spec.h"
 #include "stream/tuple.h"
+#include "stream/tuple_batch.h"
+#include "sw/soa_window.h"
 
 namespace hal::sw {
 
@@ -66,6 +79,14 @@ class SplitJoinEngine {
   // fully processed and every result collected.
   SwRunReport process(const std::vector<stream::Tuple>& tuples);
 
+  // Batched data path: slices `tuples` into arrival-order TupleBatches of
+  // `batch_size` and feeds each as a unit (batch_size == 0 or 1 degrades
+  // to per-tuple batches, still through the batched machinery). Blocks
+  // until quiescent, like `process`. Results and deterministic metrics
+  // are identical to `process` on the same input.
+  SwRunReport process_batched(const std::vector<stream::Tuple>& tuples,
+                              std::size_t batch_size);
+
   // Warm-start: loads tuples into the sliding windows (round-robin
   // storage) without streaming them, so large-window benches start from
   // the steady state the paper measures. Must be called while the engine
@@ -95,18 +116,25 @@ class SplitJoinEngine {
                        const std::string& prefix) const;
 
  private:
+  using BatchPtr = std::shared_ptr<const stream::TupleBatch>;
+
   struct Core {
     explicit Core(std::size_t sub_window, std::size_t queue_capacity)
         : win_r(sub_window),
           win_s(sub_window),
           inbox(queue_capacity),
-          outbox(queue_capacity) {}
-    hw::SubWindow win_r;
-    hw::SubWindow win_s;
-    SpscQueue<stream::Tuple> inbox;
+          batch_inbox(queue_capacity),
+          outbox(queue_capacity),
+          batch_outbox(queue_capacity) {}
+    SoaWindow win_r;
+    SoaWindow win_s;
+    SpscQueue<stream::Tuple> inbox;        // tuple-at-a-time path
+    SpscQueue<BatchPtr> batch_inbox;       // batched path
     SpscQueue<stream::ResultTuple> outbox;
+    SpscQueue<std::vector<stream::ResultTuple>> batch_outbox;
     std::uint64_t count_r = 0;
     std::uint64_t count_s = 0;
+    std::vector<stream::ResultTuple> match_buf;  // core-owned flush buffer
     // Core-thread-owned observability tallies; read at quiescence only
     // (the processed counter's release/acquire pair publishes them).
     std::uint64_t probes = 0;
@@ -116,12 +144,17 @@ class SplitJoinEngine {
   };
 
   void core_loop(std::uint32_t index);
+  void process_one(Core& core, std::uint32_t index, const stream::Tuple& t);
+  void process_batch(Core& core, std::uint32_t index,
+                     const stream::TupleBatch& batch);
   void collector_loop();
   void broadcast(const stream::Tuple& t);
+  void broadcast_batch(const BatchPtr& batch);
   void wait_quiescent();
 
   SplitJoinConfig cfg_;
   stream::JoinSpec spec_;
+  bool pure_key_equi_ = false;  // fixed at construction; spec_ is immutable
   std::vector<std::unique_ptr<Core>> cores_;
   std::vector<std::thread> threads_;
   std::thread collector_;

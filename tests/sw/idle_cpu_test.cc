@@ -1,0 +1,88 @@
+// Idle-burn regression test: a software engine with no input pending must
+// not spin its worker threads at 100% CPU. The spin-then-backoff waiters
+// (common/backoff.h) park idle loops in short absolute sleeps, so an idle
+// engine's whole process should accumulate well under 5% of one core per
+// worker thread — measured here over a 100 ms quiet interval via
+// CLOCK_PROCESS_CPUTIME_ID.
+//
+// Wall-clock-vs-cpu-clock ratio tests are load sensitive: these run
+// RUN_SERIAL (see tests/CMakeLists.txt) and are skipped under sanitizers,
+// whose instrumentation inflates CPU time unpredictably.
+#include <gtest/gtest.h>
+
+#include <ctime>
+#include <thread>
+
+#include "stream/generator.h"
+#include "sw/batch_join.h"
+#include "sw/handshake_join.h"
+#include "sw/splitjoin.h"
+
+namespace hal::sw {
+namespace {
+
+[[maybe_unused]] double process_cpu_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+std::vector<stream::Tuple> small_workload() {
+  stream::WorkloadConfig wl;
+  wl.key_domain = 16;
+  return stream::WorkloadGenerator(wl).take(64);
+}
+
+// Measures process CPU accumulated while the engine sits idle for 100 ms
+// and asserts it stays under 5% of one core per worker thread (plus a
+// fixed allowance for the measuring thread itself).
+template <typename WarmupFn>
+void expect_idle([[maybe_unused]] std::size_t worker_threads,
+                 [[maybe_unused]] WarmupFn&& warmup) {
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+  GTEST_SKIP() << "sanitizer instrumentation skews CPU-time ratios";
+#else
+  warmup();  // get every thread past startup and into its idle loop
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  const double before = process_cpu_seconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const double used = process_cpu_seconds() - before;
+
+  const double budget =
+      0.05 * static_cast<double>(worker_threads) * 0.1 + 0.002;
+  EXPECT_LT(used, budget) << "idle engine burned " << used * 1e3
+                          << " ms CPU across " << worker_threads
+                          << " worker threads in a 100 ms quiet interval";
+#endif
+}
+
+TEST(IdleCpu, SplitJoinEngineIdlesQuietly) {
+  SplitJoinConfig cfg;
+  cfg.num_cores = 4;
+  cfg.window_size = 256;
+  SplitJoinEngine engine(cfg, stream::JoinSpec::equi_on_key());
+  // num_cores join threads plus the collector.
+  expect_idle(cfg.num_cores + 1, [&] { engine.process(small_workload()); });
+}
+
+TEST(IdleCpu, HandshakeJoinEngineIdlesQuietly) {
+  HandshakeJoinConfig cfg;
+  cfg.num_cores = 4;
+  cfg.window_size = 256;
+  HandshakeJoinEngine engine(cfg, stream::JoinSpec::equi_on_key());
+  expect_idle(cfg.num_cores, [&] { engine.process(small_workload()); });
+}
+
+TEST(IdleCpu, BatchJoinEngineIdlesQuietly) {
+  BatchJoinConfig cfg;
+  cfg.num_workers = 4;
+  cfg.window_size = 256;
+  cfg.batch_size = 64;
+  BatchJoinEngine engine(cfg, stream::JoinSpec::equi_on_key());
+  expect_idle(cfg.num_workers, [&] { engine.process(small_workload()); });
+}
+
+}  // namespace
+}  // namespace hal::sw
