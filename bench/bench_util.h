@@ -12,8 +12,12 @@
 //   --out-dir=<dir>    prefix for BENCH_*.json artifacts, so parallel
 //                      invocations of the same bench never interleave
 //                      writes into a shared working directory.
+//   --seed=<n>         workload seed override for the benches that draw
+//                      random streams (chaos schedules, cluster scaling),
+//                      so a CI failure names a seed a dev box can replay.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -30,6 +34,8 @@ namespace hal::bench {
 inline int g_failures = 0;
 inline std::string g_obs_json_path;
 inline std::string g_out_dir;
+inline bool g_seed_set = false;
+inline std::uint64_t g_seed = 0;
 
 // Process-wide registry benches record into (directly or by pointing
 // core::MeasureOptions::registry at it). With HAL_OBS=0 this is the no-op
@@ -44,8 +50,20 @@ inline void init(int argc, char** argv) {
     const std::string_view arg = argv[i];
     constexpr std::string_view kObsJson = "--obs-json=";
     constexpr std::string_view kOutDir = "--out-dir=";
+    constexpr std::string_view kSeed = "--seed=";
     if (arg.substr(0, kObsJson.size()) == kObsJson) {
       g_obs_json_path = std::string(arg.substr(kObsJson.size()));
+    } else if (arg.substr(0, kSeed.size()) == kSeed) {
+      const std::string value(arg.substr(kSeed.size()));
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+      if (end != nullptr && *end == '\0' && !value.empty()) {
+        g_seed = parsed;
+        g_seed_set = true;
+      } else {
+        std::fprintf(stderr, "warning: ignoring malformed --seed=%s\n",
+                     value.c_str());
+      }
     } else if (arg.substr(0, kOutDir.size()) == kOutDir) {
       std::filesystem::path dir{std::string(arg.substr(kOutDir.size()))};
       if (dir.is_relative()) {
@@ -73,6 +91,11 @@ inline void init(int argc, char** argv) {
 // Where to write an output artifact, honoring --out-dir.
 inline std::string out_path(const std::string& filename) {
   return g_out_dir.empty() ? filename : g_out_dir + "/" + filename;
+}
+
+// The --seed override, or the bench's own default.
+inline std::uint64_t seed_or(std::uint64_t fallback) {
+  return g_seed_set ? g_seed : fallback;
 }
 
 inline void banner(const char* artifact, const char* description) {

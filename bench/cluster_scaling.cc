@@ -46,7 +46,7 @@ struct SweepPoint {
 
 std::vector<stream::Tuple> sweep_workload(std::size_t n) {
   stream::WorkloadConfig wl;
-  wl.seed = 20170605;  // ICDCS'17
+  wl.seed = hal::bench::seed_or(20170605);  // default: ICDCS'17
   wl.key_domain = 1u << 16;
   wl.deterministic_interleave = false;
   return stream::WorkloadGenerator(wl).take(n);

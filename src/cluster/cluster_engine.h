@@ -36,6 +36,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
@@ -47,16 +48,80 @@
 
 namespace hal::cluster {
 
+enum class FaultKind : std::uint8_t {
+  // Fail-stop: the worker dies immediately before processing the trigger
+  // batch. Unsupervised it announces the failure and keeps draining its
+  // inbox so the router never wedges; supervised it exits and is
+  // restarted from its last checkpoint (see RecoveryConfig).
+  kKillWorker,
+  // Contained fault: the worker throws hal::Error at the trigger batch
+  // (exercising the HAL_CHECK_RECOVERABLE path) and fail-stops like
+  // kKillWorker.
+  kWorkerError,
+  // Link fault: extra one-way delay on the worker's ingress link for the
+  // whole run (applied at construction; epoch/after_batches ignored).
+  kDelayLink,
+};
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kKillWorker;
+  // Flat worker index = slot * replicas + replica.
+  std::uint32_t worker = 0;
+  // Trigger position for kill/error events: the event fires immediately
+  // before the worker processes its (after_batches + 1)-th non-empty data
+  // batch — counted within `epoch` when epoch >= 1, or across the whole
+  // run when epoch == 0 (the legacy drop_worker semantics). An epoch
+  // trigger the stream never reaches fires at the first batch of a later
+  // epoch instead, so seeded chaos plans stay deterministic on short
+  // runs. Each event fires at most once, surviving worker restarts.
+  std::uint64_t epoch = 0;
+  std::uint32_t after_batches = 0;
+  // kDelayLink only.
+  double extra_delay_us = 0.0;
+};
+
 struct FaultPlan {
-  // Fail-stop: this worker (flat index = slot * replicas + replica) dies
-  // immediately before processing its (drop_after_batches + 1)-th data
-  // batch; it announces the failure and keeps draining its inbox so the
-  // router never wedges.
+  // Any number of simultaneous faults (multiple kills, kill + delay, ...).
+  std::vector<FaultEvent> events;
+
+  // Deprecated single-fault shim (pre-recovery API): normalized into
+  // `events` at engine construction so existing callers compile and
+  // behave unchanged. Prefer `events` for new code.
   std::optional<std::uint32_t> drop_worker;
   std::uint32_t drop_after_batches = 0;
-  // Link fault: extra one-way delay on this worker's ingress link.
   std::optional<std::uint32_t> delay_worker;
   double extra_delay_us = 0.0;
+
+  // `events` plus the legacy fields translated to events.
+  [[nodiscard]] std::vector<FaultEvent> normalized() const;
+};
+
+struct RecoveryConfig {
+  // Master switch: enables per-worker checkpoints, ingress replay logs
+  // and the Supervisor thread. With it off a killed worker stays dead
+  // (replica failover / clean degradation, the pre-recovery behavior).
+  bool supervise = false;
+  // A worker checkpoints its engine after every k-th completed epoch
+  // (before publishing the epoch, so the checkpoint is always at least as
+  // fresh as what the main thread has observed). 0 disables checkpoints:
+  // restarts then replay from an empty window, which is only exact while
+  // the replay log still covers everything since epoch 0.
+  std::uint32_t checkpoint_interval_epochs = 1;
+  // Per-ingress-link replay log bound, in batches. When a restart needs
+  // batches the log already evicted, exact recovery is impossible and the
+  // worker degrades to a drained slot (counted in RecoveryStats).
+  std::size_t replay_log_batches = std::size_t{1} << 12;
+};
+
+struct RecoveryStats {
+  std::uint64_t checkpoints = 0;       // images taken across all workers
+  std::uint64_t checkpoint_bytes = 0;  // Σ serialized image sizes
+  std::uint64_t restarts = 0;          // supervised respawns
+  std::uint64_t replayed_batches = 0;  // delta batches reprocessed
+  std::uint64_t replayed_tuples = 0;
+  std::uint64_t unrecoverable = 0;  // restarts that lost replay coverage
+  double mttr_seconds_total = 0.0;  // Σ kill-detect → worker respawned
+  double mttr_seconds_max = 0.0;
 };
 
 struct ClusterConfig {
@@ -82,6 +147,7 @@ struct ClusterConfig {
 
   TransportParams transport;
   FaultPlan faults;
+  RecoveryConfig recovery;
 };
 
 // Per-worker engine window implied by the partitioning scheme (the
@@ -102,6 +168,12 @@ struct WorkerReport {
   std::uint64_t result_batches_out = 0;
   double busy_seconds = 0.0;  // time inside the inner engine
   bool dropped = false;
+  bool unrecoverable = false;  // supervised restart lost replay coverage
+  std::uint64_t restarts = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t checkpoint_bytes = 0;
+  std::uint64_t replayed_batches = 0;
+  std::uint64_t heartbeat = 0;  // worker-loop liveness ticks
   LinkStats ingress;  // router → this worker (stalls charged to router)
   LinkStats egress;   // this worker → merger (stalls charged to worker)
 };
@@ -125,6 +197,8 @@ struct ClusterReport {
   // each wire frame shows up once as sent and once as received).
   bool net_enabled = false;
   net::NetStats net;
+  // Supervised-recovery totals (all zero when recovery.supervise is off).
+  RecoveryStats recovery;
 
   [[nodiscard]] double throughput_tuples_per_sec() const noexcept {
     return elapsed_seconds > 0.0
@@ -188,6 +262,46 @@ class ClusterEngine final : public core::StreamJoinEngine {
     double busy_seconds = 0.0;
     std::vector<stream::ResultTuple> staged;  // results awaiting egress
     std::atomic<bool> dropped{false};
+
+    // --- Supervised-recovery state (recovery.supervise only) ------------
+    core::EngineConfig engine_cfg;  // to rebuild the engine on restart
+    // This worker's fault events; `fault_fired` persists across
+    // incarnations so a replayed trigger position cannot re-fire.
+    std::vector<FaultEvent> faults;
+    std::vector<bool> fault_fired;
+    std::uint64_t epoch_batches = 0;  // non-empty batches this epoch
+
+    std::atomic<std::uint64_t> heartbeat{0};  // liveness ticks (obs gauge)
+    std::atomic<bool> dead{false};  // thread exited; supervisor must act
+    std::atomic<bool> unrecoverable{false};  // restart lost coverage
+
+    // Newest checkpoint: worker thread writes, supervisor reads. The
+    // published epoch additionally feeds replay-log truncation on the
+    // main thread (reading it there is sound: the worker stores before
+    // sending the end-of-epoch batch the main thread has already merged).
+    std::mutex ckpt_mu;
+    std::vector<std::uint8_t> ckpt_bytes;   // guarded by ckpt_mu
+    std::uint64_t ckpt_epoch = 0;           // guarded by ckpt_mu
+    std::atomic<std::uint64_t> ckpt_epoch_pub{0};
+
+    // Replay handoff, set by the supervisor before respawning the thread
+    // (the spawn publishes it). The respawned loop processes `replay`
+    // first, then discards inbox batches with link_seq <= replay_floor —
+    // every batch is processed exactly once under any interleaving.
+    std::vector<TupleBatch> replay;
+    std::uint64_t replay_floor = 0;
+
+    // Recovery tallies. checkpoints/checkpoint_bytes are worker-owned
+    // (published like tuples_in); restarts/mttr are supervisor-owned and
+    // ordered by the respawn → end-of-epoch → collect chain.
+    std::uint64_t checkpoints = 0;
+    std::uint64_t checkpoint_bytes = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t replayed_batches = 0;
+    std::uint64_t replayed_tuples = 0;
+    double mttr_seconds_total = 0.0;
+    double mttr_seconds_max = 0.0;
+    std::vector<double> mttr_us_samples;  // for the mttr_us histogram
   };
 
   // Merger-side per-worker assembly state. `pending` is merger-owned;
@@ -202,6 +316,18 @@ class ClusterEngine final : public core::StreamJoinEngine {
   };
 
   void worker_loop(Worker& w);
+  // Processes one ingress batch inside the worker loop; returns false iff
+  // the worker fail-stopped and (supervised) its thread must exit.
+  bool consume(Worker& w, TupleBatch batch, bool replaying);
+  // First unfired kill/error event due at this batch, or nullptr.
+  [[nodiscard]] const FaultEvent* due_fault(Worker& w,
+                                            const TupleBatch& batch);
+  // Fail-stop bookkeeping shared by kills, injected errors and contained
+  // hal::Error faults; returns the value consume() must return.
+  bool fail_stop(Worker& w, std::uint64_t epoch);
+  void maybe_checkpoint(Worker& w, std::uint64_t epoch);
+  void supervisor_loop();
+  void recover(Worker& w);
   void merger_loop();
   void flush_slot(std::uint32_t slot, bool end_of_epoch);
   void collect_slot(std::uint32_t slot,
@@ -230,6 +356,7 @@ class ClusterEngine final : public core::StreamJoinEngine {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::unique_ptr<MergeSlot>> merge_;
   std::thread merger_;
+  std::thread supervisor_;  // spawned iff recovery.supervise
   std::atomic<bool> stop_{false};
 
   // Main-thread epoch state.

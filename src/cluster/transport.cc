@@ -20,6 +20,7 @@ TransportParams TransportParams::from_pipeline(const dist::PipelineParams& p) {
 bool net_try_send(net::Connection& conn, const TupleBatch& b) {
   net::TupleBatchMsg msg;
   msg.epoch = b.epoch;
+  msg.link_seq = b.link_seq;
   msg.end_of_epoch = b.end_of_epoch;
   msg.tuples = b.tuples;
   return conn.try_send(net::MsgType::kTupleBatch, net::encode(msg));
@@ -37,12 +38,15 @@ bool net_try_send(net::Connection& conn, const ResultBatch& b) {
 bool net_try_recv(net::Connection& conn, TupleBatch& out) {
   net::Frame frame;
   if (!conn.try_recv(frame)) return false;
-  HAL_CHECK(frame.header.type == net::MsgType::kTupleBatch,
-            "unexpected message type on a tuple link");
+  // Recoverable, not fatal: a protocol violation on one link fail-stops
+  // its consumer (the supervisor can restart a worker), never the process.
+  HAL_CHECK_RECOVERABLE(frame.header.type == net::MsgType::kTupleBatch,
+                        "unexpected message type on a tuple link");
   net::TupleBatchMsg msg;
-  HAL_CHECK(net::decode(frame.payload, msg),
-            "undecodable tuple batch on a verified frame");
+  HAL_CHECK_RECOVERABLE(net::decode(frame.payload, msg),
+                        "undecodable tuple batch on a verified frame");
   out.epoch = msg.epoch;
+  out.link_seq = msg.link_seq;
   out.end_of_epoch = msg.end_of_epoch;
   out.deliver_at_us = 0.0;
   out.tuples = std::move(msg.tuples);
@@ -52,11 +56,11 @@ bool net_try_recv(net::Connection& conn, TupleBatch& out) {
 bool net_try_recv(net::Connection& conn, ResultBatch& out) {
   net::Frame frame;
   if (!conn.try_recv(frame)) return false;
-  HAL_CHECK(frame.header.type == net::MsgType::kResultBatch,
-            "unexpected message type on a result link");
+  HAL_CHECK_RECOVERABLE(frame.header.type == net::MsgType::kResultBatch,
+                        "unexpected message type on a result link");
   net::ResultBatchMsg msg;
-  HAL_CHECK(net::decode(frame.payload, msg),
-            "undecodable result batch on a verified frame");
+  HAL_CHECK_RECOVERABLE(net::decode(frame.payload, msg),
+                        "undecodable result batch on a verified frame");
   out.epoch = msg.epoch;
   out.end_of_epoch = msg.end_of_epoch;
   out.died = msg.died;

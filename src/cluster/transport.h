@@ -20,6 +20,8 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -78,6 +80,10 @@ struct TransportParams {
 
 struct TupleBatch {
   std::uint64_t epoch = 0;
+  // Monotone per-link sequence number assigned by the replay log
+  // (hal::recovery); 0 when replay is disabled. A restarted worker uses
+  // it to discard live batches already covered by its replay delta.
+  std::uint64_t link_seq = 0;
   bool end_of_epoch = false;
   double deliver_at_us = 0.0;  // stamped by Link::send
   std::vector<stream::Tuple> tuples;
@@ -85,6 +91,7 @@ struct TupleBatch {
 
 struct ResultBatch {
   std::uint64_t epoch = 0;
+  std::uint64_t link_seq = 0;  // see TupleBatch (unused on egress today)
   bool end_of_epoch = false;
   bool died = false;  // worker announced fail-stop (fault injection)
   double deliver_at_us = 0.0;
@@ -134,6 +141,20 @@ class Link {
   // modeled wire time, keeping a single producer able to feed N links at
   // their aggregate rate).
   void send(T msg, double now_us, std::uint64_t payload_items) {
+    if (replay_enabled_) {
+      // Sequence assignment and log append are one atomic step, so a
+      // supervisor's replay_copy() either contains a batch or sees a
+      // floor below its seq — never both, never neither (the exactly-once
+      // invariant recovery depends on).
+      std::lock_guard<std::mutex> lock(replay_mu_);
+      msg.link_seq = ++replay_seq_;
+      replay_log_.push_back(msg);
+      if (replay_log_.size() > replay_bound_) {
+        const std::uint64_t epoch = replay_log_.front().epoch;
+        if (epoch > evicted_through_epoch_) evicted_through_epoch_ = epoch;
+        replay_log_.pop_front();
+      }
+    }
     if (net_tx_ != nullptr) {
       ++stats_.batches;
       stats_.payload_items += payload_items;
@@ -180,6 +201,50 @@ class Link {
   [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const LinkParams& params() const noexcept { return params_; }
 
+  // --- Bounded replay log (hal::recovery) --------------------------------
+  // When enabled, every send is stamped with a monotone link_seq and
+  // copied into a bounded log. The producer truncates the log as
+  // checkpoints land; a supervisor copies the uncovered suffix to replay
+  // into a restarted consumer. Overflow evicts the oldest entry and
+  // records the highest evicted epoch, so recovery can detect when the
+  // since-checkpoint delta is no longer fully covered.
+
+  // Call before any traffic (producer/consumer threads not yet running).
+  void enable_replay(std::size_t max_batches) {
+    replay_bound_ = max_batches == 0 ? 1 : max_batches;
+    replay_enabled_ = true;
+  }
+  [[nodiscard]] bool replay_enabled() const noexcept {
+    return replay_enabled_;
+  }
+
+  // Drops entries fully covered by a checkpoint at `up_to_epoch`
+  // (producer side, called at epoch barriers).
+  void truncate_replay(std::uint64_t up_to_epoch) {
+    if (!replay_enabled_) return;
+    std::lock_guard<std::mutex> lock(replay_mu_);
+    while (!replay_log_.empty() && replay_log_.front().epoch <= up_to_epoch) {
+      replay_log_.pop_front();
+    }
+  }
+
+  // Snapshot of the suffix newer than `after_epoch`, plus the seq floor
+  // (everything sent so far; later sends carry seq > floor) and the
+  // highest epoch ever evicted (coverage check: evicted > after_epoch
+  // means the delta is incomplete and exact recovery is impossible).
+  [[nodiscard]] std::vector<T> replay_copy(
+      std::uint64_t after_epoch, std::uint64_t& floor_seq,
+      std::uint64_t& evicted_through_epoch) {
+    std::lock_guard<std::mutex> lock(replay_mu_);
+    floor_seq = replay_seq_;
+    evicted_through_epoch = evicted_through_epoch_;
+    std::vector<T> out;
+    for (const T& msg : replay_log_) {
+      if (msg.epoch > after_epoch) out.push_back(msg);
+    }
+    return out;
+  }
+
  private:
   LinkParams params_;
   SpscQueue<T> queue_;
@@ -187,6 +252,13 @@ class Link {
   net::Connection* net_rx_ = nullptr;  // consumer-side net end (or null)
   double next_free_us_ = 0.0;  // producer-owned serialization clock
   LinkStats stats_;            // producer-owned
+
+  bool replay_enabled_ = false;
+  std::size_t replay_bound_ = 0;
+  std::mutex replay_mu_;  // guards the log against supervisor copies
+  std::deque<T> replay_log_;
+  std::uint64_t replay_seq_ = 0;             // guarded by replay_mu_
+  std::uint64_t evicted_through_epoch_ = 0;  // guarded by replay_mu_
 };
 
 }  // namespace hal::cluster

@@ -4,6 +4,8 @@
 // critical and the cost is negligible next to the simulated work).
 // HAL_CHECK is for user-facing precondition violations and throws, so API
 // misuse is reportable rather than fatal.
+// HAL_CHECK_RECOVERABLE throws hal::Error for runtime faults that a
+// supervisor can contain without killing the process.
 #pragma once
 
 #include <cstdio>
@@ -23,6 +25,16 @@ namespace hal {
 class PreconditionError : public std::logic_error {
  public:
   using std::logic_error::logic_error;
+};
+
+// Recoverable runtime fault: the operation failed but the process (and
+// sibling components) are intact. The cluster Supervisor catches this to
+// contain a faulted worker and restart it from its last checkpoint,
+// instead of the whole engine aborting. Derives from runtime_error, not
+// logic_error: these are environment/state faults, not API misuse.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
 };
 
 }  // namespace hal
@@ -48,4 +60,15 @@ class PreconditionError : public std::logic_error {
       throw ::hal::PreconditionError(std::string("precondition failed: ") + \
                                      (msg));                               \
     }                                                                      \
+  } while (false)
+
+// Throwing check for faults a supervisor is expected to contain (worker
+// state corruption, injected chaos faults, failed restores). Unlike
+// HAL_ASSERT this must never abort: the cluster catches hal::Error at the
+// worker boundary and fail-stops only that worker.
+#define HAL_CHECK_RECOVERABLE(expr, msg)                                 \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      throw ::hal::Error(std::string("recoverable fault: ") + (msg));    \
+    }                                                                    \
   } while (false)

@@ -185,6 +185,17 @@ class SwSplitJoinAdapter final : public StreamJoinEngine {
     return out;
   }
 
+  bool snapshot(WindowImage& out) override {
+    out = WindowImage{};
+    engine_->snapshot_state(out);
+    out.backend = Backend::kSwSplitJoin;
+    return true;
+  }
+  bool restore(const WindowImage& image) override {
+    if (image.backend != Backend::kSwSplitJoin) return false;
+    return engine_->restore_state(image);
+  }
+
   [[nodiscard]] Backend backend() const noexcept override {
     return Backend::kSwSplitJoin;
   }
@@ -244,6 +255,17 @@ class SwHandshakeAdapter final : public StreamJoinEngine {
         all.begin() + static_cast<std::ptrdiff_t>(taken_), all.end());
     taken_ = all.size();
     return fresh;
+  }
+
+  bool snapshot(WindowImage& out) override {
+    out = WindowImage{};
+    engine_->snapshot_state(out);
+    out.backend = Backend::kSwHandshake;
+    return true;
+  }
+  bool restore(const WindowImage& image) override {
+    if (image.backend != Backend::kSwHandshake) return false;
+    return engine_->restore_state(image);
   }
 
   [[nodiscard]] Backend backend() const noexcept override {
@@ -306,6 +328,17 @@ class SwBatchAdapter final : public StreamJoinEngine {
     auto out = engine_->results();
     engine_->clear_results();
     return out;
+  }
+
+  bool snapshot(WindowImage& out) override {
+    out = WindowImage{};
+    engine_->snapshot_state(out);
+    out.backend = Backend::kSwBatch;
+    return true;
+  }
+  bool restore(const WindowImage& image) override {
+    if (image.backend != Backend::kSwBatch) return false;
+    return engine_->restore_state(image);
   }
 
   [[nodiscard]] Backend backend() const noexcept override {

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "core/window_image.h"
 #include "hw/model/design_stats.h"
 #include "obs/metrics.h"
 #include "stream/join_spec.h"
@@ -119,6 +120,25 @@ class StreamJoinEngine {
   // software backends return nullopt.
   [[nodiscard]] virtual std::optional<hw::DesignStats> design_stats()
       const = 0;
+
+  // Checkpoint/restore of the engine's windowed state (hal::recovery).
+  // snapshot() fills `out` with the window contents and arrival cursors at
+  // quiescence; returns false when the backend does not support
+  // checkpointing (hardware and cluster backends today). restore()
+  // replaces the windowed state with the image's and returns false —
+  // leaving the engine untouched — when the image's backend, core count or
+  // window size does not match. Both require a quiescent engine, which
+  // process() guarantees on return. Restoring does not resurrect already
+  // emitted results; take_results() keeps returning only post-restore
+  // matches.
+  [[nodiscard]] virtual bool snapshot(WindowImage& out) {
+    (void)out;
+    return false;
+  }
+  [[nodiscard]] virtual bool restore(const WindowImage& image) {
+    (void)image;
+    return false;
+  }
 
   // Publishes the engine's internal observability counters (per-core
   // probes/matches, stalls, queue high-water, ...) under `prefix`. Call

@@ -1,0 +1,52 @@
+// Portable checkpoint of a software engine's windowed state.
+//
+// A WindowImage is what `StreamJoinEngine::snapshot()` produces and
+// `restore()` consumes: the per-core sub-window contents in age order plus
+// the arrival/turn cursors needed to resume tuple routing exactly where the
+// producer left off. Images are backend-shaped — restore() requires the
+// same backend, core count and window size — but the container itself is
+// backend-agnostic so `recovery::serialize()` can frame any of them with
+// one CRC32C-checked wire format (see src/recovery/checkpoint.h).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/tuple.h"
+
+namespace hal::core {
+
+enum class Backend : std::uint8_t;  // defined in core/stream_join.h
+
+struct WindowImage {
+  Backend backend{};              // producing engine; restore must match
+  std::uint32_t num_cores = 0;    // per-core layout; restore must match
+  std::uint64_t window_size = 0;  // per-stream window W
+  std::uint64_t epoch = 0;        // producer's epoch cursor (set by cluster)
+  // Arrival/turn counters: SplitJoin's round-robin store counters and
+  // BatchJoin's global arrival indices. Unused (zero) for HandshakeJoin,
+  // whose routing state is fully captured by the boundary queues.
+  std::uint64_t count_r = 0;
+  std::uint64_t count_s = 0;
+  std::uint64_t results_emitted = 0;  // cumulative emission cursor
+
+  struct CoreState {
+    std::vector<stream::Tuple> win_r;  // age order, oldest first
+    std::vector<stream::Tuple> win_s;
+    // kSwBatch only: per-entry arrival indices (logical-expiry cursors),
+    // parallel to win_r/win_s. Empty for the other backends.
+    std::vector<std::uint64_t> arr_r;
+    std::vector<std::uint64_t> arr_s;
+  };
+  std::vector<CoreState> cores;
+
+  // kSwHandshake only: the in-flight eviction queues between adjacent
+  // cores (num_cores - 1 of them, left to right).
+  struct BoundaryState {
+    std::vector<stream::Tuple> r_q;
+    std::vector<stream::Tuple> s_q;
+  };
+  std::vector<BoundaryState> boundaries;
+};
+
+}  // namespace hal::core

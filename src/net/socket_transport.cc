@@ -524,7 +524,8 @@ class SocketConnection final : public Connection {
         return true;
       case MsgType::kWatermark:
       case MsgType::kTupleBatch:
-      case MsgType::kResultBatch: {
+      case MsgType::kResultBatch:
+      case MsgType::kCheckpoint: {
         const std::uint64_t seq = frame.header.seq;
         if (seq < expected_seq_) {
           ++stats_.duplicates_dropped;  // replay overlap

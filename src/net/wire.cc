@@ -147,6 +147,7 @@ const char* to_string(MsgType t) noexcept {
     case MsgType::kWatermark: return "watermark";
     case MsgType::kTupleBatch: return "tuple-batch";
     case MsgType::kResultBatch: return "result-batch";
+    case MsgType::kCheckpoint: return "checkpoint";
   }
   return "?";
 }
@@ -302,8 +303,9 @@ bool decode(std::span<const std::uint8_t> payload, WatermarkMsg& m) {
 
 std::vector<std::uint8_t> encode(const TupleBatchMsg& m) {
   std::vector<std::uint8_t> out;
-  out.reserve(16 + m.tuples.size() * kTupleWireSize);
+  out.reserve(24 + m.tuples.size() * kTupleWireSize);
   put_u64(out, m.epoch);
+  put_u64(out, m.link_seq);
   put_u32(out, m.end_of_epoch ? kFlagEndOfEpoch : 0);
   put_u32(out, static_cast<std::uint32_t>(m.tuples.size()));
   for (const stream::Tuple& t : m.tuples) put_tuple(out, t);
@@ -314,7 +316,8 @@ bool decode(std::span<const std::uint8_t> payload, TupleBatchMsg& m) {
   Reader r(payload);
   std::uint32_t flags = 0;
   std::uint32_t count = 0;
-  if (!r.read_u64(m.epoch) || !r.read_u32(flags) || !r.read_u32(count)) {
+  if (!r.read_u64(m.epoch) || !r.read_u64(m.link_seq) || !r.read_u32(flags) ||
+      !r.read_u32(count)) {
     return false;
   }
   if ((flags & ~kFlagEndOfEpoch) != 0) return false;

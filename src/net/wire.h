@@ -51,11 +51,12 @@ enum class MsgType : std::uint8_t {
   kWatermark = 5,    // epoch barrier with per-stream arrival counts
   kTupleBatch = 6,   // input tuples routed to a shard
   kResultBatch = 7,  // joined results returned from a shard
+  kCheckpoint = 8,   // serialized WindowImage (hal::recovery)
 };
 
 [[nodiscard]] constexpr bool valid_msg_type(std::uint8_t raw) noexcept {
   return raw >= static_cast<std::uint8_t>(MsgType::kHello) &&
-         raw <= static_cast<std::uint8_t>(MsgType::kResultBatch);
+         raw <= static_cast<std::uint8_t>(MsgType::kCheckpoint);
 }
 
 [[nodiscard]] const char* to_string(MsgType t) noexcept;
@@ -169,6 +170,10 @@ struct WatermarkMsg {
 
 struct TupleBatchMsg {
   std::uint64_t epoch = 0;
+  // Per-link batch sequence number assigned by the cluster replay log
+  // (hal::recovery); 0 when replay is disabled. Distinct from the frame
+  // seq, which the transport renumbers per connection.
+  std::uint64_t link_seq = 0;
   bool end_of_epoch = false;
   std::vector<stream::Tuple> tuples;
 

@@ -1,0 +1,150 @@
+#include "recovery/chaos.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace hal::recovery {
+
+const char* to_string(ChaosKind kind) noexcept {
+  switch (kind) {
+    case ChaosKind::kKill: return "kill";
+    case ChaosKind::kWorkerError: return "error";
+    case ChaosKind::kLinkDelay: return "delay";
+    case ChaosKind::kCorrupt: return "corrupt";
+    case ChaosKind::kPartition: return "partition";
+  }
+  return "?";
+}
+
+ChaosPlan ChaosPlan::generate(std::uint64_t seed, const ChaosOptions& opts) {
+  ChaosPlan plan;
+  plan.seed_ = seed;
+  Rng rng(seed);
+  const std::uint32_t workers = opts.workers == 0 ? 1 : opts.workers;
+  const std::uint64_t epochs = opts.epochs == 0 ? 1 : opts.epochs;
+  const std::uint32_t batches =
+      opts.batches_per_epoch == 0 ? 1 : opts.batches_per_epoch;
+
+  auto draw_position = [&](ChaosEvent& ev) {
+    ev.worker = static_cast<std::uint32_t>(rng.next_below(workers));
+    ev.epoch = 1 + rng.next_below(epochs);
+    ev.after_batches = static_cast<std::uint32_t>(rng.next_below(batches));
+  };
+  for (std::uint32_t i = 0; i < opts.kills; ++i) {
+    ChaosEvent ev;
+    ev.kind = ChaosKind::kKill;
+    draw_position(ev);
+    plan.events_.push_back(ev);
+  }
+  for (std::uint32_t i = 0; i < opts.errors; ++i) {
+    ChaosEvent ev;
+    ev.kind = ChaosKind::kWorkerError;
+    draw_position(ev);
+    plan.events_.push_back(ev);
+  }
+  for (std::uint32_t i = 0; i < opts.link_delays; ++i) {
+    ChaosEvent ev;
+    ev.kind = ChaosKind::kLinkDelay;
+    ev.worker = static_cast<std::uint32_t>(rng.next_below(workers));
+    ev.delay_us = rng.next_double() * opts.max_delay_us;
+    plan.events_.push_back(ev);
+  }
+  if (opts.wire_corrupt) {
+    ChaosEvent ev;
+    ev.kind = ChaosKind::kCorrupt;
+    ev.every_frames = 17 + rng.next_below(48);  // a few fires per run
+    plan.events_.push_back(ev);
+  }
+  if (opts.wire_partition) {
+    ChaosEvent ev;
+    ev.kind = ChaosKind::kPartition;
+    ev.every_frames = 8 + rng.next_below(56);
+    plan.events_.push_back(ev);
+  }
+  // Deterministic order regardless of generation insertions, so a plan
+  // prints (and installs) identically across library versions.
+  std::sort(plan.events_.begin(), plan.events_.end(),
+            [](const ChaosEvent& a, const ChaosEvent& b) {
+              if (a.epoch != b.epoch) return a.epoch < b.epoch;
+              if (a.after_batches != b.after_batches) {
+                return a.after_batches < b.after_batches;
+              }
+              if (a.worker != b.worker) return a.worker < b.worker;
+              return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+            });
+  return plan;
+}
+
+cluster::FaultPlan ChaosPlan::cluster_faults() const {
+  cluster::FaultPlan plan;
+  for (const ChaosEvent& ev : events_) {
+    cluster::FaultEvent out;
+    switch (ev.kind) {
+      case ChaosKind::kKill:
+        out.kind = cluster::FaultKind::kKillWorker;
+        break;
+      case ChaosKind::kWorkerError:
+        out.kind = cluster::FaultKind::kWorkerError;
+        break;
+      case ChaosKind::kLinkDelay:
+        out.kind = cluster::FaultKind::kDelayLink;
+        break;
+      case ChaosKind::kCorrupt:
+      case ChaosKind::kPartition:
+        continue;  // wire-level, not the cluster's concern
+    }
+    out.worker = ev.worker;
+    out.epoch = ev.epoch;
+    out.after_batches = ev.after_batches;
+    out.extra_delay_us = ev.delay_us;
+    plan.events.push_back(out);
+  }
+  return plan;
+}
+
+net::FaultPlan ChaosPlan::net_faults() const {
+  net::FaultPlan plan;
+  for (const ChaosEvent& ev : events_) {
+    if (ev.kind == ChaosKind::kCorrupt) plan.corrupt_every = ev.every_frames;
+    if (ev.kind == ChaosKind::kPartition) {
+      plan.partition_after_frames = ev.every_frames;
+      plan.partition_seconds = 0.02;  // short: the suite must converge
+    }
+  }
+  return plan;
+}
+
+void ChaosPlan::install(cluster::ClusterConfig& cfg) const {
+  const cluster::FaultPlan faults = cluster_faults();
+  cfg.faults.events.insert(cfg.faults.events.end(), faults.events.begin(),
+                           faults.events.end());
+  cfg.transport.net_fault = net_faults();
+}
+
+std::string ChaosPlan::describe() const {
+  std::string out = "chaos seed " + std::to_string(seed_) + ":";
+  for (const ChaosEvent& ev : events_) {
+    out += "\n  ";
+    out += to_string(ev.kind);
+    switch (ev.kind) {
+      case ChaosKind::kKill:
+      case ChaosKind::kWorkerError:
+        out += " w" + std::to_string(ev.worker) + " @e" +
+               std::to_string(ev.epoch) + "+" +
+               std::to_string(ev.after_batches);
+        break;
+      case ChaosKind::kLinkDelay:
+        out += " w" + std::to_string(ev.worker) + " +" +
+               std::to_string(ev.delay_us) + "us";
+        break;
+      case ChaosKind::kCorrupt:
+      case ChaosKind::kPartition:
+        out += " every " + std::to_string(ev.every_frames) + " frames";
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace hal::recovery

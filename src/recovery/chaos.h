@@ -1,0 +1,86 @@
+// hal::recovery chaos harness — seeded, deterministic fault schedules.
+//
+// A ChaosPlan is a reproducible list of fault events at epoch + batch
+// granularity, generated from one seed: worker kills and injected
+// recoverable errors (cluster::FaultPlan events), ingress-link delays
+// (applied at cluster construction), and wire-level corruption /
+// partitions (net::FaultPlan, socket transports only). The same seed
+// always produces the same schedule, so a differential chaos suite can
+// assert byte-identical results against a fault-free oracle, and a
+// failure report can name the seed that broke the run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_engine.h"
+#include "net/fault.h"
+
+namespace hal::recovery {
+
+enum class ChaosKind : std::uint8_t {
+  kKill,        // cluster::FaultKind::kKillWorker
+  kWorkerError, // cluster::FaultKind::kWorkerError
+  kLinkDelay,   // cluster::FaultKind::kDelayLink
+  kCorrupt,     // net::FaultPlan::corrupt_every (wire transports)
+  kPartition,   // net::FaultPlan::partition_after_frames
+};
+
+[[nodiscard]] const char* to_string(ChaosKind kind) noexcept;
+
+struct ChaosEvent {
+  ChaosKind kind = ChaosKind::kKill;
+  std::uint32_t worker = 0;       // flat worker index (kill/error/delay)
+  std::uint64_t epoch = 0;        // 1-based trigger epoch (kill/error)
+  std::uint32_t after_batches = 0;
+  double delay_us = 0.0;          // kLinkDelay only
+  std::uint64_t every_frames = 0; // kCorrupt/kPartition trigger period
+};
+
+struct ChaosOptions {
+  // Shape of the run the plan targets (trigger positions are drawn
+  // uniformly inside this envelope).
+  std::uint32_t workers = 1;
+  std::uint64_t epochs = 4;
+  std::uint32_t batches_per_epoch = 8;
+  // Event mix.
+  std::uint32_t kills = 1;
+  std::uint32_t errors = 0;
+  std::uint32_t link_delays = 0;
+  double max_delay_us = 200.0;
+  // Wire faults (ignored by kInProcess transports).
+  bool wire_corrupt = false;
+  bool wire_partition = false;
+};
+
+class ChaosPlan {
+ public:
+  // Deterministic: the same (seed, options) always yields the same plan.
+  [[nodiscard]] static ChaosPlan generate(std::uint64_t seed,
+                                          const ChaosOptions& opts);
+
+  // Kill/error/delay events, translated for the cluster engine.
+  [[nodiscard]] cluster::FaultPlan cluster_faults() const;
+  // Corrupt/partition events, translated for net-backed links.
+  [[nodiscard]] net::FaultPlan net_faults() const;
+  // Installs both into a cluster config (faults are appended, the wire
+  // plan replaces transport.net_fault). Enabling supervision is the
+  // caller's choice — a chaos run without recovery is the degradation
+  // baseline, not a misuse.
+  void install(cluster::ClusterConfig& cfg) const;
+
+  // One line per event, e.g. "kill w2 @e3+1" — for failure reports.
+  [[nodiscard]] std::string describe() const;
+
+  [[nodiscard]] const std::vector<ChaosEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::vector<ChaosEvent> events_;
+};
+
+}  // namespace hal::recovery

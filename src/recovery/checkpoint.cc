@@ -1,0 +1,230 @@
+#include "recovery/checkpoint.h"
+
+#include "core/stream_join.h"
+#include "net/wire.h"
+
+namespace hal::recovery {
+
+namespace {
+
+using core::WindowImage;
+using stream::Tuple;
+
+// Same primitives as the net codec (wire.cc keeps its own copies in an
+// anonymous namespace; the layout contract between them is the 17-byte
+// wire tuple, pinned by the round-trip tests).
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+constexpr std::size_t kTupleWireSize = 17;
+
+void put_tuple(std::vector<std::uint8_t>& out, const Tuple& t) {
+  put_u32(out, t.key);
+  put_u32(out, t.value);
+  put_u64(out, t.seq);
+  put_u8(out, t.origin == stream::StreamId::R ? 0 : 1);
+}
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] bool read_u8(std::uint8_t& v) {
+    if (pos_ + 1 > data_.size()) return false;
+    v = data_[pos_++];
+    return true;
+  }
+
+  [[nodiscard]] bool read_u32(std::uint32_t& v) {
+    if (pos_ + 4 > data_.size()) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  [[nodiscard]] bool read_u64(std::uint64_t& v) {
+    if (pos_ + 8 > data_.size()) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+
+  [[nodiscard]] bool read_tuple(Tuple& t) {
+    std::uint8_t origin = 0;
+    if (!read_u32(t.key) || !read_u32(t.value) || !read_u64(t.seq) ||
+        !read_u8(origin)) {
+      return false;
+    }
+    if (origin > 1) return false;
+    t.origin = origin == 0 ? stream::StreamId::R : stream::StreamId::S;
+    return true;
+  }
+
+  [[nodiscard]] bool done() const noexcept { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+// Refuses counts the remaining bytes cannot possibly hold, so a corrupt
+// count can never trigger an unbounded allocation.
+bool read_tuples(Reader& r, std::uint32_t count,
+                 std::vector<Tuple>& out) {
+  if (r.remaining() < static_cast<std::size_t>(count) * kTupleWireSize) {
+    return false;
+  }
+  out.clear();
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Tuple t;
+    if (!r.read_tuple(t)) return false;
+    out.push_back(t);
+  }
+  return true;
+}
+
+bool read_arrivals(Reader& r, std::size_t count,
+                   std::vector<std::uint64_t>& out) {
+  if (r.remaining() < count * 8) return false;
+  out.clear();
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t v = 0;
+    if (!r.read_u64(v)) return false;
+    out.push_back(v);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize(const WindowImage& image) {
+  std::vector<std::uint8_t> payload;
+  put_u8(payload, static_cast<std::uint8_t>(image.backend));
+  put_u32(payload, image.num_cores);
+  put_u64(payload, image.window_size);
+  put_u64(payload, image.epoch);
+  put_u64(payload, image.count_r);
+  put_u64(payload, image.count_s);
+  put_u64(payload, image.results_emitted);
+  put_u32(payload, static_cast<std::uint32_t>(image.cores.size()));
+  for (const auto& core : image.cores) {
+    put_u32(payload, static_cast<std::uint32_t>(core.win_r.size()));
+    put_u32(payload, static_cast<std::uint32_t>(core.win_s.size()));
+    const bool has_arrivals = !core.arr_r.empty() || !core.arr_s.empty();
+    put_u8(payload, has_arrivals ? 1 : 0);
+    for (const Tuple& t : core.win_r) put_tuple(payload, t);
+    for (const Tuple& t : core.win_s) put_tuple(payload, t);
+    if (has_arrivals) {
+      for (std::uint64_t a : core.arr_r) put_u64(payload, a);
+      for (std::uint64_t a : core.arr_s) put_u64(payload, a);
+    }
+  }
+  put_u32(payload, static_cast<std::uint32_t>(image.boundaries.size()));
+  for (const auto& boundary : image.boundaries) {
+    put_u32(payload, static_cast<std::uint32_t>(boundary.r_q.size()));
+    put_u32(payload, static_cast<std::uint32_t>(boundary.s_q.size()));
+    for (const Tuple& t : boundary.r_q) put_tuple(payload, t);
+    for (const Tuple& t : boundary.s_q) put_tuple(payload, t);
+  }
+
+  std::vector<std::uint8_t> wire;
+  net::append_frame(wire, net::MsgType::kCheckpoint, image.epoch, payload);
+  return wire;
+}
+
+bool deserialize(std::span<const std::uint8_t> bytes, WindowImage& out) {
+  net::FrameDecoder decoder;
+  decoder.feed(bytes);
+  net::Frame frame;
+  if (decoder.next(frame) != net::DecodeStatus::kOk) return false;
+  if (frame.header.type != net::MsgType::kCheckpoint) return false;
+  // Exactly one frame: trailing bytes mean a damaged image store.
+  net::Frame extra;
+  if (decoder.next(extra) != net::DecodeStatus::kNeedMore ||
+      decoder.buffered() != 0) {
+    return false;
+  }
+
+  Reader r(frame.payload);
+  std::uint8_t backend = 0;
+  std::uint32_t core_count = 0;
+  WindowImage image;
+  if (!r.read_u8(backend) || !r.read_u32(image.num_cores) ||
+      !r.read_u64(image.window_size) || !r.read_u64(image.epoch) ||
+      !r.read_u64(image.count_r) || !r.read_u64(image.count_s) ||
+      !r.read_u64(image.results_emitted) || !r.read_u32(core_count)) {
+    return false;
+  }
+  if (backend > static_cast<std::uint8_t>(core::Backend::kCluster)) {
+    return false;
+  }
+  image.backend = static_cast<core::Backend>(backend);
+  // Each core record needs at least its 9-byte header; checking before the
+  // resize keeps a crafted count from over-allocating (the frame CRC only
+  // guards against corruption, not construction).
+  if (r.remaining() < static_cast<std::size_t>(core_count) * 9) return false;
+  image.cores.resize(core_count);
+  for (auto& core : image.cores) {
+    std::uint32_t nr = 0;
+    std::uint32_t ns = 0;
+    std::uint8_t has_arrivals = 0;
+    if (!r.read_u32(nr) || !r.read_u32(ns) || !r.read_u8(has_arrivals) ||
+        has_arrivals > 1) {
+      return false;
+    }
+    if (!read_tuples(r, nr, core.win_r) || !read_tuples(r, ns, core.win_s)) {
+      return false;
+    }
+    if (has_arrivals == 1) {
+      if (!read_arrivals(r, nr, core.arr_r) ||
+          !read_arrivals(r, ns, core.arr_s)) {
+        return false;
+      }
+    }
+  }
+  std::uint32_t boundary_count = 0;
+  if (!r.read_u32(boundary_count)) return false;
+  if (r.remaining() < static_cast<std::size_t>(boundary_count) * 8) {
+    return false;
+  }
+  image.boundaries.resize(boundary_count);
+  for (auto& boundary : image.boundaries) {
+    std::uint32_t nr = 0;
+    std::uint32_t ns = 0;
+    if (!r.read_u32(nr) || !r.read_u32(ns)) return false;
+    if (!read_tuples(r, nr, boundary.r_q) ||
+        !read_tuples(r, ns, boundary.s_q)) {
+      return false;
+    }
+  }
+  if (!r.done()) return false;
+  out = std::move(image);
+  return true;
+}
+
+}  // namespace hal::recovery

@@ -1,0 +1,43 @@
+// hal::recovery checkpoint codec — transportable window-state images.
+//
+// serialize() turns a `core::WindowImage` (produced by
+// `StreamJoinEngine::snapshot()`) into one CRC32C-checked
+// `net::MsgType::kCheckpoint` wire frame, so a checkpoint is bit-equal
+// whether it sits in a supervisor's in-memory slot, a file, or a socket —
+// the same frame discipline as every other message the cluster ships.
+// deserialize() is total on arbitrary bytes: any truncation, bit flip
+// (CRC), or structural inconsistency returns false and leaves `out`
+// untouched by contract of use (callers treat false as image-lost).
+//
+// Payload layout (little-endian, after the standard frame header):
+//
+//   u8  backend            core::Backend underlying value
+//   u32 num_cores
+//   u64 window_size | epoch | count_r | count_s | results_emitted
+//   u32 core count
+//   per core:
+//     u32 nr | u32 ns | u8 has_arrivals
+//     nr + ns tuples (17-byte wire tuples, R window then S window)
+//     [nr + ns u64 arrival indices when has_arrivals]
+//   u32 boundary count
+//   per boundary: u32 nr | u32 ns | nr + ns tuples
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/window_image.h"
+
+namespace hal::recovery {
+
+// One framed kCheckpoint record (header + payload).
+[[nodiscard]] std::vector<std::uint8_t> serialize(
+    const core::WindowImage& image);
+
+// Strict inverse: exactly one well-formed kCheckpoint frame, nothing
+// trailing. Returns false on any framing, CRC, or structural error.
+[[nodiscard]] bool deserialize(std::span<const std::uint8_t> bytes,
+                               core::WindowImage& out);
+
+}  // namespace hal::recovery

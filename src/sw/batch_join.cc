@@ -185,6 +185,70 @@ void BatchJoinEngine::run_batch(const Tuple* data, std::size_t count) {
   if constexpr (obs::kEnabled) batch_fills_.push_back(count);
 }
 
+void BatchJoinEngine::snapshot_state(core::WindowImage& out) {
+  out.num_cores = cfg_.num_workers;
+  out.window_size = cfg_.window_size;
+  out.count_r = count_r_;
+  out.count_s = count_s_;
+  out.results_emitted = results_.size();
+  out.cores.assign(cfg_.num_workers, {});
+  out.boundaries.clear();
+  for (std::uint32_t i = 0; i < cfg_.num_workers; ++i) {
+    const WorkerSlice& slice = *slices_[i];
+    auto& dst = out.cores[i];
+    // Age order, oldest first, with the per-entry arrival indices the
+    // logical-expiry cutoff needs.
+    const std::size_t oldest_r =
+        slice.size_r < sub_window_ ? 0 : slice.head_r;
+    for (std::size_t k = 0; k < slice.size_r; ++k) {
+      const Entry& e = slice.win_r[(oldest_r + k) % sub_window_];
+      dst.win_r.push_back(e.tuple);
+      dst.arr_r.push_back(e.arrival);
+    }
+    const std::size_t oldest_s =
+        slice.size_s < sub_window_ ? 0 : slice.head_s;
+    for (std::size_t k = 0; k < slice.size_s; ++k) {
+      const Entry& e = slice.win_s[(oldest_s + k) % sub_window_];
+      dst.win_s.push_back(e.tuple);
+      dst.arr_s.push_back(e.arrival);
+    }
+  }
+}
+
+bool BatchJoinEngine::restore_state(const core::WindowImage& image) {
+  if (image.num_cores != cfg_.num_workers ||
+      image.window_size != cfg_.window_size ||
+      image.cores.size() != slices_.size() || !image.boundaries.empty()) {
+    return false;
+  }
+  for (const auto& src : image.cores) {
+    if (src.win_r.size() > sub_window_ || src.win_s.size() > sub_window_ ||
+        src.arr_r.size() != src.win_r.size() ||
+        src.arr_s.size() != src.win_s.size()) {
+      return false;
+    }
+  }
+  for (std::uint32_t i = 0; i < cfg_.num_workers; ++i) {
+    WorkerSlice& slice = *slices_[i];
+    slice.head_r = slice.head_s = 0;
+    slice.size_r = slice.size_s = 0;
+    const auto& src = image.cores[i];
+    // Re-inserting in age order rebuilds the circular layout and the
+    // key/arrival lanes consistently.
+    for (std::size_t k = 0; k < src.win_r.size(); ++k) {
+      Tuple t = src.win_r[k];
+      insert_into_slice(slice, t, src.arr_r[k]);
+    }
+    for (std::size_t k = 0; k < src.win_s.size(); ++k) {
+      Tuple t = src.win_s[k];
+      insert_into_slice(slice, t, src.arr_s[k]);
+    }
+  }
+  count_r_ = image.count_r;
+  count_s_ = image.count_s;
+  return true;
+}
+
 SwRunReport BatchJoinEngine::process(const std::vector<Tuple>& tuples) {
   return process_batched(tuples, cfg_.batch_size);
 }

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/spsc_queue.h"
+#include "core/window_image.h"
 #include "obs/enabled.h"
 #include "obs/metrics.h"
 #include "stream/join_spec.h"
@@ -74,6 +75,16 @@ class BatchJoinEngine {
     return last_kernel_seconds_;
   }
   [[nodiscard]] const BatchJoinConfig& config() const noexcept { return cfg_; }
+
+  // Checkpoint/restore of the windowed state (hal::recovery): per-slice
+  // entries in age order with their arrival indices (the logical-expiry
+  // cursors) plus the global per-stream turn counters. The engine is
+  // quiescent between process() calls (batch dispatch is synchronous), so
+  // no waiting is needed; the next dispatch's generation release/acquire
+  // publishes restored state to the workers. restore_state returns false
+  // (engine untouched) on a worker-count/window-size/shape mismatch.
+  void snapshot_state(core::WindowImage& out);
+  [[nodiscard]] bool restore_state(const core::WindowImage& image);
 
   // Publishes batch counts, a batch-fill histogram (how full each
   // dispatched batch was — partial flushes show up as underfilled

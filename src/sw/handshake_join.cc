@@ -281,6 +281,74 @@ void HandshakeJoinEngine::collect_metrics(obs::MetricRegistry& registry,
                        obs::Stability::kRuntime);
 }
 
+void HandshakeJoinEngine::snapshot_state(core::WindowImage& out) {
+  SpinBackoff backoff;
+  while (pending_.load(std::memory_order_acquire) != 0) backoff.pause();
+  out.num_cores = cfg_.num_cores;
+  out.window_size = cfg_.window_size;
+  out.count_r = 0;  // the chain has no global turn counters
+  out.count_s = 0;
+  out.results_emitted = results_count_.load(std::memory_order_acquire);
+  out.cores.assign(cfg_.num_cores, {});
+  for (std::uint32_t i = 0; i < cfg_.num_cores; ++i) {
+    const Core& core = *cores_[i];
+    auto& dst = out.cores[i];
+    dst.win_r.reserve(core.win_r.size());
+    for (std::size_t k = 0; k < core.win_r.size(); ++k) {
+      dst.win_r.push_back(core.win_r.at(k));
+    }
+    dst.win_s.reserve(core.win_s.size());
+    for (std::size_t k = 0; k < core.win_s.size(); ++k) {
+      dst.win_s.push_back(core.win_s.at(k));
+    }
+  }
+  // Handovers count toward pending_, so the eviction queues have drained
+  // by now; captured anyway so the image shape matches the chain and a
+  // future mid-flight snapshot would not silently lose occupants.
+  out.boundaries.assign(boundaries_.size(), {});
+  for (std::size_t b = 0; b < boundaries_.size(); ++b) {
+    Boundary& boundary = *boundaries_[b];
+    std::lock_guard<std::mutex> lock(boundary.mu);
+    out.boundaries[b].r_q.assign(boundary.r_q.begin(), boundary.r_q.end());
+    out.boundaries[b].s_q.assign(boundary.s_q.begin(), boundary.s_q.end());
+  }
+}
+
+bool HandshakeJoinEngine::restore_state(const core::WindowImage& image) {
+  if (image.num_cores != cfg_.num_cores ||
+      image.window_size != cfg_.window_size ||
+      image.cores.size() != cores_.size() ||
+      image.boundaries.size() != boundaries_.size()) {
+    return false;
+  }
+  const std::size_t sub_window = cfg_.window_size / cfg_.num_cores;
+  for (const auto& src : image.cores) {
+    if (src.win_r.size() > sub_window || src.win_s.size() > sub_window ||
+        !src.arr_r.empty() || !src.arr_s.empty()) {
+      return false;
+    }
+  }
+  SpinBackoff backoff;
+  while (pending_.load(std::memory_order_acquire) != 0) backoff.pause();
+  for (std::uint32_t i = 0; i < cfg_.num_cores; ++i) {
+    Core& core = *cores_[i];
+    const auto& src = image.cores[i];
+    core.win_r.clear();
+    for (const Tuple& t : src.win_r) core.win_r.insert(t);
+    core.win_s.clear();
+    for (const Tuple& t : src.win_s) core.win_s.insert(t);
+  }
+  for (std::size_t b = 0; b < boundaries_.size(); ++b) {
+    Boundary& boundary = *boundaries_[b];
+    std::lock_guard<std::mutex> lock(boundary.mu);
+    boundary.r_q.assign(image.boundaries[b].r_q.begin(),
+                        image.boundaries[b].r_q.end());
+    boundary.s_q.assign(image.boundaries[b].s_q.begin(),
+                        image.boundaries[b].s_q.end());
+  }
+  return true;
+}
+
 std::vector<stream::ResultTuple> HandshakeJoinEngine::results() const {
   std::vector<stream::ResultTuple> all;
   for (const auto& c : cores_) {

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "common/spsc_queue.h"
+#include "core/window_image.h"
 #include "obs/enabled.h"
 #include "obs/metrics.h"
 #include "stream/join_spec.h"
@@ -82,6 +83,14 @@ class HandshakeJoinEngine {
   [[nodiscard]] const HandshakeJoinConfig& config() const noexcept {
     return cfg_;
   }
+
+  // Checkpoint/restore of the chain state (hal::recovery): per-core
+  // sub-windows in age order plus the boundary eviction queues (whose
+  // occupants are still logically resident). Both wait for a drained chain
+  // (pending_ == 0) before touching state; restore_state returns false
+  // (chain untouched) on a core-count/window-size/shape mismatch.
+  void snapshot_state(core::WindowImage& out);
+  [[nodiscard]] bool restore_state(const core::WindowImage& image);
 
   // Publishes per-core probe/match/handover tallies. Everything here is
   // kRuntime: with more than one core the chain's window semantics depend

@@ -268,6 +268,58 @@ void SplitJoinEngine::prefill(const std::vector<Tuple>& tuples) {
   }
 }
 
+void SplitJoinEngine::snapshot_state(core::WindowImage& out) {
+  wait_quiescent();
+  out.num_cores = cfg_.num_cores;
+  out.window_size = cfg_.window_size;
+  // Every core tracks the same global per-stream counts (it sees every
+  // tuple and stores on its round-robin turn), so core 0's are canonical.
+  out.count_r = cores_[0]->count_r;
+  out.count_s = cores_[0]->count_s;
+  out.results_emitted = collected_count_.load(std::memory_order_acquire);
+  out.cores.assign(cfg_.num_cores, {});
+  out.boundaries.clear();
+  for (std::uint32_t i = 0; i < cfg_.num_cores; ++i) {
+    const Core& core = *cores_[i];
+    auto& dst = out.cores[i];
+    dst.win_r.reserve(core.win_r.size());
+    for (std::size_t k = 0; k < core.win_r.size(); ++k) {
+      dst.win_r.push_back(core.win_r.at(k));
+    }
+    dst.win_s.reserve(core.win_s.size());
+    for (std::size_t k = 0; k < core.win_s.size(); ++k) {
+      dst.win_s.push_back(core.win_s.at(k));
+    }
+  }
+}
+
+bool SplitJoinEngine::restore_state(const core::WindowImage& image) {
+  if (image.num_cores != cfg_.num_cores ||
+      image.window_size != cfg_.window_size ||
+      image.cores.size() != cores_.size() || !image.boundaries.empty()) {
+    return false;
+  }
+  const std::size_t sub_window = cfg_.window_size / cfg_.num_cores;
+  for (const auto& src : image.cores) {
+    if (src.win_r.size() > sub_window || src.win_s.size() > sub_window ||
+        !src.arr_r.empty() || !src.arr_s.empty()) {
+      return false;
+    }
+  }
+  wait_quiescent();
+  for (std::uint32_t i = 0; i < cfg_.num_cores; ++i) {
+    Core& core = *cores_[i];
+    const auto& src = image.cores[i];
+    core.win_r.clear();
+    for (const Tuple& t : src.win_r) core.win_r.insert(t);
+    core.win_s.clear();
+    for (const Tuple& t : src.win_s) core.win_s.insert(t);
+    core.count_r = image.count_r;
+    core.count_s = image.count_s;
+  }
+  return true;
+}
+
 SwRunReport SplitJoinEngine::process(const std::vector<Tuple>& tuples) {
   Timer timer;
   for (const Tuple& t : tuples) broadcast(t);

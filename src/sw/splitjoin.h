@@ -37,6 +37,7 @@
 
 #include "common/spsc_queue.h"
 #include "common/stats.h"
+#include "core/window_image.h"
 #include "obs/enabled.h"
 #include "obs/metrics.h"
 #include "stream/join_spec.h"
@@ -93,6 +94,16 @@ class SplitJoinEngine {
   // is idle and before any subsequent `process` call that should observe
   // the prefilled windows (the inbox push/pop pair publishes the writes).
   void prefill(const std::vector<stream::Tuple>& tuples);
+
+  // Checkpoint/restore of the windowed state (hal::recovery). Both block
+  // until the engine is quiescent, then touch the core-owned windows from
+  // the caller thread — sound under the same publication argument as
+  // `prefill` (the next inbox push/pop pair publishes the writes).
+  // snapshot captures per-core windows in age order plus the round-robin
+  // store counters; restore_state replaces them, returning false (engine
+  // untouched) on a core-count/window-size/shape mismatch.
+  void snapshot_state(core::WindowImage& out);
+  [[nodiscard]] bool restore_state(const core::WindowImage& image);
 
   // Latency of a single tuple against the current window contents: feeds
   // one tuple and blocks until every core finished its scan and all its

@@ -5,6 +5,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/assert.h"
 #include "common/math_util.h"
 #include "common/rng.h"
 #include "common/spsc_queue.h"
@@ -214,6 +215,24 @@ TEST(Table, SiFormatter) {
   EXPECT_EQ(Table::si(1500.0, 1), "1.5k");
   EXPECT_EQ(Table::si(2500000.0, 2), "2.50M");
   EXPECT_EQ(Table::si(3.0, 0), "3");
+}
+
+// --- Assertions --------------------------------------------------------------
+
+TEST(Assert, RecoverableCheckThrowsHalError) {
+  EXPECT_NO_THROW(HAL_CHECK_RECOVERABLE(true, "never fires"));
+  EXPECT_THROW(HAL_CHECK_RECOVERABLE(false, "contained fault"), Error);
+  // The two fault classes stay distinguishable: a recoverable fault is a
+  // runtime_error, never the logic_error a precondition violation raises.
+  try {
+    HAL_CHECK_RECOVERABLE(false, "contained fault");
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("contained fault"),
+              std::string::npos);
+  }
+  EXPECT_THROW(
+      { throw Error("x"); },
+      std::runtime_error);
 }
 
 }  // namespace

@@ -105,7 +105,7 @@ TEST(WireMessages, EmptyBatchesRoundTrip) {
 
 TEST(WireMessages, DecodeRejectsTruncationAndTrailingBytes) {
   const TupleBatchMsg batch{
-      1, false, {make_tuple(1, 2, 3, StreamId::R)}};
+      .epoch = 1, .tuples = {make_tuple(1, 2, 3, StreamId::R)}};
   std::vector<std::uint8_t> payload = encode(batch);
   TupleBatchMsg out;
   for (std::size_t len = 0; len < payload.size(); ++len) {
@@ -118,11 +118,12 @@ TEST(WireMessages, DecodeRejectsTruncationAndTrailingBytes) {
 }
 
 TEST(WireMessages, DecodeRejectsBadEnumAndCountMismatch) {
-  TupleBatchMsg batch{1, false, {make_tuple(1, 2, 3, StreamId::R)}};
+  TupleBatchMsg batch{.epoch = 1,
+                      .tuples = {make_tuple(1, 2, 3, StreamId::R)}};
   std::vector<std::uint8_t> payload = encode(batch);
   // Inflate the tuple count without providing the bytes.
   std::vector<std::uint8_t> bad = payload;
-  bad[9] = 0xFF;  // count lives after epoch (u64) + flags (u8)
+  bad[20] = 0xFF;  // count lives after epoch + link_seq (u64s) + flags (u32)
   TupleBatchMsg out;
   EXPECT_FALSE(decode(bad, out));
   // Corrupt the origin byte of the only tuple (last byte of the payload).
