@@ -93,6 +93,23 @@ inline std::string out_path(const std::string& filename) {
   return g_out_dir.empty() ? filename : g_out_dir + "/" + filename;
 }
 
+// Standard opening of every BENCH_*.json artifact: bench name, the
+// workload seed the run actually used, and the resolved artifact path —
+// so a CI diff names both the replay seed and the exact file it compared.
+inline void json_header(std::FILE* f, const char* bench_name,
+                        std::uint64_t seed, const std::string& path) {
+  std::string escaped;
+  for (const char c : path) {
+    if (c == '"' || c == '\\') escaped.push_back('\\');
+    escaped.push_back(c);
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"%s\",\n  \"seed\": %llu,\n"
+               "  \"out_path\": \"%s\",\n",
+               bench_name, static_cast<unsigned long long>(seed),
+               escaped.c_str());
+}
+
 // The --seed override, or the bench's own default.
 inline std::uint64_t seed_or(std::uint64_t fallback) {
   return g_seed_set ? g_seed : fallback;

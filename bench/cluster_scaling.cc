@@ -236,7 +236,8 @@ int main(int argc, char** argv) {
 
   const std::string net_json_path = bench::out_path("BENCH_net.json");
   if (std::FILE* f = std::fopen(net_json_path.c_str(), "w")) {
-    std::fprintf(f, "{\n  \"bench\": \"cluster_scaling/net\",\n");
+    bench::json_header(f, "cluster_scaling/net", bench::seed_or(20170605),
+                       net_json_path);
     std::fprintf(f, "  \"transport\": \"%s\",\n  \"tuples\": %zu,\n",
                  net::to_string(wire), net_tuples.size());
     std::fprintf(f, "  \"sweep\": [\n");
@@ -267,7 +268,8 @@ int main(int argc, char** argv) {
   // --- JSON dump ----------------------------------------------------------
   const std::string json_path = bench::out_path("BENCH_cluster.json");
   if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
-    std::fprintf(f, "{\n  \"bench\": \"cluster_scaling\",\n");
+    bench::json_header(f, "cluster_scaling", bench::seed_or(20170605),
+                       json_path);
     std::fprintf(f, "  \"window\": %zu,\n  \"tuples\": %zu,\n", kWindow,
                  kTuples);
     std::fprintf(f, "  \"sweep\": [\n");

@@ -48,7 +48,7 @@ double run_one(std::uint32_t cores, std::size_t window, std::size_t tuples,
   hal::sw::SplitJoinEngine engine(cfg, hal::stream::JoinSpec::equi_on_key());
 
   hal::stream::WorkloadConfig wl;
-  wl.seed = 42;
+  wl.seed = hal::bench::seed_or(42);
   wl.key_domain = 1u << 24;  // low selectivity, as in the paper
   hal::stream::WorkloadGenerator gen(wl);
   engine.prefill(gen.take(2 * cfg.window_size));
@@ -123,7 +123,7 @@ int main(int argc, char** argv) {
 
   const std::string json_path = bench::out_path("BENCH_fig14d.json");
   if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
-    std::fprintf(f, "{\n  \"bench\": \"fig14d_uniflow_sw\",\n");
+    bench::json_header(f, "fig14d_uniflow_sw", bench::seed_or(42), json_path);
     std::fprintf(f, "  \"dispatch_batch\": %zu,\n", dispatch_batch);
     std::fprintf(f, "  \"host_hw_threads\": %u,\n",
                  std::thread::hardware_concurrency());

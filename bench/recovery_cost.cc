@@ -254,9 +254,8 @@ int main(int argc, char** argv) {
   // --- JSON dump -----------------------------------------------------------
   const std::string json_path = bench::out_path("BENCH_recovery.json");
   if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
-    std::fprintf(f, "{\n  \"bench\": \"recovery_cost\",\n");
-    std::fprintf(f, "  \"seed\": %llu,\n  \"window\": %zu,\n",
-                 static_cast<unsigned long long>(seed), kWindow);
+    bench::json_header(f, "recovery_cost", seed, json_path);
+    std::fprintf(f, "  \"window\": %zu,\n", kWindow);
     std::fprintf(f, "  \"tuples\": %zu,\n", kTuples);
     std::fprintf(f,
                  "  \"fast_path\": {\"off_tps\": %.1f, \"log_only_tps\": "

@@ -74,7 +74,7 @@ int main(int argc, char** argv) {
     sw::SplitJoinEngine engine(cfg, stream::JoinSpec::equi_on_key());
     const auto fill = uniform_tuples(2 * kSjWindow, 7, 0);
     engine.prefill(fill);
-    const auto work = uniform_tuples(kSjTuples, 42, fill.size());
+    const auto work = uniform_tuples(kSjTuples, hal::bench::seed_or(42), fill.size());
     const sw::SwRunReport r = batch == 0
                                   ? engine.process(work)
                                   : engine.process_batched(work, batch);
@@ -106,7 +106,7 @@ int main(int argc, char** argv) {
       sw::HandshakeJoinEngine engine(cfg, stream::JoinSpec::equi_on_key());
       // No state injection for the chain: stream the warmup untimed.
       (void)engine.process(uniform_tuples(2 * kWindow, 7, 0));
-      const auto work = uniform_tuples(kTuples, 42, 2 * kWindow);
+      const auto work = uniform_tuples(kTuples, hal::bench::seed_or(42), 2 * kWindow);
       const sw::SwRunReport r = batch == 0
                                     ? engine.process(work)
                                     : engine.process_batched(work, batch);
@@ -142,7 +142,7 @@ int main(int argc, char** argv) {
       const auto fill = uniform_tuples(2 * kWindow, 7, 0);
       (void)engine.process_batched(fill, kWindow);
       engine.clear_results();
-      const auto work = uniform_tuples(kTuples, 42, fill.size());
+      const auto work = uniform_tuples(kTuples, hal::bench::seed_or(42), fill.size());
       // batch==1 is this engine's closest analogue of per-tuple dispatch:
       // one kernel launch per tuple.
       const sw::SwRunReport r = engine.process_batched(work, batch);
@@ -164,7 +164,8 @@ int main(int argc, char** argv) {
 
   const std::string json_path = bench::out_path("BENCH_swbatch.json");
   if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
-    std::fprintf(f, "{\n  \"bench\": \"sw_batch_sweep\",\n");
+    hal::bench::json_header(f, "sw_batch_sweep", hal::bench::seed_or(42),
+                            json_path);
     std::fprintf(f, "  \"splitjoin_tuple_mtps\": %.4f,\n", sj_tuple_mtps);
     std::fprintf(f, "  \"splitjoin_best_batched_mtps\": %.4f,\n",
                  sj_best_batched);

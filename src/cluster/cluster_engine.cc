@@ -49,25 +49,6 @@ std::size_t worker_window_size(const ClusterConfig& cfg) {
   return std::max(w / cfg.grid_rows, w / cfg.grid_cols);
 }
 
-std::vector<FaultEvent> FaultPlan::normalized() const {
-  std::vector<FaultEvent> out = events;
-  if (drop_worker.has_value()) {
-    FaultEvent ev;
-    ev.kind = FaultKind::kKillWorker;
-    ev.worker = *drop_worker;
-    ev.after_batches = drop_after_batches;
-    out.push_back(ev);  // epoch 0: whole-run counting, the old semantics
-  }
-  if (delay_worker.has_value()) {
-    FaultEvent ev;
-    ev.kind = FaultKind::kDelayLink;
-    ev.worker = *delay_worker;
-    ev.extra_delay_us = extra_delay_us;
-    out.push_back(ev);
-  }
-  return out;
-}
-
 namespace {
 
 [[nodiscard]] std::uint64_t probe_seq(const ResultTuple& t) noexcept {
@@ -96,58 +77,70 @@ ClusterEngine::ClusterEngine(const ClusterConfig& cfg)
               "non-square grids need the exact-global window filter");
   }
 
-  const std::size_t worker_window = worker_window_size(cfg_);
+  if (cfg_.partitioning == Partitioning::kKeyHash &&
+      cfg_.elastic.track_key_load) {
+    router_.enable_load_tracking();
+  }
+
   const std::uint32_t slots = router_.num_slots();
   slot_staging_.resize(slots);
   slot_epoch_tuples_.assign(slots, 0);
   active_replica_.assign(slots, 0);
+  slot_retired_.assign(slots, 0);
 
-  const std::vector<FaultEvent> faults = cfg_.faults.normalized();
   const std::uint32_t total = slots * cfg_.replicas;
   workers_.reserve(total);
   merge_.reserve(total);
   for (std::uint32_t slot = 0; slot < slots; ++slot) {
-    core::EngineConfig engine_cfg =
-        slot < cfg_.worker_overrides.size() ? cfg_.worker_overrides[slot]
-                                            : cfg_.worker;
-    HAL_CHECK(engine_cfg.backend != core::Backend::kCluster,
-              "clusters of clusters are not supported");
-    engine_cfg.window_size = worker_window;
-    engine_cfg.spec = cfg_.spec;
     for (std::uint32_t rep = 0; rep < cfg_.replicas; ++rep) {
-      const auto index = static_cast<std::uint32_t>(workers_.size());
-      LinkParams ingress = cfg_.transport.ingress;
-      for (const FaultEvent& ev : faults) {
-        if (ev.kind == FaultKind::kDelayLink && ev.worker == index) {
-          ingress.latency_us += ev.extra_delay_us;
-        }
-      }
-      auto w = std::make_unique<Worker>(index, slot, rep, ingress,
-                                        cfg_.transport.egress);
-      w->engine = core::make_engine(engine_cfg);
-      w->engine_cfg = engine_cfg;  // recovery rebuilds the engine from this
-      for (const FaultEvent& ev : faults) {
-        if (ev.kind != FaultKind::kDelayLink && ev.worker == index) {
-          w->faults.push_back(ev);
-        }
-      }
-      w->fault_fired.assign(w->faults.size(), false);
-      if (cfg_.recovery.supervise) {
-        w->inbox.enable_replay(cfg_.recovery.replay_log_batches);
-      }
-      workers_.push_back(std::move(w));
+      workers_.push_back(make_worker(slot, rep));
       merge_.push_back(std::make_unique<MergeSlot>());
     }
   }
   setup_net_links();
-  for (auto& w : workers_) {
-    Worker* raw = w.get();
-    raw->thread = std::thread([this, raw] { worker_loop(*raw); });
-  }
+  for (auto& w : workers_) start_worker(*w);
   merger_ = std::thread([this] { merger_loop(); });
   if (cfg_.recovery.supervise) {
     supervisor_ = std::thread([this] { supervisor_loop(); });
   }
+}
+
+std::unique_ptr<ClusterEngine::Worker> ClusterEngine::make_worker(
+    std::uint32_t slot, std::uint32_t replica) {
+  core::EngineConfig engine_cfg = slot < cfg_.worker_overrides.size()
+                                      ? cfg_.worker_overrides[slot]
+                                      : cfg_.worker;
+  HAL_CHECK(engine_cfg.backend != core::Backend::kCluster,
+            "clusters of clusters are not supported");
+  engine_cfg.window_size = worker_window_size(cfg_);
+  engine_cfg.spec = cfg_.spec;
+  const auto index = static_cast<std::uint32_t>(workers_.size());
+  LinkParams ingress = cfg_.transport.ingress;
+  for (const FaultEvent& ev : cfg_.faults.events) {
+    if (ev.kind == FaultKind::kDelayLink && ev.worker == index) {
+      ingress.latency_us += ev.extra_delay_us;
+    }
+  }
+  auto w = std::make_unique<Worker>(index, slot, replica, ingress,
+                                    cfg_.transport.egress);
+  w->engine = core::make_engine(engine_cfg);
+  w->engine_cfg = engine_cfg;  // recovery rebuilds the engine from this
+  w->backend_tag = w->engine->backend();
+  for (const FaultEvent& ev : cfg_.faults.events) {
+    if (ev.kind != FaultKind::kDelayLink && ev.worker == index) {
+      w->faults.push_back(ev);
+    }
+  }
+  w->fault_fired.assign(w->faults.size(), false);
+  if (cfg_.recovery.supervise) {
+    w->inbox.enable_replay(cfg_.recovery.replay_log_batches);
+  }
+  return w;
+}
+
+void ClusterEngine::start_worker(Worker& w) {
+  Worker* raw = &w;
+  raw->thread = std::thread([this, raw] { worker_loop(*raw); });
 }
 
 void ClusterEngine::setup_net_links() {
@@ -176,25 +169,29 @@ void ClusterEngine::setup_net_links() {
   net::EndpointOptions opts;
   opts.window_frames = cfg_.transport.net_window_frames;
   net_listener_ = net_transport_->listen(address, opts);
-  const std::string dial_address = net_listener_->address();
+  for (auto& w : workers_) attach_net_links(*w);
+}
 
+void ClusterEngine::attach_net_links(Worker& w) {
+  if (net_transport_ == nullptr) return;
+  const std::string dial_address = net_listener_->address();
+  net::EndpointOptions opts;
+  opts.window_frames = cfg_.transport.net_window_frames;
   // One connection pair per link, established strictly dial-then-accept
   // so accept order matches dial order. shard 0 = ingress, 1 = egress.
-  for (auto& w : workers_) {
-    for (std::uint32_t dir = 0; dir < 2; ++dir) {
-      net::EndpointOptions dial = opts;
-      dial.node_id = w->index;
-      dial.shard = dir;
-      if (dir == 0) dial.fault = cfg_.transport.net_fault;
-      net_dialers_.push_back(net_transport_->connect(dial_address, dial));
-      net::Connection* accepted = net_listener_->accept(15.0);
-      HAL_CHECK(accepted != nullptr, "net-backed link accept timed out");
-      net_acceptors_.push_back(accepted);
-      if (dir == 0) {
-        w->inbox.attach_net(net_dialers_.back().get(), accepted);
-      } else {
-        w->outbox.attach_net(net_dialers_.back().get(), accepted);
-      }
+  for (std::uint32_t dir = 0; dir < 2; ++dir) {
+    net::EndpointOptions dial = opts;
+    dial.node_id = w.index;
+    dial.shard = dir;
+    if (dir == 0) dial.fault = cfg_.transport.net_fault;
+    net_dialers_.push_back(net_transport_->connect(dial_address, dial));
+    net::Connection* accepted = net_listener_->accept(15.0);
+    HAL_CHECK(accepted != nullptr, "net-backed link accept timed out");
+    net_acceptors_.push_back(accepted);
+    if (dir == 0) {
+      w.inbox.attach_net(net_dialers_.back().get(), accepted);
+    } else {
+      w.outbox.attach_net(net_dialers_.back().get(), accepted);
     }
   }
 }
@@ -258,7 +255,10 @@ void ClusterEngine::worker_loop(Worker& w) {
       continue;
     }
     if (!got) {
-      if (stop_.load(std::memory_order_acquire)) return;
+      if (stop_.load(std::memory_order_acquire) ||
+          w.exit_req.load(std::memory_order_acquire)) {
+        return;  // shutdown, or elastic retirement at the epoch barrier
+      }
       backoff.pause();
       continue;
     }
@@ -395,10 +395,16 @@ void ClusterEngine::supervisor_loop() {
   SpinBackoff backoff;
   while (true) {
     bool acted = false;
-    for (auto& w : workers_) {
-      if (w->dead.load(std::memory_order_acquire)) {
-        recover(*w);
-        acted = true;
+    {
+      // The sweep holds topology_mu_ so add_slot() cannot reallocate
+      // workers_ mid-iteration (retired entries stay in place and are
+      // simply never dead).
+      std::lock_guard<std::mutex> lock(topology_mu_);
+      for (auto& w : workers_) {
+        if (w->dead.load(std::memory_order_acquire)) {
+          recover(*w);
+          acted = true;
+        }
       }
     }
     if (acted) {
@@ -471,35 +477,43 @@ void ClusterEngine::merger_loop() {
   SpinBackoff backoff;
   while (true) {
     bool any = false;
-    for (auto& w : workers_) {
-      ResultBatch batch;
-      try {
-        while (w->outbox.try_recv(batch)) {
-          any = true;
+    {
+      // topology_mu_ pins workers_/merge_ against add_slot() growth for
+      // the duration of one sweep; retired workers are skipped (their
+      // outboxes drained dry before retirement).
+      std::lock_guard<std::mutex> lock(topology_mu_);
+      for (auto& w : workers_) {
+        if (w->retired.load(std::memory_order_acquire)) continue;
+        ResultBatch batch;
+        try {
+          while (w->outbox.try_recv(batch)) {
+            any = true;
+            MergeSlot& m = *merge_[w->index];
+            if (batch.died) {
+              // Partial epoch of a failed worker is discarded wholesale;
+              // the replica's complete epoch (or accounted loss) replaces
+              // it.
+              m.pending.clear();
+              m.died.store(true, std::memory_order_release);
+              continue;
+            }
+            m.pending.insert(m.pending.end(), batch.results.begin(),
+                             batch.results.end());
+            if (batch.end_of_epoch) {
+              m.completed = std::move(m.pending);
+              m.pending.clear();
+              m.last_deliver_at_us = batch.deliver_at_us;
+              m.completed_epoch.store(batch.epoch, std::memory_order_release);
+            }
+          }
+        } catch (const Error&) {
+          // Garbage on a result wire (HAL_CHECK_RECOVERABLE in the decode
+          // path): discard the partial epoch and mark the producer dead —
+          // the same containment as a worker obituary.
           MergeSlot& m = *merge_[w->index];
-          if (batch.died) {
-            // Partial epoch of a failed worker is discarded wholesale; the
-            // replica's complete epoch (or accounted loss) replaces it.
-            m.pending.clear();
-            m.died.store(true, std::memory_order_release);
-            continue;
-          }
-          m.pending.insert(m.pending.end(), batch.results.begin(),
-                           batch.results.end());
-          if (batch.end_of_epoch) {
-            m.completed = std::move(m.pending);
-            m.pending.clear();
-            m.last_deliver_at_us = batch.deliver_at_us;
-            m.completed_epoch.store(batch.epoch, std::memory_order_release);
-          }
+          m.pending.clear();
+          m.died.store(true, std::memory_order_release);
         }
-      } catch (const Error&) {
-        // Garbage on a result wire (HAL_CHECK_RECOVERABLE in the decode
-        // path): discard the partial epoch and mark the producer dead —
-        // the same containment as a worker obituary.
-        MergeSlot& m = *merge_[w->index];
-        m.pending.clear();
-        m.died.store(true, std::memory_order_release);
       }
     }
     if (any) {
@@ -583,6 +597,7 @@ core::RunReport ClusterEngine::process(const std::vector<Tuple>& tuples) {
     // are dead weight; drop them before this epoch's sends (same thread
     // as the sends, so the log never truncates mid-epoch).
     for (auto& w : workers_) {
+      if (w->retired.load(std::memory_order_relaxed)) continue;
       w->inbox.truncate_replay(
           w->ckpt_epoch_pub.load(std::memory_order_acquire));
     }
@@ -606,13 +621,13 @@ core::RunReport ClusterEngine::process(const std::vector<Tuple>& tuples) {
           flush_slot(slot, false);
         }
       });
-  for (std::uint32_t slot = 0; slot < router_.num_slots(); ++slot) {
-    flush_slot(slot, true);
+  for (std::uint32_t slot = 0; slot < slot_count(); ++slot) {
+    if (!slot_retired_[slot]) flush_slot(slot, true);
   }
 
   std::vector<ResultTuple> epoch_results;
-  for (std::uint32_t slot = 0; slot < router_.num_slots(); ++slot) {
-    collect_slot(slot, epoch_results);
+  for (std::uint32_t slot = 0; slot < slot_count(); ++slot) {
+    if (!slot_retired_[slot]) collect_slot(slot, epoch_results);
   }
 
   if (cfg_.window_mode == WindowMode::kExactGlobal) {
@@ -650,7 +665,7 @@ void ClusterEngine::prefill(const std::vector<Tuple>& tuples) {
   // The engine is quiescent (before the first process() or between
   // epochs); inner engines are warmed directly, and the next epoch's
   // inbox traffic publishes the writes to the worker threads.
-  std::vector<std::vector<Tuple>> per_slot(router_.num_slots());
+  std::vector<std::vector<Tuple>> per_slot(slot_count());
   for (const Tuple& t : tuples) {
     if (cfg_.window_mode == WindowMode::kExactGlobal) tracker_.observe(t);
     router_.route(t, scratch_slots_);
@@ -658,10 +673,199 @@ void ClusterEngine::prefill(const std::vector<Tuple>& tuples) {
       per_slot[slot].push_back(t);
     }
   }
-  for (std::uint32_t slot = 0; slot < router_.num_slots(); ++slot) {
-    if (per_slot[slot].empty()) continue;
+  for (std::uint32_t slot = 0; slot < slot_count(); ++slot) {
+    if (per_slot[slot].empty() || slot_retired_[slot]) continue;
     for (std::uint32_t rep = 0; rep < cfg_.replicas; ++rep) {
       workers_[slot * cfg_.replicas + rep]->engine->prefill(per_slot[slot]);
+    }
+  }
+}
+
+// --- Elastic topology operations (hal::elastic) ----------------------------
+// All run on the process() thread, strictly between process() calls: the
+// engine is quiescent at that epoch barrier — collect_slot has observed
+// every slot's completed epoch (supervised restarts included), so worker
+// engines are safe to read and mutate directly. Mutations are published
+// to worker threads by the next epoch's Link traffic (release/acquire on
+// send/recv), the same contract prefill() relies on.
+
+std::uint32_t ClusterEngine::active_slot_count() const noexcept {
+  std::uint32_t n = 0;
+  for (const std::uint8_t r : slot_retired_) n += r ? 0 : 1;
+  return n;
+}
+
+bool ClusterEngine::slot_retired(std::uint32_t slot) const {
+  HAL_CHECK(slot < slot_retired_.size(), "slot out of range");
+  return slot_retired_[slot] != 0;
+}
+
+std::uint32_t ClusterEngine::add_slot() {
+  HAL_CHECK(cfg_.partitioning == Partitioning::kKeyHash,
+            "elastic topology changes require key-hash partitioning");
+  const std::uint32_t slot = slot_count();
+  slot_staging_.emplace_back();
+  slot_epoch_tuples_.push_back(0);
+  active_replica_.push_back(0);
+  slot_retired_.push_back(0);
+  for (std::uint32_t rep = 0; rep < cfg_.replicas; ++rep) {
+    std::unique_ptr<Worker> w = make_worker(slot, rep);
+    // Wire the net links before the merger can see the worker: attaching
+    // swaps the link's backing, which must not race a sweep's try_recv.
+    attach_net_links(*w);
+    {
+      std::lock_guard<std::mutex> lock(topology_mu_);
+      workers_.push_back(std::move(w));
+      merge_.push_back(std::make_unique<MergeSlot>());
+    }
+    start_worker(*workers_.back());
+  }
+  return slot;
+}
+
+void ClusterEngine::retire_slot(std::uint32_t slot) {
+  HAL_CHECK(cfg_.partitioning == Partitioning::kKeyHash,
+            "elastic topology changes require key-hash partitioning");
+  HAL_CHECK(slot < slot_count(), "slot out of range");
+  HAL_CHECK(!slot_retired_[slot], "slot is already retired");
+  HAL_CHECK(active_slot_count() > 1, "cannot retire the last live slot");
+  // The installed revision must have stopped routing to the slot — that
+  // ordering (rebuild targets, swap the map, then retire) is what makes
+  // retirement invisible in the output.
+  const KeyspaceMap& map = router_.keyspace();
+  for (std::uint32_t ks = 0; ks < KeyspaceMap::kKeyslots; ++ks) {
+    HAL_CHECK(map.owner(ks) != slot,
+              "retire_slot: keyslots still route to the slot");
+  }
+  for (const auto& [key, members] : map.splits()) {
+    for (const std::uint32_t m : members) {
+      HAL_CHECK(m != slot,
+                "retire_slot: a hot-key group still references the slot");
+    }
+    (void)key;
+  }
+  HAL_CHECK(slot_staging_[slot].empty(),
+            "retire_slot: un-flushed traffic staged for the slot");
+  slot_retired_[slot] = 1;
+  const std::uint32_t base = slot * cfg_.replicas;
+  // At the barrier every replica thread is alive and idle (supervised
+  // kills were already recovered; unsupervised dropped workers sit in
+  // their drain loop), so exit_req is honored promptly.
+  for (std::uint32_t rep = 0; rep < cfg_.replicas; ++rep) {
+    workers_[base + rep]->exit_req.store(true, std::memory_order_release);
+  }
+  for (std::uint32_t rep = 0; rep < cfg_.replicas; ++rep) {
+    Worker& w = *workers_[base + rep];
+    if (w.thread.joinable()) w.thread.join();
+    w.engine.reset();
+    w.retired.store(true, std::memory_order_release);
+  }
+}
+
+void ClusterEngine::apply_keyspace(KeyspaceMap map) {
+  HAL_CHECK(cfg_.partitioning == Partitioning::kKeyHash,
+            "the keyspace map only exists under key-hash partitioning");
+  for (const std::uint32_t shard : map.referenced_shards()) {
+    HAL_CHECK(shard < slot_count() && !slot_retired_[shard],
+              "keyspace revision references a slot that is not live");
+  }
+  router_.set_keyspace(std::move(map));  // version ordering checked there
+}
+
+std::vector<std::uint8_t> ClusterEngine::snapshot_slot(std::uint32_t slot) {
+  HAL_CHECK(slot < slot_count() && !slot_retired_[slot],
+            "snapshot_slot: slot is not live");
+  const std::uint32_t base = slot * cfg_.replicas;
+  for (std::uint32_t rep = 0; rep < cfg_.replicas; ++rep) {
+    Worker& w = *workers_[base + rep];
+    if (w.dropped.load(std::memory_order_acquire) ||
+        w.unrecoverable.load(std::memory_order_acquire)) {
+      continue;  // this replica's window is stale or gone
+    }
+    core::WindowImage image;
+    if (!w.engine->snapshot(image)) continue;
+    image.epoch = epoch_;
+    return recovery::serialize(image);
+  }
+  return {};
+}
+
+std::vector<std::uint8_t> ClusterEngine::checkpoint_slot(
+    std::uint32_t slot, std::uint64_t& epoch_out) {
+  HAL_CHECK(slot < slot_count() && !slot_retired_[slot],
+            "checkpoint_slot: slot is not live");
+  epoch_out = 0;
+  std::vector<std::uint8_t> best;
+  const std::uint32_t base = slot * cfg_.replicas;
+  for (std::uint32_t rep = 0; rep < cfg_.replicas; ++rep) {
+    Worker& w = *workers_[base + rep];
+    if (w.unrecoverable.load(std::memory_order_acquire)) continue;
+    std::lock_guard<std::mutex> lock(w.ckpt_mu);
+    if (!w.ckpt_bytes.empty() && (best.empty() || w.ckpt_epoch > epoch_out)) {
+      best = w.ckpt_bytes;
+      epoch_out = w.ckpt_epoch;
+    }
+  }
+  return best;
+}
+
+std::vector<TupleBatch> ClusterEngine::replay_delta_slot(
+    std::uint32_t slot, std::uint64_t after_epoch, bool& complete_out) {
+  HAL_CHECK(slot < slot_count() && !slot_retired_[slot],
+            "replay_delta_slot: slot is not live");
+  complete_out = false;
+  const std::uint32_t base = slot * cfg_.replicas;
+  for (std::uint32_t rep = 0; rep < cfg_.replicas; ++rep) {
+    Worker& w = *workers_[base + rep];
+    if (!w.inbox.replay_enabled()) continue;
+    std::uint64_t floor = 0;
+    std::uint64_t evicted = 0;
+    std::vector<TupleBatch> delta =
+        w.inbox.replay_copy(after_epoch, floor, evicted);
+    complete_out = evicted <= after_epoch;
+    return delta;  // replicas receive identical traffic; any log serves
+  }
+  return {};
+}
+
+void ClusterEngine::rebuild_slot(std::uint32_t slot,
+                                 const std::vector<Tuple>& window) {
+  HAL_CHECK(slot < slot_count() && !slot_retired_[slot],
+            "rebuild_slot: slot is not live");
+  const std::uint32_t base = slot * cfg_.replicas;
+  for (std::uint32_t rep = 0; rep < cfg_.replicas; ++rep) {
+    Worker& w = *workers_[base + rep];
+    HAL_CHECK(!w.dead.load(std::memory_order_acquire),
+              "rebuild_slot ran outside the epoch barrier");
+    w.engine = core::make_engine(w.engine_cfg);
+    if (!window.empty()) w.engine->prefill(window);
+    w.staged.clear();
+    w.epoch_batches = 0;
+    // The rebuilt window is the slot's complete state: a replica that was
+    // dead (unsupervised) or unrecoverable is healthy again from here on.
+    w.dropped.store(false, std::memory_order_release);
+    w.unrecoverable.store(false, std::memory_order_release);
+    merge_[base + rep]->died.store(false, std::memory_order_release);
+    if (cfg_.recovery.supervise) {
+      // Refresh the checkpoint: the old image and the replay log both
+      // predate the migrated-in tuples, so a later restart restoring
+      // them would serve a pre-migration window.
+      core::WindowImage image;
+      if (w.engine->snapshot(image)) {
+        image.epoch = epoch_;
+        std::vector<std::uint8_t> bytes = recovery::serialize(image);
+        ++w.checkpoints;
+        w.checkpoint_bytes += bytes.size();
+        {
+          std::lock_guard<std::mutex> lock(w.ckpt_mu);
+          w.ckpt_bytes = std::move(bytes);
+          w.ckpt_epoch = epoch_;
+        }
+        w.ckpt_epoch_pub.store(epoch_, std::memory_order_release);
+      }
+      w.inbox.truncate_replay(epoch_);
+      w.replay.clear();
+      w.replay_floor = w.inbox.last_seq();
     }
   }
 }
@@ -695,7 +899,7 @@ ClusterReport ClusterEngine::report() const {
     wr.index = w->index;
     wr.slot = w->slot;
     wr.replica = w->replica;
-    wr.backend = w->engine->backend();
+    wr.backend = w->backend_tag;  // outlives the engine (retired slots)
     wr.tuples_in = w->tuples_in;
     wr.results_out = w->results_out;
     wr.data_batches_in = w->data_batches_in;
@@ -732,6 +936,10 @@ ClusterReport ClusterEngine::report() const {
     for (const auto& c : net_dialers_) rep.net.add(c->stats());
     for (const net::Connection* c : net_acceptors_) rep.net.add(c->stats());
   }
+  rep.active_shards = active_slot_count();
+  if (cfg_.partitioning == Partitioning::kKeyHash) {
+    rep.keyspace_version = router_.keyspace().version();
+  }
   return rep;
 }
 
@@ -745,6 +953,11 @@ void ClusterEngine::collect_metrics(obs::MetricRegistry& registry,
   registry.set_counter(prefix + "failovers", rep.failovers);
   registry.set_counter(prefix + "lost_tuples", rep.lost_tuples);
   registry.set_counter(prefix + "degraded", rep.degraded ? 1 : 0);
+  // Elastic topology: both track the reconfiguration schedule, which is
+  // caller-driven and reproducible under a fixed plan.
+  registry.set_counter(prefix + "elastic.active_shards", rep.active_shards);
+  registry.set_counter(prefix + "elastic.keyspace_version",
+                       rep.keyspace_version);
   // Recovery: checkpoint/restart totals track batch positions and epoch
   // cadence (deterministic); replay-phase sizes and repair times track
   // the supervisor's race with live traffic (runtime).
@@ -822,6 +1035,7 @@ void ClusterEngine::collect_metrics(obs::MetricRegistry& registry,
                          obs::Stability::kRuntime);
   }
   for (const auto& w : workers_) {
+    if (w->retired.load(std::memory_order_acquire)) continue;
     if (!w->dropped.load(std::memory_order_acquire)) {
       w->engine->collect_metrics(
           registry, prefix + "worker." + std::to_string(w->index) + ".engine.");

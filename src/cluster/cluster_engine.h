@@ -83,17 +83,6 @@ struct FaultEvent {
 struct FaultPlan {
   // Any number of simultaneous faults (multiple kills, kill + delay, ...).
   std::vector<FaultEvent> events;
-
-  // Deprecated single-fault shim (pre-recovery API): normalized into
-  // `events` at engine construction so existing callers compile and
-  // behave unchanged. Prefer `events` for new code.
-  std::optional<std::uint32_t> drop_worker;
-  std::uint32_t drop_after_batches = 0;
-  std::optional<std::uint32_t> delay_worker;
-  double extra_delay_us = 0.0;
-
-  // `events` plus the legacy fields translated to events.
-  [[nodiscard]] std::vector<FaultEvent> normalized() const;
 };
 
 struct RecoveryConfig {
@@ -124,9 +113,16 @@ struct RecoveryStats {
   double mttr_seconds_max = 0.0;
 };
 
+struct ElasticParams {
+  // Per-key routed-tuple counters in the router: the measured-skew feed
+  // for elastic::Controller::rebalance(). Off by default (one hash-map
+  // increment per routed tuple).
+  bool track_key_load = false;
+};
+
 struct ClusterConfig {
   Partitioning partitioning = Partitioning::kKeyHash;
-  std::uint32_t shards = 4;     // kKeyHash slot count
+  std::uint32_t shards = 4;     // kKeyHash slot count (initial, elastic)
   std::uint32_t grid_rows = 2;  // kSplitGrid layout (slots = rows × cols)
   std::uint32_t grid_cols = 2;
   // Workers per shard slot; 2 enables failover under fault injection.
@@ -148,6 +144,7 @@ struct ClusterConfig {
   TransportParams transport;
   FaultPlan faults;
   RecoveryConfig recovery;
+  ElasticParams elastic;
 };
 
 // Per-worker engine window implied by the partitioning scheme (the
@@ -179,7 +176,7 @@ struct WorkerReport {
 };
 
 struct ClusterReport {
-  std::vector<WorkerReport> workers;
+  std::vector<WorkerReport> workers;  // incl. retired slots (elastic)
   std::uint64_t input_tuples = 0;   // tuples offered to process()
   std::uint64_t routed_tuples = 0;  // tuple-sends incl. grid replication
   std::uint64_t merged_results = 0;
@@ -199,6 +196,11 @@ struct ClusterReport {
   net::NetStats net;
   // Supervised-recovery totals (all zero when recovery.supervise is off).
   RecoveryStats recovery;
+  // Elastic topology (kKeyHash): live slots and the installed keyspace
+  // revision. A never-reconfigured cluster reports active_shards ==
+  // config().shards and keyspace_version == 1.
+  std::uint32_t active_shards = 0;
+  std::uint64_t keyspace_version = 0;
 
   [[nodiscard]] double throughput_tuples_per_sec() const noexcept {
     return elapsed_seconds > 0.0
@@ -233,6 +235,66 @@ class ClusterEngine final : public core::StreamJoinEngine {
   // Aggregated runtime metrics. Valid between process() calls.
   [[nodiscard]] ClusterReport report() const;
 
+  // --- Elastic topology (hal::elastic, kKeyHash only) -------------------
+  // All of these run on the thread that calls process(), strictly between
+  // process() calls: the engine is quiescent at that epoch barrier (every
+  // slot's epoch has been collected, supervised restarts included), which
+  // is the migration protocol's freeze point. elastic::Controller is the
+  // intended caller; the primitives are public so tests can drive them.
+
+  // Slots ever created, retired included (slot ids are never reused).
+  [[nodiscard]] std::uint32_t slot_count() const noexcept {
+    return static_cast<std::uint32_t>(slot_staging_.size());
+  }
+  [[nodiscard]] std::uint32_t active_slot_count() const noexcept;
+  [[nodiscard]] bool slot_retired(std::uint32_t slot) const;
+
+  // Appends a new shard slot (cfg.replicas fresh workers, net links when
+  // net-backed) and returns its id. It receives traffic only once a
+  // keyspace revision maps keyslots (or split members) to it.
+  std::uint32_t add_slot();
+  // Permanently retires a slot the installed keyspace no longer
+  // references: worker threads exit and their engines are destroyed.
+  void retire_slot(std::uint32_t slot);
+
+  // Installed routing revision; apply_keyspace requires version exactly
+  // current+1 and every referenced shard to be a live slot.
+  [[nodiscard]] const KeyspaceMap& keyspace() const {
+    return router_.keyspace();
+  }
+  void apply_keyspace(KeyspaceMap map);
+
+  // Serialized recovery::serialize frame of the freshest live replica's
+  // current window (epoch-stamped at the barrier); empty when every
+  // replica of the slot is dead or cannot snapshot.
+  [[nodiscard]] std::vector<std::uint8_t> snapshot_slot(std::uint32_t slot);
+  // Newest *published* checkpoint frame of a live replica plus its epoch;
+  // empty when none was taken yet (requires recovery.supervise).
+  [[nodiscard]] std::vector<std::uint8_t> checkpoint_slot(
+      std::uint32_t slot, std::uint64_t& epoch_out);
+  // Copy of the slot's ingress replay-log suffix newer than after_epoch
+  // (replicas receive identical traffic, so any live replica's log
+  // serves). complete_out: the log still covers everything after
+  // after_epoch. Requires recovery.supervise (the logs exist only then).
+  [[nodiscard]] std::vector<TupleBatch> replay_delta_slot(
+      std::uint32_t slot, std::uint64_t after_epoch, bool& complete_out);
+  // Replaces every replica engine of `slot` with a fresh engine prefilled
+  // with `window` (arrival order; the engine's own count-based eviction
+  // trims it). Also heals dead/unrecoverable replicas — the rebuilt
+  // window *is* their complete state — and, under supervision, publishes
+  // a fresh checkpoint so a later restart replays only post-rebuild
+  // deltas instead of restoring a pre-migration image.
+  void rebuild_slot(std::uint32_t slot,
+                    const std::vector<stream::Tuple>& window);
+
+  // Per-key routed-tuple counts since the last reset (empty unless
+  // cfg.elastic.track_key_load).
+  [[nodiscard]] const std::unordered_map<std::uint32_t, std::uint64_t>&
+  key_load() const noexcept {
+    return router_.key_load();
+  }
+  void reset_key_load() { router_.reset_key_load(); }
+
   // Folds the ClusterReport into the registry: routing/merge totals and
   // per-worker traffic are deterministic (routing and the fault plan are
   // batch-count driven), stall spins / queue depths / wall times are not.
@@ -262,6 +324,11 @@ class ClusterEngine final : public core::StreamJoinEngine {
     double busy_seconds = 0.0;
     std::vector<stream::ResultTuple> staged;  // results awaiting egress
     std::atomic<bool> dropped{false};
+
+    // --- Elastic retirement (main thread orchestrates) ------------------
+    core::Backend backend_tag = core::Backend::kSwSplitJoin;  // outlives engine
+    std::atomic<bool> exit_req{false};  // ask the thread to return at idle
+    std::atomic<bool> retired{false};   // thread joined, engine destroyed
 
     // --- Supervised-recovery state (recovery.supervise only) ------------
     core::EngineConfig engine_cfg;  // to rebuild the engine on restart
@@ -338,6 +405,15 @@ class ClusterEngine final : public core::StreamJoinEngine {
   // Establishes one net connection pair per worker link and attaches it
   // (constructor, net-backed transports only).
   void setup_net_links();
+  // Dials and accepts the two connections of one worker's links
+  // (net-backed transports; no-op otherwise). add_slot() uses it to wire
+  // workers created after construction.
+  void attach_net_links(Worker& w);
+  // Builds (but does not start) one worker. Caller pushes it and its
+  // MergeSlot under topology_mu_ when threads are already running.
+  [[nodiscard]] std::unique_ptr<Worker> make_worker(std::uint32_t slot,
+                                                    std::uint32_t replica);
+  void start_worker(Worker& w);
 
   ClusterConfig cfg_;
   Router router_;
@@ -353,17 +429,24 @@ class ClusterEngine final : public core::StreamJoinEngine {
   std::vector<std::unique_ptr<net::Connection>> net_dialers_;
   std::vector<net::Connection*> net_acceptors_;
 
+  // Grow-only (elastic): retirement never erases entries, so worker
+  // indices stay stable. The mutex orders vector growth (add_slot, main
+  // thread) against the merger/supervisor sweeps; element pointees are
+  // heap-stable and synchronized by their own protocols.
+  mutable std::mutex topology_mu_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::unique_ptr<MergeSlot>> merge_;
   std::thread merger_;
   std::thread supervisor_;  // spawned iff recovery.supervise
   std::atomic<bool> stop_{false};
 
-  // Main-thread epoch state.
+  // Main-thread epoch state. Slot-indexed vectors cover retired slots
+  // too (grow-only, like workers_).
   std::uint64_t epoch_ = 0;
   std::vector<std::vector<stream::Tuple>> slot_staging_;
   std::vector<std::uint64_t> slot_epoch_tuples_;
   std::vector<std::uint32_t> active_replica_;
+  std::vector<std::uint8_t> slot_retired_;
   std::vector<std::uint32_t> scratch_slots_;
   std::vector<stream::ResultTuple> collected_;
 

@@ -1,0 +1,75 @@
+#include "cluster/keyspace.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace hal::cluster {
+
+KeyspaceMap KeyspaceMap::uniform(std::uint32_t shards) {
+  HAL_CHECK(shards >= 1, "keyspace needs at least one shard");
+  KeyspaceMap map;
+  map.owners_.resize(kKeyslots);
+  for (std::uint32_t ks = 0; ks < kKeyslots; ++ks) {
+    map.owners_[ks] = ks % shards;
+  }
+  map.version_ = 1;
+  return map;
+}
+
+std::uint32_t KeyspaceMap::owner(std::uint32_t keyslot) const {
+  HAL_CHECK(keyslot < owners_.size(), "keyslot out of range");
+  return owners_[keyslot];
+}
+
+std::uint32_t KeyspaceMap::shard_of_key(std::uint32_t key) const {
+  return owner(keyslot_of(key));
+}
+
+const std::vector<std::uint32_t>* KeyspaceMap::split_group(
+    std::uint32_t key) const {
+  const auto it = splits_.find(key);
+  return it == splits_.end() ? nullptr : &it->second;
+}
+
+void KeyspaceMap::set_owner(std::uint32_t keyslot, std::uint32_t shard) {
+  HAL_CHECK(keyslot < owners_.size(), "keyslot out of range");
+  owners_[keyslot] = shard;
+}
+
+void KeyspaceMap::split(std::uint32_t key,
+                        std::vector<std::uint32_t> members) {
+  HAL_CHECK(!members.empty(), "a hot-key group needs at least one member");
+  std::vector<std::uint32_t> sorted = members;
+  std::sort(sorted.begin(), sorted.end());
+  HAL_CHECK(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+            "hot-key group members must be distinct");
+  splits_[key] = std::move(members);
+}
+
+void KeyspaceMap::unsplit(std::uint32_t key) { splits_.erase(key); }
+
+std::vector<std::uint32_t> KeyspaceMap::referenced_shards() const {
+  std::vector<std::uint32_t> out = owners_;
+  for (const auto& [key, members] : splits_) {
+    out.insert(out.end(), members.begin(), members.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool KeyspaceMap::valid() const {
+  if (version_ == 0 || owners_.size() != kKeyslots) return false;
+  for (const auto& [key, members] : splits_) {
+    if (members.empty()) return false;
+    std::vector<std::uint32_t> sorted = members;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace hal::cluster

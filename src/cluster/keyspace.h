@@ -1,0 +1,106 @@
+// Versioned key→shard ownership for the elastic key-hash cluster.
+//
+// The static `hash(key) % shards` router cannot express reconfiguration:
+// moving a key range means changing the modulus, which reshuffles *every*
+// key. A KeyspaceMap interposes a fixed intermediate space of kKeyslots
+// hash buckets ("keyslots", the Redis-cluster trick): keys hash onto
+// keyslots permanently, keyslots map to shard slots by a mutable owner
+// table, and reconfiguration moves whole keyslots — each migration
+// touches exactly the keys of the slots it moves and nothing else.
+//
+// Two routing layers:
+//
+//   owners  — keyslot → shard. The uniform() factory reproduces the old
+//             static hash layout bit-for-bit whenever the shard count
+//             divides kKeyslots (every power of two up to 256), so a
+//             never-reconfigured cluster routes exactly as before.
+//   splits  — per-key hot-key overrides (join-matrix style, a 1×k grid
+//             per key): a split key's R tuples are replicated to every
+//             group member and its S tuples are dealt round-robin across
+//             them, so each (r, s) pair for that key meets at exactly one
+//             member. This caps the per-member probe cost for a single
+//             "celebrity" key that exceeds one shard's fair share — the
+//             case owner rebalancing alone cannot fix.
+//
+// Versioning invariants (enforced by ClusterEngine::apply_keyspace):
+//
+//   * Revisions apply in order: version N installs only over N-1. The
+//     router never routes with a map whose version it did not observe
+//     being installed — there is no torn or skipped revision.
+//   * A revision may only reference live (non-retired) shard slots.
+//   * Installation happens at an epoch barrier, after the state of every
+//     moved keyslot has been rebuilt at its new owner — so a tuple routed
+//     under revision N always finds the window state its matches need.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace hal::cluster {
+
+class KeyspaceMap {
+ public:
+  // Fixed keyslot count. Large enough that 256-way load estimates are
+  // smooth at realistic key domains, small enough that a full migration
+  // plan is trivially cheap to compute.
+  static constexpr std::uint32_t kKeyslots = 256;
+
+  // Fibonacci multiplicative hash — cheap, and decorrelates the
+  // sequential key patterns the generators produce from the shard index.
+  [[nodiscard]] static std::uint32_t hash_key(std::uint32_t key) noexcept {
+    return static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(key) * 2654435761ULL) >> 16);
+  }
+  [[nodiscard]] static std::uint32_t keyslot_of(std::uint32_t key) noexcept {
+    return hash_key(key) % kKeyslots;
+  }
+
+  // Version-1 map assigning keyslot ks to shard ks % shards. When shards
+  // divides kKeyslots this equals the pre-elastic static layout
+  // hash(key) % shards for every key.
+  [[nodiscard]] static KeyspaceMap uniform(std::uint32_t shards);
+
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& owners() const noexcept {
+    return owners_;
+  }
+  [[nodiscard]] std::uint32_t owner(std::uint32_t keyslot) const;
+  // Owner of the key's keyslot (ignores splits — callers that honor
+  // splits must check split_group() first).
+  [[nodiscard]] std::uint32_t shard_of_key(std::uint32_t key) const;
+  // The key's hot-key group, or nullptr when the key is not split.
+  [[nodiscard]] const std::vector<std::uint32_t>* split_group(
+      std::uint32_t key) const;
+  // Deterministically ordered (std::map) so migration plans and routing
+  // derived from iteration are reproducible.
+  [[nodiscard]] const std::map<std::uint32_t, std::vector<std::uint32_t>>&
+  splits() const noexcept {
+    return splits_;
+  }
+
+  // --- Next-revision builders ------------------------------------------
+  // Copy the installed map, mutate, bump_version() once, then hand the
+  // result to ClusterEngine::apply_keyspace.
+  void set_owner(std::uint32_t keyslot, std::uint32_t shard);
+  // Installs/replaces a hot-key group. Members must be non-empty and
+  // duplicate-free; the group order is the S-side deal order.
+  void split(std::uint32_t key, std::vector<std::uint32_t> members);
+  void unsplit(std::uint32_t key);
+  void bump_version() noexcept { ++version_; }
+
+  // Every shard slot the map references (owners ∪ split members), sorted
+  // and deduplicated.
+  [[nodiscard]] std::vector<std::uint32_t> referenced_shards() const;
+
+  // Structural well-formedness: fully populated owner table, valid split
+  // groups. Shard-liveness is the engine's check (it knows the topology).
+  [[nodiscard]] bool valid() const;
+
+ private:
+  std::uint64_t version_ = 0;  // 0 = default-constructed, not installable
+  std::vector<std::uint32_t> owners_;  // size kKeyslots once initialized
+  std::map<std::uint32_t, std::vector<std::uint32_t>> splits_;
+};
+
+}  // namespace hal::cluster

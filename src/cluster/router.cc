@@ -2,35 +2,32 @@
 
 namespace hal::cluster {
 
-namespace {
-
-// Fibonacci multiplicative hash — cheap, and decorrelates the sequential
-// key patterns the generators produce from the shard index.
-[[nodiscard]] std::uint32_t hash_key(std::uint32_t key) noexcept {
-  return static_cast<std::uint32_t>(
-      (static_cast<std::uint64_t>(key) * 2654435761ULL) >> 16);
-}
-
-}  // namespace
-
 Router::Router(Partitioning partitioning, std::uint32_t rows,
                std::uint32_t cols)
     : partitioning_(partitioning), rows_(rows), cols_(cols) {
   HAL_CHECK(rows_ >= 1 && cols_ >= 1, "grid must have at least one worker");
   if (partitioning_ == Partitioning::kKeyHash) {
     HAL_CHECK(rows_ == 1, "key-hash partitioning is a flat 1×N layout");
+    map_ = KeyspaceMap::uniform(cols_);
   }
 }
 
-std::uint32_t Router::hash_slot(std::uint32_t key) const noexcept {
-  return hash_key(key) % cols_;
+void Router::set_keyspace(KeyspaceMap map) {
+  HAL_CHECK(partitioning_ == Partitioning::kKeyHash,
+            "the keyspace map only exists under key-hash partitioning");
+  HAL_CHECK(map.valid(), "refusing to install a malformed keyspace map");
+  HAL_CHECK(map.version() == map_.version() + 1,
+            "keyspace revisions must install in order, one at a time");
+  map_ = std::move(map);
 }
 
 void Router::route(const stream::Tuple& t,
                    std::vector<std::uint32_t>& slots_out) {
   slots_out.clear();
   if (partitioning_ == Partitioning::kKeyHash) {
-    slots_out.push_back(hash_slot(t.key));
+    route_hashed(t, [&](const stream::Tuple&, std::uint32_t slot) {
+      slots_out.push_back(slot);
+    });
     return;
   }
   // kSplitGrid: slot index = row * cols + col. R owns a row (replicated

@@ -14,9 +14,16 @@
 //   the global W-tuple window. Works for arbitrary join predicates.
 //
 // * kKeyHash — equi-join fast path: each tuple goes to the single worker
-//   owning hash(key), so matches co-locate and no replication is needed.
+//   owning its key, so matches co-locate and no replication is needed.
 //   State is partitioned (each worker stores only its key range), which
 //   cuts per-probe scan work by the shard count — the scaling mode.
+//   Ownership is indirected through a versioned KeyspaceMap (keyslot →
+//   shard table plus hot-key split groups) so hal::elastic can move key
+//   ranges and split skewed keys at runtime; a fresh router starts from
+//   KeyspaceMap::uniform(shards), which reproduces the static
+//   hash(key) % shards layout. The router can additionally count routed
+//   tuples per key (enable_load_tracking) — the measured-skew feed for
+//   the elastic rebalance policy.
 //
 // Exactness: a worker wraps an unmodified single-node engine, which evicts
 // by *local* arrival count. Whenever a worker's local window can outlive
@@ -35,6 +42,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cluster/keyspace.h"
 #include "common/assert.h"
 #include "stream/tuple.h"
 
@@ -90,7 +98,7 @@ class Router {
   template <typename EmitFn>
   void route_span(std::span<const stream::Tuple> tuples, EmitFn&& emit) {
     if (partitioning_ == Partitioning::kKeyHash) {
-      for (const stream::Tuple& t : tuples) emit(t, hash_slot(t.key));
+      for (const stream::Tuple& t : tuples) route_hashed(t, emit);
       return;
     }
     for (const stream::Tuple& t : tuples) {
@@ -108,6 +116,9 @@ class Router {
     }
   }
 
+  // Construction-time slot count (grid cells, or the initial shard count
+  // for kKeyHash). Elastic reconfiguration can grow past this; the
+  // cluster engine tracks the live slot set itself.
   [[nodiscard]] std::uint32_t num_slots() const noexcept {
     return rows_ * cols_;
   }
@@ -117,14 +128,58 @@ class Router {
   [[nodiscard]] std::uint32_t rows() const noexcept { return rows_; }
   [[nodiscard]] std::uint32_t cols() const noexcept { return cols_; }
 
+  // --- Elastic keyspace (kKeyHash only) --------------------------------
+  [[nodiscard]] const KeyspaceMap& keyspace() const {
+    HAL_CHECK(partitioning_ == Partitioning::kKeyHash,
+              "the keyspace map only exists under key-hash partitioning");
+    return map_;
+  }
+  // Atomic (from the routing thread's perspective: between route calls)
+  // swap to the next revision. Revisions install strictly in order.
+  void set_keyspace(KeyspaceMap map);
+
+  // --- Per-key load accounting (skew detection) ------------------------
+  void enable_load_tracking() noexcept { track_load_ = true; }
+  [[nodiscard]] const std::unordered_map<std::uint32_t, std::uint64_t>&
+  key_load() const noexcept {
+    return key_load_;
+  }
+  void reset_key_load() { key_load_.clear(); }
+
  private:
-  [[nodiscard]] std::uint32_t hash_slot(std::uint32_t key) const noexcept;
+  // Key-hash dispatch for one tuple: hot-key groups replicate R to every
+  // member and deal S round-robin (each (r, s) pair of the key meets at
+  // exactly one member — s's member, which holds every windowed r);
+  // everything else goes to the keyslot owner.
+  template <typename EmitFn>
+  void route_hashed(const stream::Tuple& t, EmitFn&& emit) {
+    if (track_load_) ++key_load_[t.key];
+    if (!map_.splits().empty()) {
+      if (const std::vector<std::uint32_t>* group = map_.split_group(t.key)) {
+        if (t.origin == stream::StreamId::R) {
+          for (const std::uint32_t slot : *group) emit(t, slot);
+        } else {
+          emit(t, (*group)[split_turn_[t.key]++ % group->size()]);
+        }
+        return;
+      }
+    }
+    emit(t, map_.shard_of_key(t.key));
+  }
 
   Partitioning partitioning_;
-  std::uint32_t rows_;  // kKeyHash: rows_ == 1, cols_ == shard count
+  std::uint32_t rows_;  // kKeyHash: rows_ == 1, cols_ == initial shards
   std::uint32_t cols_;
   std::uint64_t count_r_ = 0;  // grid round-robin turn counters
   std::uint64_t count_s_ = 0;
+
+  KeyspaceMap map_;  // kKeyHash only; starts at uniform(cols_)
+  // Per-split-key S-side deal counters. Survive re-splits; routing stays
+  // deterministic either way (single routing thread).
+  std::unordered_map<std::uint32_t, std::uint64_t> split_turn_;
+
+  bool track_load_ = false;
+  std::unordered_map<std::uint32_t, std::uint64_t> key_load_;
 };
 
 // Arrival-order accounting for the merger's exact-global window filter.

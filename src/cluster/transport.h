@@ -228,6 +228,15 @@ class Link {
     }
   }
 
+  // Highest link_seq assigned so far (0 when replay is disabled): the
+  // discard floor for a consumer whose state already covers every past
+  // send (elastic rebuilds use it to heal drain-only workers).
+  [[nodiscard]] std::uint64_t last_seq() {
+    if (!replay_enabled_) return 0;
+    std::lock_guard<std::mutex> lock(replay_mu_);
+    return replay_seq_;
+  }
+
   // Snapshot of the suffix newer than `after_epoch`, plus the seq floor
   // (everything sent so far; later sends carry seq > floor) and the
   // highest epoch ever evicted (coverage check: evicted > after_epoch

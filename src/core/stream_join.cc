@@ -374,6 +374,7 @@ std::unique_ptr<StreamJoinEngine> make_cluster_from_facade(
       std::max<std::size_t>(1, std::min<std::size_t>(wire_batch, 256));
   ccfg.worker = cfg;
   ccfg.worker.backend = cfg.cluster_worker_backend;
+  ccfg.elastic.track_key_load = cfg.cluster_track_key_load;
   if (cluster::key_hashable(cfg.spec)) {
     ccfg.partitioning = cluster::Partitioning::kKeyHash;
     ccfg.shards = cfg.cluster_shards;

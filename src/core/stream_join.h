@@ -78,6 +78,10 @@ struct EngineConfig {
   // construct a cluster::ClusterEngine directly.
   std::uint32_t cluster_shards = 4;
   Backend cluster_worker_backend = Backend::kSwSplitJoin;
+  // Per-key routed-tuple counters in the cluster router — the measured
+  // skew that elastic::Controller::rebalance() acts on. Off by default
+  // (costs one hash-map increment per routed tuple).
+  bool cluster_track_key_load = false;
 };
 
 struct RunReport {

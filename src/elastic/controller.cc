@@ -1,0 +1,592 @@
+#include "elastic/controller.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <utility>
+
+#include "common/assert.h"
+#include "common/timer.h"
+#include "core/window_image.h"
+#include "recovery/checkpoint.h"
+
+namespace hal::elastic {
+
+namespace {
+
+using cluster::KeyspaceMap;
+
+// A WindowImage's tuples in one flat list: per-core sub-windows plus the
+// handshake boundary queues. Order is repaired by sort_dedup below.
+[[nodiscard]] std::vector<stream::Tuple> flatten(
+    const core::WindowImage& image) {
+  std::vector<stream::Tuple> out;
+  for (const core::WindowImage::CoreState& c : image.cores) {
+    out.insert(out.end(), c.win_r.begin(), c.win_r.end());
+    out.insert(out.end(), c.win_s.begin(), c.win_s.end());
+  }
+  for (const core::WindowImage::BoundaryState& b : image.boundaries) {
+    out.insert(out.end(), b.r_q.begin(), b.r_q.end());
+    out.insert(out.end(), b.s_q.begin(), b.s_q.end());
+  }
+  return out;
+}
+
+// Arrival order restored, duplicates (the same tuple surviving in two
+// sources' windows) collapsed. `seq` is the global arrival index, so it
+// is a total order and a unique identity at once.
+void sort_dedup(std::vector<stream::Tuple>& tuples) {
+  std::sort(tuples.begin(), tuples.end(),
+            [](const stream::Tuple& a, const stream::Tuple& b) {
+              return a.seq < b.seq;
+            });
+  tuples.erase(std::unique(tuples.begin(), tuples.end(),
+                           [](const stream::Tuple& a, const stream::Tuple& b) {
+                             return a.seq == b.seq;
+                           }),
+               tuples.end());
+}
+
+[[nodiscard]] bool contains(const std::vector<std::uint32_t>& v,
+                            std::uint32_t x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+// Distinct migration-channel addresses across controllers (and, for
+// abstract unix sockets, across processes).
+std::string ship_address(net::TransportKind kind) {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t id = counter.fetch_add(1, std::memory_order_relaxed);
+  switch (kind) {
+    case net::TransportKind::kLoopback:
+      return "elastic-migration-" + std::to_string(id);
+    case net::TransportKind::kUnix:
+      return "@hal-elastic-" + std::to_string(::getpid()) + "-" +
+             std::to_string(id);
+    case net::TransportKind::kTcp:
+      return "127.0.0.1:0";
+    case net::TransportKind::kInProcess:
+      break;
+  }
+  HAL_CHECK(false,
+            "kInProcess has no net::Transport — disable ship_images instead");
+  return {};
+}
+
+}  // namespace
+
+Controller::Controller(cluster::ClusterEngine& engine, ElasticConfig cfg)
+    : engine_(engine), cfg_(cfg) {
+  HAL_CHECK(engine.config().partitioning == cluster::Partitioning::kKeyHash,
+            "elastic reconfiguration requires key-hash partitioning");
+}
+
+Controller::~Controller() {
+  // Mirror the cluster's net teardown order: dialer end first, then the
+  // listener (owning the acceptor end), then the transport.
+  if (ship_tx_ != nullptr) ship_tx_->close();
+  ship_tx_.reset();
+  ship_listener_.reset();
+  ship_transport_.reset();
+}
+
+// --- Public operations ----------------------------------------------------
+
+MigrationReport Controller::add_shards(std::uint32_t count) {
+  HAL_CHECK(count >= 1, "add_shards needs count >= 1");
+  const Timer pause;
+  MigrationReport rep;
+  rep.shards_before = engine_.active_slot_count();
+  for (std::uint32_t i = 0; i < count; ++i) (void)engine_.add_slot();
+  KeyspaceMap next =
+      balanced(engine_.keyspace(), live_slots(),
+               keyslot_loads(engine_.keyspace().splits()));
+  next.bump_version();
+  execute(std::move(next), {}, rep);
+  rep.shards_after = engine_.active_slot_count();
+  rep.pause_seconds = pause.elapsed_seconds();
+  history_.push_back(rep);
+  return rep;
+}
+
+MigrationReport Controller::remove_shards(std::uint32_t count) {
+  HAL_CHECK(count >= 1, "remove_shards needs count >= 1");
+  const Timer pause;
+  MigrationReport rep;
+  rep.shards_before = engine_.active_slot_count();
+  HAL_CHECK(rep.shards_before > count,
+            "remove_shards must leave at least one live slot");
+  std::vector<std::uint32_t> live = live_slots();
+  const std::vector<std::uint32_t> victims(live.end() - count, live.end());
+  const std::vector<std::uint32_t> survivors(live.begin(), live.end() - count);
+
+  KeyspaceMap next = engine_.keyspace();
+  // A split touching a victim is dissolved in the same revision; its key
+  // collapses back onto its keyslot's (surviving) owner.
+  for (const auto& [key, group] : engine_.keyspace().splits()) {
+    const bool doomed = std::any_of(
+        group.begin(), group.end(),
+        [&](std::uint32_t m) { return contains(victims, m); });
+    if (doomed) next.unsplit(key);
+  }
+  next = balanced(next, survivors, keyslot_loads(next.splits()));
+  next.bump_version();
+  execute(std::move(next), victims, rep);
+  rep.shards_after = engine_.active_slot_count();
+  rep.pause_seconds = pause.elapsed_seconds();
+  history_.push_back(rep);
+  return rep;
+}
+
+MigrationReport Controller::split_key(std::uint32_t key, std::uint32_t ways) {
+  HAL_CHECK(ways >= 2, "a hot-key split needs at least two members");
+  const Timer pause;
+  MigrationReport rep;
+  rep.shards_before = rep.shards_after = engine_.active_slot_count();
+  const std::vector<std::uint32_t> live = live_slots();
+  HAL_CHECK(ways <= live.size(), "split ways exceeds the live slot count");
+
+  // Members: the `ways` least-loaded live slots (ties broken by id).
+  const std::vector<double> load = keyslot_loads(engine_.keyspace().splits());
+  std::vector<std::pair<double, std::uint32_t>> ranked;
+  for (const std::uint32_t slot : live) {
+    double sum = 0.0;
+    for (std::uint32_t ks = 0; ks < KeyspaceMap::kKeyslots; ++ks) {
+      if (engine_.keyspace().owner(ks) == slot) sum += load[ks];
+    }
+    ranked.emplace_back(sum, slot);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  std::vector<std::uint32_t> members;
+  for (std::uint32_t i = 0; i < ways; ++i) members.push_back(ranked[i].second);
+  std::sort(members.begin(), members.end());
+
+  KeyspaceMap next = engine_.keyspace();
+  next.split(key, members);
+  next.bump_version();
+  execute(std::move(next), {}, rep);
+  rep.pause_seconds = pause.elapsed_seconds();
+  history_.push_back(rep);
+  return rep;
+}
+
+MigrationReport Controller::unsplit_key(std::uint32_t key) {
+  HAL_CHECK(engine_.keyspace().split_group(key) != nullptr,
+            "unsplit_key on a key that is not split");
+  const Timer pause;
+  MigrationReport rep;
+  rep.shards_before = rep.shards_after = engine_.active_slot_count();
+  KeyspaceMap next = engine_.keyspace();
+  next.unsplit(key);
+  next.bump_version();
+  execute(std::move(next), {}, rep);
+  rep.pause_seconds = pause.elapsed_seconds();
+  history_.push_back(rep);
+  return rep;
+}
+
+std::vector<MigrationReport> Controller::rebalance() {
+  std::vector<MigrationReport> out;
+  const Timer pause;
+  const std::vector<std::uint32_t> live = live_slots();
+  const KeyspaceMap& cur = engine_.keyspace();
+
+  // Measured per-key totals, in deterministic (key) order.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> keys(
+      engine_.key_load().begin(), engine_.key_load().end());
+  std::sort(keys.begin(), keys.end());
+  double total = 0.0;
+  for (const auto& [key, n] : keys) total += static_cast<double>(n);
+  const double fair = total / static_cast<double>(live.size());
+
+  KeyspaceMap next = cur;
+  // Hot-key pass: split keys above the threshold, dissolve ones below it.
+  // Disabled entirely without measured load or with max_split_ways < 2.
+  if (total > 0.0 && cfg_.max_split_ways >= 2) {
+    const double hot = cfg_.hot_key_split_threshold * fair;
+    for (const auto& [key, n] : keys) {
+      const bool split_now = cur.split_group(key) != nullptr;
+      if (static_cast<double>(n) > hot && !split_now) {
+        const auto ways = static_cast<std::uint32_t>(std::min<std::size_t>(
+            {cfg_.max_split_ways, live.size(),
+             static_cast<std::size_t>(
+                 std::ceil(static_cast<double>(n) / std::max(fair, 1.0)))}));
+        if (ways >= 2) {
+          // Deal across the least-loaded members by slot id — keyslot
+          // repack below evens out whatever this perturbs.
+          std::vector<std::uint32_t> members(live.begin(),
+                                             live.begin() + ways);
+          next.split(key, std::move(members));
+        }
+      } else if (static_cast<double>(n) <= hot && split_now) {
+        next.unsplit(key);
+      }
+    }
+  }
+  next = balanced(next, live, keyslot_loads(next.splits()));
+
+  const bool changed =
+      next.owners() != cur.owners() || next.splits() != cur.splits();
+  if (!changed) return out;
+
+  MigrationReport rep;
+  rep.shards_before = rep.shards_after = engine_.active_slot_count();
+  next.bump_version();
+  execute(std::move(next), {}, rep);
+  rep.pause_seconds = pause.elapsed_seconds();
+  history_.push_back(rep);
+  out.push_back(rep);
+  return out;
+}
+
+void Controller::collect_metrics(obs::MetricRegistry& registry,
+                                 const std::string& prefix) const {
+  MigrationReport sum;
+  for (const MigrationReport& r : history_) {
+    sum.moved_keyslots += r.moved_keyslots;
+    sum.rebuilt_slots += r.rebuilt_slots;
+    sum.splits_created += r.splits_created;
+    sum.splits_removed += r.splits_removed;
+    sum.moved_tuples += r.moved_tuples;
+    sum.image_bytes += r.image_bytes;
+    sum.shipped_frames += r.shipped_frames;
+    sum.replayed_batches += r.replayed_batches;
+    sum.lost_sources += r.lost_sources;
+    sum.pause_seconds += r.pause_seconds;
+  }
+  registry.set_counter(prefix + "migrations", history_.size());
+  registry.set_counter(prefix + "moved_keyslots", sum.moved_keyslots);
+  registry.set_counter(prefix + "rebuilt_slots", sum.rebuilt_slots);
+  registry.set_counter(prefix + "splits_created", sum.splits_created);
+  registry.set_counter(prefix + "splits_removed", sum.splits_removed);
+  registry.set_counter(prefix + "moved_tuples", sum.moved_tuples);
+  registry.set_counter(prefix + "image_bytes", sum.image_bytes);
+  registry.set_counter(prefix + "shipped_frames", sum.shipped_frames);
+  registry.set_counter(prefix + "replayed_batches", sum.replayed_batches);
+  registry.set_counter(prefix + "lost_sources", sum.lost_sources);
+  registry.set_gauge(prefix + "pause_seconds_total", sum.pause_seconds,
+                     obs::Stability::kRuntime);
+}
+
+// --- Migration core -------------------------------------------------------
+
+void Controller::execute(KeyspaceMap next,
+                         const std::vector<std::uint32_t>& retire,
+                         MigrationReport& rep) {
+  const KeyspaceMap cur = engine_.keyspace();
+  rep.from_version = cur.version();
+  rep.to_version = next.version();
+
+  // Keyslots whose owner changes, grouped by new owner.
+  std::map<std::uint32_t, std::vector<std::uint32_t>> moved_to;
+  for (std::uint32_t ks = 0; ks < KeyspaceMap::kKeyslots; ++ks) {
+    if (cur.owner(ks) != next.owner(ks)) {
+      moved_to[next.owner(ks)].push_back(ks);
+      ++rep.moved_keyslots;
+    }
+  }
+
+  // Keys whose split placement changes (created, dissolved, resized).
+  // Their state is re-dealt explicitly below and excluded everywhere
+  // else: a member keeping its old S share while the new deal assigns
+  // that share elsewhere would double-produce pairs.
+  std::set<std::uint32_t> changed_keys;
+  for (const auto& [key, group] : cur.splits()) {
+    const std::vector<std::uint32_t>* now = next.split_group(key);
+    if (now == nullptr) {
+      changed_keys.insert(key);
+      ++rep.splits_removed;
+    } else if (*now != group) {
+      changed_keys.insert(key);
+      ++rep.splits_created;  // resize counts as a (re)creation
+    }
+  }
+  for (const auto& [key, group] : next.splits()) {
+    if (cur.split_group(key) == nullptr) {
+      changed_keys.insert(key);
+      ++rep.splits_created;
+    }
+  }
+
+  // Where a changed key's state currently lives.
+  const auto cur_holders =
+      [&cur](std::uint32_t key) -> std::vector<std::uint32_t> {
+    if (const std::vector<std::uint32_t>* g = cur.split_group(key)) return *g;
+    return {cur.owner(KeyspaceMap::keyslot_of(key))};
+  };
+
+  // Slots to rebuild, and the slots whose state feeds them. Every target
+  // is also a source: its merge starts from its own surviving tuples.
+  std::set<std::uint32_t> targets;
+  std::set<std::uint32_t> sources;
+  for (const auto& [target, keyslots] : moved_to) {
+    targets.insert(target);
+    for (const std::uint32_t ks : keyslots) sources.insert(cur.owner(ks));
+  }
+  for (const std::uint32_t key : changed_keys) {
+    for (const std::uint32_t s : cur_holders(key)) sources.insert(s);
+    if (const std::vector<std::uint32_t>* g = next.split_group(key)) {
+      targets.insert(g->begin(), g->end());
+    } else {
+      targets.insert(next.owner(KeyspaceMap::keyslot_of(key)));
+    }
+  }
+  sources.insert(targets.begin(), targets.end());
+
+  if (!targets.empty()) {
+    // Ship phase: capture every source before any rebuild — a slot that
+    // is both source and target must be read pre-rebuild.
+    std::map<std::uint32_t, std::vector<stream::Tuple>> flat;
+    for (const std::uint32_t s : sources) flat[s] = fetch_slot(s, rep);
+
+    // Seq-merged view of one changed key's complete current state.
+    const auto collect_key = [&](std::uint32_t key) {
+      std::vector<stream::Tuple> all;
+      for (const std::uint32_t s : cur_holders(key)) {
+        for (const stream::Tuple& t : flat[s]) {
+          if (t.key == key) all.push_back(t);
+        }
+      }
+      sort_dedup(all);
+      return all;
+    };
+
+    for (const std::uint32_t target : targets) {
+      std::vector<stream::Tuple> merged;
+      // Own surviving tuples. Keyslots this slot *loses* stay too: their
+      // keys route elsewhere from now on, so the leftovers can never
+      // pair again — they just age out of the window.
+      for (const stream::Tuple& t : flat[target]) {
+        if (!changed_keys.contains(t.key)) merged.push_back(t);
+      }
+      const std::size_t own = merged.size();
+      // Moved-in keyslots. Split keys are skipped: their state lives
+      // with the group, not the keyslot owner.
+      if (const auto it = moved_to.find(target); it != moved_to.end()) {
+        for (const std::uint32_t ks : it->second) {
+          for (const stream::Tuple& t : flat[cur.owner(ks)]) {
+            if (KeyspaceMap::keyslot_of(t.key) != ks) continue;
+            if (changed_keys.contains(t.key)) continue;
+            if (next.split_group(t.key) != nullptr) continue;
+            merged.push_back(t);
+          }
+        }
+      }
+      // Re-dealt keys this slot now holds: R replicated to the whole
+      // group, S dealt round-robin in seq order — the 1×k join matrix.
+      // The deal offset need not match the router's future turn counter:
+      // any deal is exact, because each S tuple lands on exactly one
+      // member and every member holds the key's full R window.
+      for (const std::uint32_t key : changed_keys) {
+        if (const std::vector<std::uint32_t>* g = next.split_group(key)) {
+          if (!contains(*g, target)) continue;
+          std::uint64_t s_index = 0;
+          for (const stream::Tuple& t : collect_key(key)) {
+            if (t.origin == stream::StreamId::R) {
+              merged.push_back(t);
+            } else {
+              if ((*g)[s_index % g->size()] == target) merged.push_back(t);
+              ++s_index;
+            }
+          }
+        } else if (next.owner(KeyspaceMap::keyslot_of(key)) == target) {
+          const std::vector<stream::Tuple> all = collect_key(key);
+          merged.insert(merged.end(), all.begin(), all.end());
+        }
+      }
+      rep.moved_tuples += merged.size() - own;
+      sort_dedup(merged);
+      engine_.rebuild_slot(target, merged);
+      ++rep.rebuilt_slots;
+    }
+  }
+
+  // Swap phase: the atomic routing flip, then victim retirement. Both
+  // happen at the same barrier the rebuilds ran under, so no tuple is
+  // ever routed by a map whose state placement is not yet in effect.
+  engine_.apply_keyspace(std::move(next));
+  for (const std::uint32_t v : retire) engine_.retire_slot(v);
+}
+
+std::vector<stream::Tuple> Controller::fetch_slot(std::uint32_t slot,
+                                                  MigrationReport& rep) {
+  std::vector<std::uint8_t> bytes;
+  std::vector<cluster::TupleBatch> delta;
+
+  const auto try_checkpoint_delta = [&]() -> bool {
+    std::uint64_t ckpt_epoch = 0;
+    std::vector<std::uint8_t> frame = engine_.checkpoint_slot(slot, ckpt_epoch);
+    if (frame.empty()) return false;
+    bool complete = false;
+    std::vector<cluster::TupleBatch> d =
+        engine_.replay_delta_slot(slot, ckpt_epoch, complete);
+    if (!complete) return false;
+    bytes = std::move(frame);
+    delta = std::move(d);
+    return true;
+  };
+
+  bool have = cfg_.prefer_checkpoint_delta && try_checkpoint_delta();
+  if (!have) {
+    bytes = engine_.snapshot_slot(slot);
+    have = !bytes.empty();
+  }
+  // Snapshot impossible (every replica dead): the checkpoint+delta path
+  // is the fallback even when not preferred.
+  if (!have && !cfg_.prefer_checkpoint_delta) have = try_checkpoint_delta();
+  if (!have) {
+    // The slot's state is unrecoverable — the cluster is already serving
+    // degraded. Migrate the keys with empty history rather than wedging.
+    ++rep.lost_sources;
+    return {};
+  }
+
+  rep.image_bytes += bytes.size();
+  if (cfg_.ship_images) {
+    bytes = ship(std::move(bytes));
+    ++rep.shipped_frames;
+  }
+  core::WindowImage image;
+  HAL_CHECK(recovery::deserialize(bytes, image),
+            "migration image failed to decode after shipping");
+  std::vector<stream::Tuple> out = flatten(image);
+  rep.replayed_batches += delta.size();
+  for (const cluster::TupleBatch& b : delta) {
+    out.insert(out.end(), b.tuples.begin(), b.tuples.end());
+  }
+  sort_dedup(out);
+  return out;
+}
+
+void Controller::ensure_ship_channel() {
+  if (ship_tx_ != nullptr) return;
+  ship_transport_ = net::make_transport(cfg_.ship_transport);
+  net::EndpointOptions opts;
+  // Images are one frame each and strictly request/response, so the
+  // smallest window that admits a frame suffices.
+  opts.window_frames = 4;
+  ship_listener_ = ship_transport_->listen(ship_address(cfg_.ship_transport),
+                                           opts);
+  net::EndpointOptions dial = opts;
+  dial.node_id = 1;
+  ship_tx_ = ship_transport_->connect(ship_listener_->address(), dial);
+  ship_rx_ = ship_listener_->accept(10.0);
+  HAL_CHECK(ship_rx_ != nullptr, "migration channel accept timed out");
+}
+
+std::vector<std::uint8_t> Controller::ship(std::vector<std::uint8_t> bytes) {
+  ensure_ship_channel();
+  HAL_CHECK(bytes.size() <= net::kMaxPayload,
+            "migration image exceeds the wire frame payload limit");
+  HAL_CHECK(ship_tx_->send(net::MsgType::kCheckpoint, bytes, 30.0),
+            "shipping a migration image timed out");
+  net::Frame frame;
+  HAL_CHECK(ship_rx_->recv(frame, 30.0),
+            "receiving a migration image timed out");
+  HAL_CHECK(frame.header.type == net::MsgType::kCheckpoint,
+            "unexpected frame type on the migration channel");
+  return std::move(frame.payload);
+}
+
+// --- Placement helpers ----------------------------------------------------
+
+std::vector<std::uint32_t> Controller::live_slots() const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t slot = 0; slot < engine_.slot_count(); ++slot) {
+    if (!engine_.slot_retired(slot)) out.push_back(slot);
+  }
+  return out;
+}
+
+std::vector<double> Controller::keyslot_loads(
+    const std::map<std::uint32_t, std::vector<std::uint32_t>>& splits) const {
+  std::vector<double> load(KeyspaceMap::kKeyslots, 0.0);
+  std::uint64_t total = 0;
+  for (const auto& [key, n] : engine_.key_load()) {
+    if (splits.contains(key)) continue;  // split keys don't ride keyslots
+    load[KeyspaceMap::keyslot_of(key)] += static_cast<double>(n);
+    total += n;
+  }
+  // No measurements: balance by keyslot count instead of load.
+  if (total == 0) return std::vector<double>(KeyspaceMap::kKeyslots, 1.0);
+  return load;
+}
+
+KeyspaceMap Controller::balanced(const KeyspaceMap& cur,
+                                 const std::vector<std::uint32_t>& targets,
+                                 const std::vector<double>& load) {
+  HAL_CHECK(!targets.empty(), "balanced() needs at least one target slot");
+  KeyspaceMap next = cur;
+
+  std::map<std::uint32_t, std::vector<std::uint32_t>> owned;
+  std::map<std::uint32_t, double> shard_load;
+  for (const std::uint32_t t : targets) {
+    owned[t];
+    shard_load[t] = 0.0;
+  }
+  std::vector<std::uint32_t> forced;  // keyslots owned by non-targets
+  for (std::uint32_t ks = 0; ks < KeyspaceMap::kKeyslots; ++ks) {
+    const std::uint32_t o = cur.owner(ks);
+    if (shard_load.contains(o)) {
+      owned[o].push_back(ks);
+      shard_load[o] += load[ks];
+    } else {
+      forced.push_back(ks);
+    }
+  }
+
+  const auto least_loaded = [&]() {
+    std::uint32_t best = targets.front();
+    for (const auto& [slot, l] : shard_load) {
+      if (l < shard_load[best]) best = slot;
+    }
+    return best;
+  };
+
+  // Forced moves first: largest keyslot to the least-loaded target (ties
+  // by keyslot id — everything here is deterministic by construction).
+  std::sort(forced.begin(), forced.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return load[a] != load[b] ? load[a] > load[b] : a < b;
+            });
+  for (const std::uint32_t ks : forced) {
+    const std::uint32_t t = least_loaded();
+    next.set_owner(ks, t);
+    owned[t].push_back(ks);
+    shard_load[t] += load[ks];
+  }
+
+  // Greedy narrowing: move the largest keyslot that strictly shrinks the
+  // fullest→emptiest gap. Each move strictly decreases Σ load², so the
+  // loop terminates; the iteration bound is a pure backstop.
+  for (int iter = 0; iter < 4096; ++iter) {
+    std::uint32_t donor = targets.front();
+    std::uint32_t recipient = targets.front();
+    for (const auto& [slot, l] : shard_load) {
+      if (l > shard_load[donor]) donor = slot;
+      if (l < shard_load[recipient]) recipient = slot;
+    }
+    if (donor == recipient) break;
+    const double gap = shard_load[donor] - shard_load[recipient];
+    std::uint32_t best_ks = KeyspaceMap::kKeyslots;
+    for (const std::uint32_t ks : owned[donor]) {
+      if (load[ks] >= gap) continue;  // would overshoot: no improvement
+      if (best_ks == KeyspaceMap::kKeyslots || load[ks] > load[best_ks] ||
+          (load[ks] == load[best_ks] && ks < best_ks)) {
+        best_ks = ks;
+      }
+    }
+    if (best_ks == KeyspaceMap::kKeyslots) break;
+    next.set_owner(best_ks, recipient);
+    auto& dv = owned[donor];
+    dv.erase(std::find(dv.begin(), dv.end(), best_ks));
+    owned[recipient].push_back(best_ks);
+    shard_load[donor] -= load[best_ks];
+    shard_load[recipient] += load[best_ks];
+  }
+  return next;
+}
+
+}  // namespace hal::elastic

@@ -19,7 +19,7 @@ namespace {
 
 [[nodiscard]] bool is_data(MsgType t) noexcept {
   return t == MsgType::kTupleBatch || t == MsgType::kResultBatch ||
-         t == MsgType::kWatermark;
+         t == MsgType::kWatermark || t == MsgType::kCheckpoint;
 }
 
 // One direction of a loopback connection. The sender encodes into the

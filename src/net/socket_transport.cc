@@ -53,7 +53,7 @@ namespace {
 
 [[nodiscard]] bool is_data(MsgType t) noexcept {
   return t == MsgType::kTupleBatch || t == MsgType::kResultBatch ||
-         t == MsgType::kWatermark;
+         t == MsgType::kWatermark || t == MsgType::kCheckpoint;
 }
 
 [[nodiscard]] double now_ms() {

@@ -190,8 +190,9 @@ TEST(ClusterEngine, FailoverKeepsResultsByteIdentical) {
   cfg.partitioning = Partitioning::kKeyHash;
   cfg.shards = 2;
   cfg.replicas = 2;
-  cfg.faults.drop_worker = 0;  // slot 0's primary
-  cfg.faults.drop_after_batches = 2;
+  // Kill slot 0's primary after 2 batches (epoch 0: whole-run counting).
+  cfg.faults.events.push_back(FaultEvent{
+      .kind = FaultKind::kKillWorker, .worker = 0, .after_batches = 2});
   ClusterEngine engine(cfg);
 
   const auto tuples = workload(600, 31);
@@ -211,8 +212,8 @@ TEST(ClusterEngine, ReplicaLessDropDegradesCleanly) {
   ClusterConfig cfg = base_config();
   cfg.partitioning = Partitioning::kKeyHash;
   cfg.shards = 2;
-  cfg.faults.drop_worker = 1;
-  cfg.faults.drop_after_batches = 0;
+  cfg.faults.events.push_back(FaultEvent{
+      .kind = FaultKind::kKillWorker, .worker = 1, .after_batches = 0});
   ClusterEngine engine(cfg);
 
   const auto tuples = workload(400, 37);
@@ -293,8 +294,9 @@ TEST(ClusterEngine, DelayedLinkFaultSlowsTheEpoch) {
   ClusterConfig cfg = base_config();
   cfg.partitioning = Partitioning::kKeyHash;
   cfg.shards = 2;
-  cfg.faults.delay_worker = 0;
-  cfg.faults.extra_delay_us = 3000.0;
+  cfg.faults.events.push_back(FaultEvent{.kind = FaultKind::kDelayLink,
+                                         .worker = 0,
+                                         .extra_delay_us = 3000.0});
   ClusterEngine engine(cfg);
 
   const auto tuples = workload(200, 53);

@@ -160,8 +160,9 @@ TEST(RouterProperty, GridFailoverPreservesJoinMatrixExactness) {
   cfg.worker.num_cores = 1;
   cfg.transport.batch_size = 16;
   cfg.replicas = 2;
-  cfg.faults.drop_worker = 0;  // slot 0's primary
-  cfg.faults.drop_after_batches = 2;
+  // Kill slot 0's primary after 2 batches (epoch 0: whole-run counting).
+  cfg.faults.events.push_back(FaultEvent{
+      .kind = FaultKind::kKillWorker, .worker = 0, .after_batches = 2});
   ClusterEngine engine(cfg);
 
   const auto tuples = workload(500, 83);
@@ -187,8 +188,9 @@ TEST(RouterProperty, KeyHashFailoverKeepsShardOwnershipExact) {
   cfg.worker.num_cores = 1;
   cfg.transport.batch_size = 16;
   cfg.replicas = 2;
-  cfg.faults.drop_worker = 2;  // flat index slot*replicas: slot 1's primary
-  cfg.faults.drop_after_batches = 3;
+  // Flat index slot*replicas: kill slot 1's primary after 3 batches.
+  cfg.faults.events.push_back(FaultEvent{
+      .kind = FaultKind::kKillWorker, .worker = 2, .after_batches = 3});
   ClusterEngine engine(cfg);
 
   const auto tuples = workload(600, 89);

@@ -1,0 +1,169 @@
+// Property-fuzz target for the hal::recovery checkpoint codec.
+//
+// Property: for any structurally valid WindowImage — random backend tag,
+// core layouts, window contents, arrival cursors, boundary queues —
+// serialize() ∘ deserialize() is the identity; and for any corruption of
+// the encoded frame (every truncation length, randomized bit flips,
+// random byte blobs), deserialize() returns false without crashing or
+// fabricating a different image. Deterministic RNG so failures replay;
+// run under the asan/tsan presets for the "never UB" half of the claim
+// (this binary is the asan fuzz entry for the checkpoint codec, next to
+// codec_fuzz_test for the wire codec).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/stream_join.h"
+#include "core/window_image.h"
+#include "recovery/checkpoint.h"
+#include "stream/tuple.h"
+
+namespace hal::recovery {
+namespace {
+
+using core::Backend;
+using core::WindowImage;
+using stream::StreamId;
+using stream::Tuple;
+
+Tuple random_tuple(Rng& rng) {
+  Tuple t;
+  t.key = static_cast<std::uint32_t>(rng.next_u64());
+  t.value = static_cast<std::uint32_t>(rng.next_u64());
+  t.seq = rng.next_u64();
+  t.origin = (rng.next_u64() & 1) ? StreamId::R : StreamId::S;
+  return t;
+}
+
+std::vector<Tuple> random_window(Rng& rng, std::size_t max_len) {
+  std::vector<Tuple> out(rng.next_u64() % (max_len + 1));
+  for (Tuple& t : out) t = random_tuple(rng);
+  return out;
+}
+
+// A structurally valid image with arbitrary content: any backend tag,
+// 0–4 cores with windows up to 24 tuples (arrival cursors on a coin
+// flip, parallel to the windows as the codec requires), 0–3 boundary
+// queues. Deliberately broader than what any single engine produces —
+// the codec frames the container, not one backend's shape.
+WindowImage random_image(Rng& rng) {
+  WindowImage img;
+  img.backend = static_cast<Backend>(rng.next_u64() % 6);
+  img.num_cores = static_cast<std::uint32_t>(rng.next_u64() % 5);
+  img.window_size = rng.next_u64() % 4096;
+  img.epoch = rng.next_u64();
+  img.count_r = rng.next_u64();
+  img.count_s = rng.next_u64();
+  img.results_emitted = rng.next_u64();
+  img.cores.resize(img.num_cores);
+  for (auto& core : img.cores) {
+    core.win_r = random_window(rng, 24);
+    core.win_s = random_window(rng, 24);
+    if (rng.next_u64() & 1) {
+      core.arr_r.resize(core.win_r.size());
+      core.arr_s.resize(core.win_s.size());
+      for (auto& a : core.arr_r) a = rng.next_u64();
+      for (auto& a : core.arr_s) a = rng.next_u64();
+    }
+  }
+  img.boundaries.resize(rng.next_u64() % 4);
+  for (auto& b : img.boundaries) {
+    b.r_q = random_window(rng, 12);
+    b.s_q = random_window(rng, 12);
+  }
+  return img;
+}
+
+void expect_equal(const WindowImage& a, const WindowImage& b) {
+  EXPECT_EQ(a.backend, b.backend);
+  EXPECT_EQ(a.num_cores, b.num_cores);
+  EXPECT_EQ(a.window_size, b.window_size);
+  EXPECT_EQ(a.epoch, b.epoch);
+  EXPECT_EQ(a.count_r, b.count_r);
+  EXPECT_EQ(a.count_s, b.count_s);
+  EXPECT_EQ(a.results_emitted, b.results_emitted);
+  ASSERT_EQ(a.cores.size(), b.cores.size());
+  for (std::size_t i = 0; i < a.cores.size(); ++i) {
+    EXPECT_EQ(a.cores[i].win_r, b.cores[i].win_r);
+    EXPECT_EQ(a.cores[i].win_s, b.cores[i].win_s);
+    EXPECT_EQ(a.cores[i].arr_r, b.cores[i].arr_r);
+    EXPECT_EQ(a.cores[i].arr_s, b.cores[i].arr_s);
+  }
+  ASSERT_EQ(a.boundaries.size(), b.boundaries.size());
+  for (std::size_t i = 0; i < a.boundaries.size(); ++i) {
+    EXPECT_EQ(a.boundaries[i].r_q, b.boundaries[i].r_q);
+    EXPECT_EQ(a.boundaries[i].s_q, b.boundaries[i].s_q);
+  }
+}
+
+// Transport bookkeeping the payload CRC does not cover and the codec
+// ignores: channel (bytes 6-7) and seq (bytes 16-23) of the frame
+// header. Flips there decode fine and re-encode canonically.
+bool is_unchecked_header_byte(std::size_t i) {
+  return (i >= 6 && i < 8) || (i >= 16 && i < 24);
+}
+
+TEST(CheckpointFuzz, RandomImagesRoundTripBitExactly) {
+  Rng rng(20170901);
+  for (int iter = 0; iter < 200; ++iter) {
+    const WindowImage img = random_image(rng);
+    const std::vector<std::uint8_t> bytes = serialize(img);
+    WindowImage decoded;
+    ASSERT_TRUE(deserialize(bytes, decoded)) << "iter " << iter;
+    expect_equal(img, decoded);
+    // Canonical encoding: re-serializing the decode reproduces the frame.
+    EXPECT_EQ(serialize(decoded), bytes) << "iter " << iter;
+  }
+}
+
+TEST(CheckpointFuzz, EveryTruncationIsRejected) {
+  Rng rng(20170902);
+  for (int iter = 0; iter < 20; ++iter) {
+    const std::vector<std::uint8_t> good = serialize(random_image(rng));
+    WindowImage out;
+    for (std::size_t len = 0; len < good.size(); ++len) {
+      const std::vector<std::uint8_t> cut(good.begin(),
+                                          good.begin() +
+                                              static_cast<std::ptrdiff_t>(len));
+      ASSERT_FALSE(deserialize(cut, out)) << "iter " << iter << " len " << len;
+    }
+  }
+}
+
+TEST(CheckpointFuzz, BitFlipsAreCaughtOrCanonicallyIgnored) {
+  Rng rng(20170903);
+  for (int iter = 0; iter < 20; ++iter) {
+    const std::vector<std::uint8_t> good = serialize(random_image(rng));
+    for (int flips = 0; flips < 64; ++flips) {
+      const std::size_t i = rng.next_u64() % good.size();
+      std::vector<std::uint8_t> bad = good;
+      bad[i] ^= static_cast<std::uint8_t>(1u << (rng.next_u64() % 8));
+      WindowImage out;
+      if (is_unchecked_header_byte(i)) {
+        ASSERT_TRUE(deserialize(bad, out)) << "iter " << iter << " byte " << i;
+        EXPECT_EQ(serialize(out), good) << "iter " << iter << " byte " << i;
+      } else {
+        ASSERT_FALSE(deserialize(bad, out))
+            << "iter " << iter << " byte " << i;
+      }
+    }
+  }
+}
+
+TEST(CheckpointFuzz, RandomBlobsNeverCrashTheDecoder) {
+  Rng rng(20170904);
+  WindowImage out;
+  for (int iter = 0; iter < 500; ++iter) {
+    std::vector<std::uint8_t> blob(rng.next_u64() % 512);
+    for (auto& b : blob) b = static_cast<std::uint8_t>(rng.next_u64());
+    // Overwhelmingly rejected (a random CRC match at this length is
+    // ~2^-32); the property under test is "total, no UB", not the exact
+    // verdict — asan/tsan presets make that check real.
+    (void)deserialize(blob, out);
+  }
+}
+
+}  // namespace
+}  // namespace hal::recovery

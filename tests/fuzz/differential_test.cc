@@ -273,8 +273,11 @@ TEST_P(DifferentialFuzz, ClusterFailoverMatchesOracle) {
           : cfg.grid_rows * cfg.grid_cols;
   Rng rng(GetParam() * 31 + 7);
   // Drop one primary; its replica must carry the epoch untouched.
-  cfg.faults.drop_worker = rng.next_below(slots) * cfg.replicas;
-  cfg.faults.drop_after_batches = rng.next_below(4);
+  cluster::FaultEvent kill;
+  kill.kind = cluster::FaultKind::kKillWorker;
+  kill.worker = rng.next_below(slots) * cfg.replicas;
+  kill.after_batches = rng.next_below(4);  // epoch 0: whole-run counting
+  cfg.faults.events.push_back(kill);
   cluster::ClusterEngine engine(cfg);
   engine.process(tuples);
 
@@ -283,11 +286,11 @@ TEST_P(DifferentialFuzz, ClusterFailoverMatchesOracle) {
             normalize(oracle.process_all(tuples)))
       << "partitioning=" << cluster::to_string(cfg.partitioning)
       << " workers=" << engine.num_workers()
-      << " dropped=" << *cfg.faults.drop_worker;
+      << " dropped=" << kill.worker;
   const auto rep = engine.report();
   EXPECT_FALSE(rep.degraded);
   EXPECT_EQ(rep.lost_tuples, 0u);
-  if (rep.workers[*cfg.faults.drop_worker].dropped) {
+  if (rep.workers[kill.worker].dropped) {
     EXPECT_GE(rep.failovers, 1u);
   }
 }

@@ -186,38 +186,37 @@ INSTANTIATE_TEST_SUITE_P(Transports, ChaosWireTest,
                            return std::string(net::to_string(info.param));
                          });
 
-// --- Generalized FaultPlan invariants (legacy semantics preserved) -------
+// --- Generalized FaultPlan invariants ------------------------------------
 
-TEST(GeneralizedFaultPlan, LegacyShimAndEventListAgree) {
+// The event list is the only fault interface; epoch == 0 keeps the old
+// whole-run trigger counting. Failover must be batch-count driven, not
+// scheduling driven: two runs of the same plan agree on results and on
+// every deterministic counter.
+TEST(GeneralizedFaultPlan, WholeRunKillIsDeterministic) {
   const auto tuples = workload(600, 97);
-  auto run = [&](bool use_events) {
+  auto run = [&]() {
     ClusterConfig cfg = chaos_config(net::TransportKind::kInProcess);
     cfg.recovery.supervise = false;  // pre-recovery behavior
     cfg.replicas = 2;
-    if (use_events) {
-      FaultEvent ev;
-      ev.kind = FaultKind::kKillWorker;
-      ev.worker = 0;
-      ev.after_batches = 2;  // epoch 0: whole-run counting
-      cfg.faults.events.push_back(ev);
-    } else {
-      cfg.faults.drop_worker = 0;
-      cfg.faults.drop_after_batches = 2;
-    }
+    FaultEvent ev;
+    ev.kind = FaultKind::kKillWorker;
+    ev.worker = 0;
+    ev.after_batches = 2;  // epoch 0: whole-run counting
+    cfg.faults.events.push_back(ev);
     ClusterEngine engine(cfg);
     engine.process(tuples);
     auto results = normalize(engine.take_results());
     return std::make_pair(std::move(results), engine.report());
   };
-  const auto [events_results, events_rep] = run(true);
-  const auto [legacy_results, legacy_rep] = run(false);
-  EXPECT_EQ(events_results, legacy_results);
-  EXPECT_EQ(events_rep.failovers, legacy_rep.failovers);
-  EXPECT_EQ(events_rep.lost_tuples, legacy_rep.lost_tuples);
-  EXPECT_EQ(events_rep.routed_tuples, legacy_rep.routed_tuples);
-  EXPECT_TRUE(events_rep.workers[0].dropped);
-  EXPECT_GE(events_rep.failovers, 1u);
-  EXPECT_EQ(events_rep.lost_tuples, 0u);
+  const auto [first_results, first_rep] = run();
+  const auto [second_results, second_rep] = run();
+  EXPECT_EQ(first_results, second_results);
+  EXPECT_EQ(first_rep.failovers, second_rep.failovers);
+  EXPECT_EQ(first_rep.lost_tuples, second_rep.lost_tuples);
+  EXPECT_EQ(first_rep.routed_tuples, second_rep.routed_tuples);
+  EXPECT_TRUE(first_rep.workers[0].dropped);
+  EXPECT_GE(first_rep.failovers, 1u);
+  EXPECT_EQ(first_rep.lost_tuples, 0u);
 }
 
 TEST(GeneralizedFaultPlan, UnsupervisedKillLosesExactlyTheRoutedTuples) {

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Compare a BENCH_*.json artifact against its committed baseline.
+
+Usage:  tools/bench_diff.py <current.json> <baseline.json>
+
+The bench is identified by the "bench" field every artifact records in
+its header (bench_util.h json_header). For each headline metric the
+spec below names, the current value is checked against the baseline:
+
+  * direction "lower"/"higher" — which way is better. Improvements
+    never fail; only regressions past the tolerance do.
+  * mode "rel" — tolerance is a relative fraction of the baseline
+    (default 0.15: a >15% regression fails, per the CI gate policy).
+  * mode "abs" — tolerance is an absolute delta; used for fractions
+    near zero (a relative check against ~0 is meaningless) and for
+    deterministic byte/tuple counts (tolerance 0: any drift means the
+    migration protocol changed shape and the baseline must be
+    regenerated deliberately).
+
+Exit code 0 when everything holds, 1 with a per-metric report when any
+headline number regressed, 2 on malformed input.
+"""
+
+import json
+import sys
+
+# (dotted path, direction, mode, tolerance)
+SPECS = {
+    "elastic_migration": [
+        # Deterministic given the pinned seed: routing counts and the
+        # migration protocol's shipped state. Tight/exact on purpose.
+        ("skew.zipf_balanced_imbalance", "lower", "rel", 0.15),
+        ("skew.zipf_static_imbalance", "lower", "rel", 0.15),
+        ("pause.moved_tuples", "lower", "abs", 0.0),
+        ("pause.image_bytes", "lower", "abs", 0.0),
+        # Wall-clock: generous, still catches order-of-magnitude slips.
+        ("pause.grow_p99_ms", "lower", "rel", 1.0),
+        ("pause.shrink_p99_ms", "lower", "rel", 1.0),
+        # Fraction near zero: absolute band. Wide enough that any dip
+        # passing the bench's own <0.10 claim also passes here even
+        # from a slightly negative baseline.
+        ("steady_state.dip_fraction", "lower", "abs", 0.15),
+    ],
+    "sw_batch_sweep": [
+        ("splitjoin_best_speedup", "higher", "rel", 0.15),
+    ],
+    "recovery_cost": [
+        # Fractions (the bench claims log_overhead < 0.02).
+        ("fast_path.log_overhead", "lower", "abs", 0.02),
+        ("fast_path.ckpt_overhead", "lower", "abs", 0.05),
+        # Exactness: recovery must never lose tuples.
+        ("mttr.lost_tuples", "lower", "abs", 0.0),
+        ("mttr.mean_us", "lower", "rel", 1.0),
+    ],
+}
+
+
+def lookup(doc, dotted):
+    node = doc
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip().splitlines()[2])
+        return 2
+    try:
+        with open(argv[1]) as f:
+            current = json.load(f)
+        with open(argv[2]) as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"bench_diff: cannot load inputs: {err}")
+        return 2
+
+    bench = current.get("bench")
+    if bench != baseline.get("bench"):
+        print(f"bench_diff: bench mismatch: {bench!r} vs "
+              f"{baseline.get('bench')!r}")
+        return 2
+    spec = SPECS.get(bench)
+    if spec is None:
+        print(f"bench_diff: no headline spec for bench {bench!r} "
+              f"(known: {', '.join(sorted(SPECS))})")
+        return 2
+
+    failures = 0
+    print(f"bench_diff: {bench} ({argv[1]} vs baseline {argv[2]})")
+    for path, direction, mode, tol in spec:
+        cur = lookup(current, path)
+        base = lookup(baseline, path)
+        if cur is None or base is None:
+            print(f"  FAIL {path}: missing "
+                  f"({'current' if cur is None else 'baseline'})")
+            failures += 1
+            continue
+        # Signed regression: positive = worse than baseline.
+        regression = (cur - base) if direction == "lower" else (base - cur)
+        if mode == "rel":
+            allowed = abs(base) * tol
+            shown = (f"{regression / abs(base) * 100.0:+.1f}%"
+                     if base else f"{regression:+g}")
+        else:
+            allowed = tol
+            shown = f"{regression:+g}"
+        ok = regression <= allowed
+        print(f"  {'ok  ' if ok else 'FAIL'} {path}: {cur:g} "
+              f"(baseline {base:g}, {direction} is better, "
+              f"regression {shown}, tol {mode} {tol:g})")
+        failures += 0 if ok else 1
+
+    if failures:
+        print(f"bench_diff: {failures} headline metric(s) regressed past "
+              "tolerance")
+        return 1
+    print("bench_diff: all headline metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
