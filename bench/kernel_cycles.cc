@@ -1,0 +1,220 @@
+// Cycles/probe for the hal::simd kernels, measured with the raw cycle
+// counter (RDTSC on x86-64, CNTVCT_EL0 on aarch64 — cycle_counter_name()
+// lands in the JSON so tables from different hosts are never silently
+// mixed).
+//
+// Methodology (CV-gated, the discipline the qMEMO-style micro-harnesses
+// use): each kernel series is measured as R repetitions of K probes over
+// a pre-generated probe-key schedule; a repetition's score is
+// total-cycles/K. An attempt is accepted only when the coefficient of
+// variation (stddev/mean) across its repetitions is below the gate —
+// otherwise the attempt is retried (up to a cap) so a background-noise
+// spike cannot publish a garbage headline. The reported value is the
+// accepted attempt's median repetition.
+//
+// Series, all over a W = 4096 resident window with a 2^24 key domain
+// (low selectivity, matching the sw_batch_sweep workload):
+//   scan/scalar  — probe_count over the dense lane, forced kScalar
+//   scan/simd    — probe_count over the dense lane, detected best ISA
+//   indexed      — IndexedSoaWindow::count_equal through the bucket index
+//   hash         — hash_fib_hi16, cycles per key (router ingress)
+//
+// Emits BENCH_kernel.json; tools/bench_diff.py gates the headline
+// cycles/probe numbers at 15% against the committed baseline.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "simd/probe.h"
+#include "stream/tuple.h"
+#include "sw/indexed_window.h"
+
+namespace {
+
+constexpr std::size_t kWindow = 4096;
+constexpr std::uint32_t kKeyDomain = 1u << 24;
+constexpr std::size_t kProbes = 4096;  // K probes per repetition
+constexpr int kReps = 9;               // R repetitions per attempt
+constexpr int kMaxAttempts = 5;
+constexpr double kCvGate = 0.20;
+
+struct Series {
+  std::string name;
+  double cycles = 0.0;  // median cycles/probe of the accepted attempt
+  double cv = 0.0;      // coefficient of variation of that attempt
+  bool cv_ok = false;   // an attempt passed the gate
+};
+
+// One attempt: R repetitions of `run` (which must consume the schedule
+// and return a checksum to defeat dead-code elimination).
+template <typename RunFn>
+Series measure(const std::string& name, std::size_t probes_per_rep,
+               RunFn&& run) {
+  Series s;
+  s.name = name;
+  volatile std::uint64_t sink = 0;
+  // Warmup: fault pages, train the branch predictor, spin the clock up.
+  sink = sink + run();
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    std::vector<double> reps;
+    reps.reserve(kReps);
+    for (int r = 0; r < kReps; ++r) {
+      const std::uint64_t begin = hal::simd::cycles_now();
+      sink = sink + run();
+      const std::uint64_t end = hal::simd::cycles_now();
+      reps.push_back(static_cast<double>(end - begin) /
+                     static_cast<double>(probes_per_rep));
+    }
+    double mean = 0.0;
+    for (const double v : reps) mean += v;
+    mean /= static_cast<double>(reps.size());
+    double var = 0.0;
+    for (const double v : reps) var += (v - mean) * (v - mean);
+    var /= static_cast<double>(reps.size());
+    const double cv = mean > 0.0 ? std::sqrt(var) / mean : 1.0;
+    std::sort(reps.begin(), reps.end());
+    s.cycles = reps[reps.size() / 2];
+    s.cv = cv;
+    if (cv <= kCvGate) {
+      s.cv_ok = true;
+      break;
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hal::bench::init(argc, argv);
+  using namespace hal;
+
+  bench::banner("kernel_cycles",
+                "cycles/probe of the simd probe kernels (CV-gated)");
+
+  // Resident window + probe schedule, shared by every series.
+  Rng rng(bench::seed_or(20170605));
+  std::vector<std::uint32_t> lane(kWindow);
+  sw::IndexedSoaWindow window(kWindow, sw::ProbePath::kIndexed);
+  for (std::size_t i = 0; i < kWindow; ++i) {
+    stream::Tuple t;
+    t.key = static_cast<std::uint32_t>(rng.next_u64() % kKeyDomain);
+    t.seq = i;
+    lane[i] = t.key;
+    window.insert(t);
+  }
+  std::vector<std::uint32_t> probes(kProbes);
+  for (auto& key : probes) {
+    // Half resident keys, half fresh draws (usually misses).
+    key = (rng.next_u64() & 1)
+              ? lane[rng.next_u64() % kWindow]
+              : static_cast<std::uint32_t>(rng.next_u64() % kKeyDomain);
+  }
+
+  const simd::Isa best = simd::detected_isa();
+  std::vector<Series> series;
+
+  {
+    const simd::Isa got = simd::force_isa(simd::Isa::kScalar);
+    (void)got;
+    series.push_back(measure("scan_scalar", kProbes, [&] {
+      std::uint64_t acc = 0;
+      for (const std::uint32_t key : probes) {
+        acc += simd::probe_count(lane.data(), kWindow, key);
+      }
+      return acc;
+    }));
+    simd::reset_isa();
+  }
+  {
+    (void)simd::force_isa(best);
+    series.push_back(measure("scan_simd", kProbes, [&] {
+      std::uint64_t acc = 0;
+      for (const std::uint32_t key : probes) {
+        acc += simd::probe_count(lane.data(), kWindow, key);
+      }
+      return acc;
+    }));
+    series.push_back(measure("indexed", kProbes, [&] {
+      std::uint64_t acc = 0;
+      for (const std::uint32_t key : probes) {
+        acc += window.count_equal(key);
+      }
+      return acc;
+    }));
+    std::vector<std::uint32_t> hashes(kProbes);
+    series.push_back(measure("hash_fib_hi16", kProbes, [&] {
+      simd::hash_fib_hi16(probes.data(), kProbes, hashes.data());
+      return static_cast<std::uint64_t>(hashes[kProbes - 1]);
+    }));
+    simd::reset_isa();
+  }
+
+  Table table({"series", "isa", "cycles/probe", "CV", "gate"});
+  for (const Series& s : series) {
+    table.add_row({s.name,
+                   s.name == "scan_scalar" ? "scalar" : simd::to_string(best),
+                   Table::num(s.cycles, 2), Table::num(s.cv, 3),
+                   s.cv_ok ? "ok" : "NOISY"});
+  }
+  table.print();
+  std::printf("  cycle counter: %s\n", simd::cycle_counter_name());
+
+  const Series& scan_scalar = series[0];
+  const Series& scan_simd = series[1];
+  const Series& indexed = series[2];
+  const Series& hash = series[3];
+  const double simd_vs_scalar =
+      scan_simd.cycles > 0.0 ? scan_scalar.cycles / scan_simd.cycles : 0.0;
+  const double indexed_vs_scan =
+      indexed.cycles > 0.0 ? scan_simd.cycles / indexed.cycles : 0.0;
+
+  const std::string json_path = bench::out_path("BENCH_kernel.json");
+  if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+    bench::json_header(f, "kernel_cycles", bench::seed_or(20170605),
+                       json_path);
+    std::fprintf(f, "  \"cycle_counter\": \"%s\",\n",
+                 simd::cycle_counter_name());
+    std::fprintf(f, "  \"isa\": \"%s\",\n", simd::to_string(best));
+    std::fprintf(f, "  \"window\": %zu,\n", kWindow);
+    for (const Series& s : series) {
+      std::fprintf(f,
+                   "  \"%s\": {\"cycles_per_probe\": %.3f, \"cv\": %.4f, "
+                   "\"cv_ok\": %s},\n",
+                   s.name.c_str(), s.cycles, s.cv,
+                   s.cv_ok ? "true" : "false");
+    }
+    std::fprintf(f, "  \"simd_vs_scalar_speedup\": %.3f,\n", simd_vs_scalar);
+    std::fprintf(f, "  \"indexed_vs_scan_speedup\": %.3f\n", indexed_vs_scan);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: cannot write %s\n", json_path.c_str());
+  }
+
+  for (const Series& s : series) {
+    bench::claim(s.cv_ok, s.name + " series met the CV gate (CV " +
+                              Table::num(s.cv, 3) + " <= " +
+                              Table::num(kCvGate, 2) + ")");
+  }
+  // Release-native measures ~14x; the bar leaves headroom so a -O2 or
+  // noisy-host run does not flake (seed-dependent probe mixes land
+  // 9-15x). The exact number is regression-gated at 15% by
+  // tools/bench_diff.py against the committed release-native baseline.
+  bench::claim(indexed_vs_scan >= 8.0,
+               "indexed probe >= 8x the full-lane simd scan at window "
+               "4096 (measured " +
+                   Table::num(indexed_vs_scan, 1) + "x)");
+  // Sanity, not a perf bar: the hash kernel is a few cycles/key. A blown
+  // dispatch (e.g. scalar fallback on an AVX2 box) shows up as 10x this.
+  bench::claim(hash.cycles < 50.0,
+               "keyslot hash <= 50 cycles/key (measured " +
+                   Table::num(hash.cycles, 1) + ")");
+
+  return bench::finish();
+}

@@ -62,7 +62,8 @@ ClusterEngine::ClusterEngine(const ClusterConfig& cfg)
       router_(cfg.partitioning,
               cfg.partitioning == Partitioning::kKeyHash ? 1 : cfg.grid_rows,
               cfg.partitioning == Partitioning::kKeyHash ? cfg.shards
-                                                         : cfg.grid_cols) {
+                                                         : cfg.grid_cols),
+      placement_(cfg.placement, CpuTopology::discover()) {
   HAL_CHECK(cfg_.replicas >= 1, "need at least one replica per shard slot");
   HAL_CHECK(cfg_.transport.batch_size >= 1, "batch_size must be positive");
   HAL_CHECK(cfg_.worker.backend != core::Backend::kCluster,
@@ -132,6 +133,7 @@ std::unique_ptr<ClusterEngine::Worker> ClusterEngine::make_worker(
     }
   }
   w->fault_fired.assign(w->faults.size(), false);
+  w->pin_cpu = placement_.cpu_for(slot, replica, cfg_.replicas);
   if (cfg_.recovery.supervise) {
     w->inbox.enable_replay(cfg_.recovery.replay_log_batches);
   }
@@ -227,6 +229,11 @@ void ClusterEngine::wait_until(double deadline_us) const {
 }
 
 void ClusterEngine::worker_loop(Worker& w) {
+  // Placement is best-effort: a rejected mask (CPU went offline, cgroup
+  // restriction) just leaves the thread floating.
+  if (w.pin_cpu >= 0 && pin_current_thread(w.pin_cpu)) {
+    w.pinned.store(true, std::memory_order_relaxed);
+  }
   // Respawned incarnations first re-process the since-checkpoint delta the
   // supervisor staged. Live batches already covered by it (link_seq <=
   // replay_floor) are discarded below, so every batch is processed exactly
@@ -906,6 +913,9 @@ ClusterReport ClusterEngine::report() const {
     wr.result_batches_out = w->outbox.stats().batches;
     wr.busy_seconds = w->busy_seconds;
     wr.dropped = w->dropped.load(std::memory_order_acquire);
+    wr.pinned = w->pinned.load(std::memory_order_relaxed);
+    wr.pin_cpu = w->pin_cpu;
+    if (wr.pinned) ++rep.pinned_workers;
     wr.unrecoverable = w->unrecoverable.load(std::memory_order_acquire);
     wr.restarts = w->restarts;
     wr.checkpoints = w->checkpoints;
@@ -986,6 +996,10 @@ void ClusterEngine::collect_metrics(obs::MetricRegistry& registry,
       for (const double v : w->mttr_us_samples) h.record(v);
     }
   }
+  // Host-topology dependent (how many affinity masks stuck), never part
+  // of the deterministic projection.
+  registry.set_counter(prefix + "placement.pinned_workers",
+                       rep.pinned_workers, obs::Stability::kRuntime);
   registry.set_counter(prefix + "router.stall_spins", rep.router_stall_spins,
                        obs::Stability::kRuntime);
   registry.set_counter(prefix + "worker.stall_spins", rep.worker_stall_spins,

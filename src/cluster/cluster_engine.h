@@ -41,6 +41,7 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/placement.h"
 #include "cluster/router.h"
 #include "cluster/transport.h"
 #include "common/timer.h"
@@ -145,6 +146,9 @@ struct ClusterConfig {
   FaultPlan faults;
   RecoveryConfig recovery;
   ElasticParams elastic;
+  // Core pinning / NUMA-aware shard layout for the worker threads
+  // (cluster/placement.h). Off by default.
+  PlacementConfig placement;
 };
 
 // Per-worker engine window implied by the partitioning scheme (the
@@ -164,6 +168,8 @@ struct WorkerReport {
   std::uint64_t data_batches_in = 0;
   std::uint64_t result_batches_out = 0;
   double busy_seconds = 0.0;  // time inside the inner engine
+  bool pinned = false;        // thread affinity applied successfully
+  int pin_cpu = -1;           // assigned CPU (-1 = unpinned)
   bool dropped = false;
   bool unrecoverable = false;  // supervised restart lost replay coverage
   std::uint64_t restarts = 0;
@@ -187,6 +193,9 @@ struct ClusterReport {
   bool degraded = false;
   std::uint64_t router_stall_spins = 0;   // Σ ingress stalls
   std::uint64_t worker_stall_spins = 0;   // Σ egress stalls
+  // Workers whose thread affinity was applied (0 unless
+  // config().placement.pin_workers and the host honors the mask).
+  std::uint64_t pinned_workers = 0;
   std::size_t ingress_queue_high_water = 0;
   std::size_t egress_queue_high_water = 0;
   double elapsed_seconds = 0.0;  // Σ process() wall time
@@ -325,6 +334,12 @@ class ClusterEngine final : public core::StreamJoinEngine {
     std::vector<stream::ResultTuple> staged;  // results awaiting egress
     std::atomic<bool> dropped{false};
 
+    // Placement: CPU assigned by the policy (-1 = none); `pinned` set by
+    // the worker thread once the affinity mask sticks (relaxed is enough —
+    // reporting only).
+    int pin_cpu = -1;
+    std::atomic<bool> pinned{false};
+
     // --- Elastic retirement (main thread orchestrates) ------------------
     core::Backend backend_tag = core::Backend::kSwSplitJoin;  // outlives engine
     std::atomic<bool> exit_req{false};  // ask the thread to return at idle
@@ -417,6 +432,7 @@ class ClusterEngine final : public core::StreamJoinEngine {
 
   ClusterConfig cfg_;
   Router router_;
+  PlacementPolicy placement_;
   WindowTracker tracker_;  // used iff window_mode == kExactGlobal
   Timer timer_;            // cluster clock: µs since construction
 

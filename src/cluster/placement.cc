@@ -1,0 +1,152 @@
+#include "cluster/placement.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace hal::cluster {
+namespace {
+
+// Parses a sysfs cpulist ("0-3,8,10-11\n") into CPU ids. Returns an empty
+// vector on malformed input (caller falls back to the flat topology).
+std::vector<int> parse_cpulist(const std::string& text) {
+  std::vector<int> cpus;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    char* end = nullptr;
+    const long lo = std::strtol(text.c_str() + pos, &end, 10);
+    if (end == text.c_str() + pos) break;
+    pos = static_cast<std::size_t>(end - text.c_str());
+    long hi = lo;
+    if (pos < text.size() && text[pos] == '-') {
+      ++pos;
+      char* end2 = nullptr;
+      hi = std::strtol(text.c_str() + pos, &end2, 10);
+      if (end2 == text.c_str() + pos) return {};
+      pos = static_cast<std::size_t>(end2 - text.c_str());
+    }
+    if (lo < 0 || hi < lo) return {};
+    for (long c = lo; c <= hi; ++c) cpus.push_back(static_cast<int>(c));
+    if (pos < text.size() && (text[pos] == ',' || text[pos] == '\n')) ++pos;
+  }
+  return cpus;
+}
+
+std::string read_small_file(const char* path) {
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) return {};
+  char buf[4096];
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+  return std::string(buf, n);
+}
+
+}  // namespace
+
+CpuTopology CpuTopology::flat(int count) {
+  CpuTopology topo;
+  topo.node_cpus.emplace_back();
+  for (int c = 0; c < std::max(count, 1); ++c) {
+    topo.node_cpus[0].push_back(c);
+  }
+  return topo;
+}
+
+CpuTopology CpuTopology::discover() {
+  CpuTopology topo;
+#if defined(__linux__)
+  for (int node = 0; node < 1024; ++node) {
+    char path[128];
+    std::snprintf(path, sizeof(path),
+                  "/sys/devices/system/node/node%d/cpulist", node);
+    const std::string text = read_small_file(path);
+    if (text.empty()) break;  // nodes are numbered contiguously
+    std::vector<int> cpus = parse_cpulist(text);
+    if (!cpus.empty()) topo.node_cpus.push_back(std::move(cpus));
+  }
+#endif
+  if (topo.node_cpus.empty()) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return flat(hw == 0 ? 1 : static_cast<int>(hw));
+  }
+  return topo;
+}
+
+PlacementPolicy::PlacementPolicy(const PlacementConfig& cfg,
+                                 CpuTopology topology)
+    : enabled_(cfg.pin_workers), topology_(std::move(topology)) {
+  if (!cfg.cpus.empty()) {
+    // Restrict the topology to the allowed CPUs, dropping emptied nodes;
+    // an allowed CPU the topology does not know lands on a synthetic
+    // trailing node so it still participates.
+    CpuTopology filtered;
+    std::vector<int> unknown = cfg.cpus;
+    for (const auto& node : topology_.node_cpus) {
+      std::vector<int> keep;
+      for (const int cpu : node) {
+        const auto it = std::find(unknown.begin(), unknown.end(), cpu);
+        if (it != unknown.end()) {
+          keep.push_back(cpu);
+          unknown.erase(it);
+        }
+      }
+      if (!keep.empty()) filtered.node_cpus.push_back(std::move(keep));
+    }
+    if (!unknown.empty()) filtered.node_cpus.push_back(std::move(unknown));
+    if (filtered.node_cpus.empty()) {
+      enabled_ = false;
+      filtered.node_cpus.emplace_back();  // keep the invariant: ≥ 1 node
+    }
+    topology_ = std::move(filtered);
+  }
+  if (!cfg.numa_aware && topology_.num_nodes() > 1) {
+    // Collapse to one node: plain round-robin over the CPU list.
+    std::vector<int> all;
+    for (const auto& node : topology_.node_cpus) {
+      all.insert(all.end(), node.begin(), node.end());
+    }
+    topology_.node_cpus.assign(1, std::move(all));
+  }
+  if (topology_.num_cpus() == 0) enabled_ = false;
+}
+
+int PlacementPolicy::node_for_slot(std::uint32_t slot) const noexcept {
+  if (!enabled_) return -1;
+  return static_cast<int>(slot % topology_.num_nodes());
+}
+
+int PlacementPolicy::cpu_for(std::uint32_t slot, std::uint32_t replica,
+                             std::uint32_t replicas) const noexcept {
+  if (!enabled_) return -1;
+  const int node = node_for_slot(slot);
+  const auto& cpus = topology_.node_cpus[static_cast<std::size_t>(node)];
+  if (cpus.empty()) return -1;
+  // Workers of the slots sharing this node spread over its CPUs; a slot's
+  // replicas take adjacent CPUs so they share the node but not the core.
+  const std::uint64_t slot_on_node = slot / topology_.num_nodes();
+  const std::uint64_t lane =
+      slot_on_node * std::max<std::uint32_t>(replicas, 1) + replica;
+  return cpus[lane % cpus.size()];
+}
+
+bool pin_current_thread(int cpu) noexcept {
+  if (cpu < 0) return false;
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace hal::cluster

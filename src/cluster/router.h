@@ -44,6 +44,7 @@
 
 #include "cluster/keyspace.h"
 #include "common/assert.h"
+#include "simd/probe.h"
 #include "stream/tuple.h"
 
 namespace hal::cluster {
@@ -98,6 +99,28 @@ class Router {
   template <typename EmitFn>
   void route_span(std::span<const stream::Tuple> tuples, EmitFn&& emit) {
     if (partitioning_ == Partitioning::kKeyHash) {
+      if (!track_load_ && map_.splits().empty()) {
+        // Hot-loop fast path: no per-key accounting, no split groups —
+        // every tuple goes to owners[keyslot(key)]. Hash a chunk of keys
+        // at a time through the simd kernel (identical output to
+        // KeyspaceMap::hash_key lane by lane, pinned by the kernel
+        // tests), then emit through the owner table.
+        const std::uint32_t* owners = map_.owners().data();
+        std::size_t pos = 0;
+        while (pos < tuples.size()) {
+          const std::size_t n = std::min(kHashChunk, tuples.size() - pos);
+          for (std::size_t j = 0; j < n; ++j) {
+            hash_keys_[j] = tuples[pos + j].key;
+          }
+          simd::hash_fib_hi16(hash_keys_.data(), n, hash_out_.data());
+          for (std::size_t j = 0; j < n; ++j) {
+            emit(tuples[pos + j],
+                 owners[hash_out_[j] % KeyspaceMap::kKeyslots]);
+          }
+          pos += n;
+        }
+        return;
+      }
       for (const stream::Tuple& t : tuples) route_hashed(t, emit);
       return;
     }
@@ -180,6 +203,12 @@ class Router {
 
   bool track_load_ = false;
   std::unordered_map<std::uint32_t, std::uint64_t> key_load_;
+
+  // Gather/landing buffers of the batched keyslot-hash fast path (the
+  // router is single-threaded, like the turn counters above).
+  static constexpr std::size_t kHashChunk = 256;
+  std::vector<std::uint32_t> hash_keys_ = std::vector<std::uint32_t>(kHashChunk);
+  std::vector<std::uint32_t> hash_out_ = std::vector<std::uint32_t>(kHashChunk);
 };
 
 // Arrival-order accounting for the merger's exact-global window filter.

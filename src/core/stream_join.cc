@@ -150,6 +150,7 @@ class SwSplitJoinAdapter final : public StreamJoinEngine {
     sw_cfg.num_cores = cfg.num_cores;
     sw_cfg.window_size = cfg.window_size;
     sw_cfg.collect_results = cfg.collect_results;
+    sw_cfg.probe = cfg.probe;
     engine_ = std::make_unique<sw::SplitJoinEngine>(sw_cfg, spec_);
   }
 
@@ -221,6 +222,7 @@ class SwHandshakeAdapter final : public StreamJoinEngine {
     sw::HandshakeJoinConfig sw_cfg;
     sw_cfg.num_cores = cfg.num_cores;
     sw_cfg.window_size = cfg.window_size;
+    sw_cfg.probe = cfg.probe;
     engine_ = std::make_unique<sw::HandshakeJoinEngine>(sw_cfg, cfg.spec);
   }
 
@@ -293,6 +295,7 @@ class SwBatchAdapter final : public StreamJoinEngine {
     sw_cfg.num_workers = cfg.num_cores;
     sw_cfg.window_size = cfg.window_size;
     sw_cfg.batch_size = std::min(cfg.batch_size, cfg.window_size);
+    sw_cfg.probe = cfg.probe;
     // The kernel engine is batched by construction; dispatch_batch just
     // overrides the per-call granularity (capped by the window).
     dispatch_batch_ = std::min(cfg.dispatch_batch, cfg.window_size);

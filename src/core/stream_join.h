@@ -28,6 +28,7 @@
 #include "obs/metrics.h"
 #include "stream/join_spec.h"
 #include "stream/tuple.h"
+#include "sw/probe_path.h"
 
 namespace hal::core {
 
@@ -70,6 +71,12 @@ struct EngineConfig {
   // metrics are identical either way; only the dispatch cost changes.
   // Cluster workers and the shard transport inherit this granularity.
   std::size_t dispatch_batch = 0;
+
+  // Software + cluster backends: equi-probe strategy of the batched path
+  // (sw/probe_path.h). kIndexed probes hash buckets (O(matches+bucket)),
+  // kScan runs the explicit-SIMD full-lane scan — kept as the measured
+  // contrast and differential oracle. Cluster workers inherit this.
+  sw::ProbePath probe = sw::ProbePath::kIndexed;
 
   // Backend::kCluster only: shard count and the backend each shard wraps.
   // Equi-on-key specs shard by key hash; any other predicate runs on a

@@ -24,14 +24,7 @@ BatchJoinEngine::BatchJoinEngine(BatchJoinConfig cfg, stream::JoinSpec spec)
   pure_key_equi_ = spec_.is_pure_key_equi();
   sub_window_ = cfg_.window_size / cfg_.num_workers;
   for (std::uint32_t i = 0; i < cfg_.num_workers; ++i) {
-    auto slice = std::make_unique<WorkerSlice>();
-    slice->win_r.resize(sub_window_);
-    slice->win_s.resize(sub_window_);
-    slice->keys_r.resize(sub_window_, 0);
-    slice->keys_s.resize(sub_window_, 0);
-    slice->arrivals_r.resize(sub_window_, 0);
-    slice->arrivals_s.resize(sub_window_, 0);
-    slices_.push_back(std::move(slice));
+    slices_.push_back(std::make_unique<WorkerSlice>(sub_window_));
   }
   for (std::uint32_t i = 0; i < cfg_.num_workers; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
@@ -49,11 +42,17 @@ void BatchJoinEngine::insert_into_slice(WorkerSlice& slice, const Tuple& t,
   auto& win = is_r ? slice.win_r : slice.win_s;
   auto& keys = is_r ? slice.keys_r : slice.keys_s;
   auto& arrivals = is_r ? slice.arrivals_r : slice.arrivals_s;
+  KeyBucketIndex& idx = is_r ? slice.idx_r : slice.idx_s;
   std::size_t& head = is_r ? slice.head_r : slice.head_s;
   std::size_t& size = is_r ? slice.size_r : slice.size_s;
+  if (size == sub_window_) {
+    // Overwriting a resident entry: unhook its old key from the index.
+    idx.remove(keys[head], static_cast<std::uint32_t>(head));
+  }
   win[head] = Entry{t, arrival};
   keys[head] = t.key;
   arrivals[head] = arrival;
+  idx.add(t.key, static_cast<std::uint32_t>(head));
   head = (head + 1) % sub_window_;
   if (size < sub_window_) ++size;
 }
@@ -89,28 +88,45 @@ void BatchJoinEngine::worker_loop(std::uint32_t index) {
       const std::uint64_t cutoff = opposite_total > cfg_.window_size
                                        ? opposite_total - cfg_.window_size
                                        : 0;
+      if (pure_key_equi_ && cfg_.probe == ProbePath::kIndexed) {
+        // Bucket probe: gather the slots whose key matches, then filter
+        // the few candidates by the logical-expiry cutoff in scalar code.
+        const KeyBucketIndex& idx = is_r ? slice.idx_s : slice.idx_r;
+        const std::uint64_t* arrivals =
+            (is_r ? slice.arrivals_s : slice.arrivals_r).data();
+        const std::size_t b = idx.bucket_of(t.key);
+        const std::size_t hits =
+            simd::probe_collect(idx.bucket_keys(b), idx.bucket_size(b),
+                                t.key, slice.scratch.data());
+        const std::uint32_t* bucket_slots = idx.bucket_slots(b);
+        for (std::size_t j = 0; j < hits; ++j) {
+          const std::uint32_t k = bucket_slots[slice.scratch[j]];
+          if (arrivals[k] < cutoff) continue;  // logically expired
+          const Entry& candidate = win[k];
+          const Tuple& r = is_r ? t : candidate.tuple;
+          const Tuple& s = is_r ? candidate.tuple : t;
+          slice.out.push_back(ResultTuple{r, s});
+        }
+        continue;
+      }
       if (pure_key_equi_) {
-        // Two-pass equi kernel over the dense key/arrival lanes: a
-        // branchless vectorizable count (key match AND still resident),
-        // then a scalar materialization pass only when something hit.
+        // kScan: two-pass equi kernel over the dense key/arrival lanes —
+        // an explicit-SIMD count (key match AND still resident), then a
+        // materialization pass only when something hit.
         const std::uint32_t* keys =
             (is_r ? slice.keys_s : slice.keys_r).data();
         const std::uint64_t* arrivals =
             (is_r ? slice.arrivals_s : slice.arrivals_r).data();
-        const std::uint32_t key = t.key;
-        std::size_t hits = 0;
-        for (std::size_t k = 0; k < size; ++k) {
-          hits += static_cast<std::size_t>((keys[k] == key) &
-                                           (arrivals[k] >= cutoff));
-        }
+        const std::size_t hits =
+            simd::probe_count_since(keys, arrivals, size, t.key, cutoff);
         if (hits == 0) continue;
-        for (std::size_t k = 0; k < size; ++k) {
-          if (keys[k] == key && arrivals[k] >= cutoff) {
-            const Entry& candidate = win[k];
-            const Tuple& r = is_r ? t : candidate.tuple;
-            const Tuple& s = is_r ? candidate.tuple : t;
-            slice.out.push_back(ResultTuple{r, s});
-          }
+        const std::size_t found = simd::probe_collect_since(
+            keys, arrivals, size, t.key, cutoff, slice.scratch.data());
+        for (std::size_t j = 0; j < found; ++j) {
+          const Entry& candidate = win[slice.scratch[j]];
+          const Tuple& r = is_r ? t : candidate.tuple;
+          const Tuple& s = is_r ? candidate.tuple : t;
+          slice.out.push_back(ResultTuple{r, s});
         }
         continue;
       }
@@ -232,6 +248,8 @@ bool BatchJoinEngine::restore_state(const core::WindowImage& image) {
     WorkerSlice& slice = *slices_[i];
     slice.head_r = slice.head_s = 0;
     slice.size_r = slice.size_s = 0;
+    slice.idx_r.clear();
+    slice.idx_s.clear();
     const auto& src = image.cores[i];
     // Re-inserting in age order rebuilds the circular layout and the
     // key/arrival lanes consistently.

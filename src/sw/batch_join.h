@@ -29,6 +29,8 @@
 #include "obs/metrics.h"
 #include "stream/join_spec.h"
 #include "stream/tuple.h"
+#include "sw/key_bucket_index.h"
+#include "sw/probe_path.h"
 #include "sw/splitjoin.h"  // SwRunReport
 
 namespace hal::sw {
@@ -37,6 +39,11 @@ struct BatchJoinConfig {
   std::uint32_t num_workers = 4;  // "streaming multiprocessors"
   std::size_t window_size = 1 << 12;  // per stream
   std::size_t batch_size = 1 << 10;
+  // Equi-probe strategy of the batch kernel (see sw/probe_path.h).
+  // kIndexed probes the key bucket and filters the few candidates by the
+  // logical-expiry cutoff; kScan runs the masked simd kernels over the
+  // full dense lanes.
+  ProbePath probe = ProbePath::kIndexed;
 };
 
 class BatchJoinEngine {
@@ -110,13 +117,26 @@ class BatchJoinEngine {
     // and arrival lanes mirror the Entry array in storage order so the
     // equi-join kernel can run a branchless count pass over dense arrays
     // (key match AND not logically expired) before the rare scalar
-    // materialization pass.
+    // materialization pass; the bucket indices serve the kIndexed path.
+    explicit WorkerSlice(std::size_t sub_window)
+        : win_r(sub_window),
+          win_s(sub_window),
+          keys_r(sub_window, 0),
+          keys_s(sub_window, 0),
+          arrivals_r(sub_window, 0),
+          arrivals_s(sub_window, 0),
+          idx_r(sub_window),
+          idx_s(sub_window),
+          scratch(sub_window, 0) {}
     std::vector<Entry> win_r;
     std::vector<Entry> win_s;
     std::vector<std::uint32_t> keys_r;
     std::vector<std::uint32_t> keys_s;
     std::vector<std::uint64_t> arrivals_r;
     std::vector<std::uint64_t> arrivals_s;
+    KeyBucketIndex idx_r;
+    KeyBucketIndex idx_s;
+    std::vector<std::uint32_t> scratch;  // probe_collect landing pad
     std::size_t head_r = 0;  // circular
     std::size_t head_s = 0;
     std::size_t size_r = 0;

@@ -23,8 +23,8 @@ HandshakeJoinEngine::HandshakeJoinEngine(HandshakeJoinConfig cfg,
   pure_key_equi_ = spec_.is_pure_key_equi();
   const std::size_t sub_window = cfg_.window_size / cfg_.num_cores;
   for (std::uint32_t i = 0; i < cfg_.num_cores; ++i) {
-    cores_.push_back(
-        std::make_unique<Core>(sub_window, cfg_.input_queue_capacity));
+    cores_.push_back(std::make_unique<Core>(
+        sub_window, cfg_.input_queue_capacity, cfg_.probe));
   }
   for (std::uint32_t i = 0; i + 1 < cfg_.num_cores; ++i) {
     boundaries_.push_back(std::make_unique<Boundary>());
@@ -48,7 +48,7 @@ void HandshakeJoinEngine::enter(std::uint32_t i, const Tuple& t,
   // the opposite eviction queue on the entry boundary. The sub-window leg
   // takes the vectorized contiguous-key kernel on pure equi-joins; the
   // per-match counter add is relaxed (see pending_'s ordering note).
-  const SoaWindow& opposite = is_r ? core.win_s : core.win_r;
+  const IndexedSoaWindow& opposite = is_r ? core.win_s : core.win_r;
   std::uint64_t hits = 0;
   auto emit = [&](const Tuple& candidate) {
     const Tuple& r = is_r ? t : candidate;
@@ -84,7 +84,7 @@ void HandshakeJoinEngine::enter(std::uint32_t i, const Tuple& t,
 
   // Store + evict. R evicts rightward onto boundary[i], S leftward onto
   // boundary[i-1]; past the chain ends the tuple expires.
-  SoaWindow& own = is_r ? core.win_r : core.win_s;
+  IndexedSoaWindow& own = is_r ? core.win_r : core.win_s;
   if (own.size() == own.capacity()) {
     const Tuple evicted = own.oldest();
     if (is_r && i + 1 < cfg_.num_cores) {

@@ -42,7 +42,8 @@
 #include "stream/join_spec.h"
 #include "stream/tuple.h"
 #include "stream/tuple_batch.h"
-#include "sw/soa_window.h"
+#include "sw/indexed_window.h"
+#include "sw/probe_path.h"
 #include "sw/splitjoin.h"  // SwRunReport
 
 namespace hal::sw {
@@ -57,6 +58,9 @@ struct HandshakeJoinConfig {
   // the SplitJoin paper's terminology — a larger queue trades window-
   // semantics fidelity for feeder decoupling.
   std::size_t input_queue_capacity = 4;
+  // Equi-probe strategy of the sub-window entry scan (see
+  // sw/probe_path.h); boundary-queue scans stay scalar either way.
+  ProbePath probe = ProbePath::kIndexed;
 };
 
 class HandshakeJoinEngine {
@@ -110,13 +114,13 @@ class HandshakeJoinEngine {
   };
 
   struct Core {
-    Core(std::size_t sub_window, std::size_t queue_capacity)
-        : win_r(sub_window),
-          win_s(sub_window),
+    Core(std::size_t sub_window, std::size_t queue_capacity, ProbePath probe)
+        : win_r(sub_window, probe),
+          win_s(sub_window, probe),
           input(queue_capacity),
           batch_input(queue_capacity) {}
-    SoaWindow win_r;
-    SoaWindow win_s;
+    IndexedSoaWindow win_r;
+    IndexedSoaWindow win_s;
     SpscQueue<stream::Tuple> input;  // driver feed (used at chain ends)
     SpscQueue<BatchPtr> batch_input;  // batched driver feed (chain ends)
     std::vector<stream::ResultTuple> local_results;

@@ -1,0 +1,21 @@
+// Probe-path selector for the software engines' equi-join windows.
+#pragma once
+
+namespace hal::sw {
+
+// Which probe strategy the batched equi path of a window uses.
+//   kIndexed — hash-partitioned bucket probe (PanJoin-style): only the
+//     residents whose key hashes to the probe key's bucket are touched,
+//     O(bucket + matches) instead of O(W). The default.
+//   kScan    — full scan of the dense key lane through the hal::simd
+//     kernels (the PR-4 shape, now explicitly vectorized). Kept as the
+//     measured contrast and as the differential oracle for kIndexed.
+// Both paths produce the same match multiset and the same deterministic
+// obs tallies; the tuple-at-a-time path is unaffected either way.
+enum class ProbePath { kIndexed, kScan };
+
+[[nodiscard]] constexpr const char* to_string(ProbePath p) noexcept {
+  return p == ProbePath::kIndexed ? "indexed" : "scan";
+}
+
+}  // namespace hal::sw

@@ -26,7 +26,8 @@ SplitJoinEngine::SplitJoinEngine(SplitJoinConfig cfg, stream::JoinSpec spec)
   const std::size_t sub_window = cfg_.window_size / cfg_.num_cores;
   cores_.reserve(cfg_.num_cores);
   for (std::uint32_t i = 0; i < cfg_.num_cores; ++i) {
-    cores_.push_back(std::make_unique<Core>(sub_window, cfg_.queue_capacity));
+    cores_.push_back(
+        std::make_unique<Core>(sub_window, cfg_.queue_capacity, cfg_.probe));
   }
   threads_.reserve(cfg_.num_cores);
   for (std::uint32_t i = 0; i < cfg_.num_cores; ++i) {
@@ -44,7 +45,7 @@ SplitJoinEngine::~SplitJoinEngine() {
 void SplitJoinEngine::process_one(Core& core, std::uint32_t index,
                                   const Tuple& t) {
   const bool is_r = t.origin == StreamId::R;
-  const SoaWindow& opposite = is_r ? core.win_s : core.win_r;
+  const IndexedSoaWindow& opposite = is_r ? core.win_s : core.win_r;
   if constexpr (obs::kEnabled) {
     // +1 for the tuple just popped: the depth the broadcaster saw.
     const std::size_t depth = core.inbox.size_approx() + 1;
@@ -66,7 +67,7 @@ void SplitJoinEngine::process_one(Core& core, std::uint32_t index,
     }
   }
   // Store: round-robin turn counting, identical to the Storage Core.
-  SoaWindow& own = is_r ? core.win_r : core.win_s;
+  IndexedSoaWindow& own = is_r ? core.win_r : core.win_s;
   std::uint64_t& count = is_r ? core.count_r : core.count_s;
   if (count % cfg_.num_cores == index) own.insert(t);
   ++count;
@@ -92,7 +93,7 @@ void SplitJoinEngine::process_batch(Core& core, std::uint32_t index,
   // deterministic obs projection byte-identical to the oracle path.
   for (std::size_t i = 0; i < n; ++i) {
     const bool is_r = batch.origin_at(i) == StreamId::R;
-    const SoaWindow& opposite = is_r ? core.win_s : core.win_r;
+    const IndexedSoaWindow& opposite = is_r ? core.win_s : core.win_r;
     if constexpr (obs::kEnabled) core.probes += opposite.size();
     std::size_t hits = 0;
     if (pure_key_equi_ && count_only) {
@@ -122,7 +123,7 @@ void SplitJoinEngine::process_batch(Core& core, std::uint32_t index,
     if constexpr (obs::kEnabled) core.matches += hits;
     batch_matches += hits;
 
-    SoaWindow& own = is_r ? core.win_r : core.win_s;
+    IndexedSoaWindow& own = is_r ? core.win_r : core.win_s;
     std::uint64_t& count = is_r ? core.count_r : core.count_s;
     if (count % cfg_.num_cores == index) own.insert(batch.tuple_at(i));
     ++count;

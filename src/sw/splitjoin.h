@@ -43,7 +43,8 @@
 #include "stream/join_spec.h"
 #include "stream/tuple.h"
 #include "stream/tuple_batch.h"
-#include "sw/soa_window.h"
+#include "sw/indexed_window.h"
+#include "sw/probe_path.h"
 
 namespace hal::sw {
 
@@ -55,6 +56,9 @@ struct SplitJoinConfig {
   // Collect full result tuples (tests) or count only (benchmarks, where
   // materializing hundreds of millions of results would swamp memory).
   bool collect_results = true;
+  // Equi-probe strategy of the batched path (see sw/probe_path.h). The
+  // tuple-at-a-time oracle is unaffected.
+  ProbePath probe = ProbePath::kIndexed;
 };
 
 struct SwRunReport {
@@ -130,15 +134,15 @@ class SplitJoinEngine {
   using BatchPtr = std::shared_ptr<const stream::TupleBatch>;
 
   struct Core {
-    explicit Core(std::size_t sub_window, std::size_t queue_capacity)
-        : win_r(sub_window),
-          win_s(sub_window),
+    Core(std::size_t sub_window, std::size_t queue_capacity, ProbePath probe)
+        : win_r(sub_window, probe),
+          win_s(sub_window, probe),
           inbox(queue_capacity),
           batch_inbox(queue_capacity),
           outbox(queue_capacity),
           batch_outbox(queue_capacity) {}
-    SoaWindow win_r;
-    SoaWindow win_s;
+    IndexedSoaWindow win_r;
+    IndexedSoaWindow win_s;
     SpscQueue<stream::Tuple> inbox;        // tuple-at-a-time path
     SpscQueue<BatchPtr> batch_inbox;       // batched path
     SpscQueue<stream::ResultTuple> outbox;

@@ -1,0 +1,211 @@
+// hal::cluster placement: the layout logic is pure bookkeeping over an
+// injected CpuTopology, so the NUMA interleaving / replica co-location /
+// CPU filtering rules are pinned here on synthetic topologies regardless
+// of the host. The end-to-end cases then run a real cluster with pinning
+// enabled and assert (a) results stay byte-identical to the unpinned run
+// — placement is an optimization, never semantics — and (b) the report
+// counts pinned workers on hosts where the affinity call works.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "cluster/cluster_engine.h"
+#include "cluster/placement.h"
+#include "stream/generator.h"
+#include "stream/reference_join.h"
+
+namespace hal::cluster {
+namespace {
+
+CpuTopology two_nodes() {
+  CpuTopology topo;
+  topo.node_cpus = {{0, 1, 2, 3}, {4, 5, 6, 7}};
+  return topo;
+}
+
+TEST(PlacementPolicy, DisabledReturnsMinusOne) {
+  PlacementConfig cfg;  // pin_workers defaults to false
+  const PlacementPolicy policy(cfg, two_nodes());
+  EXPECT_FALSE(policy.enabled());
+  EXPECT_EQ(policy.cpu_for(0, 0, 1), -1);
+  EXPECT_EQ(policy.node_for_slot(3), -1);
+}
+
+TEST(PlacementPolicy, SlotsInterleaveAcrossNodes) {
+  PlacementConfig cfg;
+  cfg.pin_workers = true;
+  const CpuTopology topo = two_nodes();
+  const PlacementPolicy policy(cfg, topo);
+  ASSERT_TRUE(policy.enabled());
+  // Even slots on node 0, odd slots on node 1.
+  EXPECT_EQ(policy.node_for_slot(0), 0);
+  EXPECT_EQ(policy.node_for_slot(1), 1);
+  EXPECT_EQ(policy.node_for_slot(2), 0);
+  EXPECT_EQ(policy.node_for_slot(3), 1);
+  // The CPU assigned to a slot's worker lives on the slot's node.
+  for (std::uint32_t slot = 0; slot < 8; ++slot) {
+    const int cpu = policy.cpu_for(slot, 0, 1);
+    const auto& node = topo.node_cpus[static_cast<std::size_t>(slot % 2)];
+    EXPECT_NE(std::find(node.begin(), node.end(), cpu), node.end())
+        << "slot " << slot << " landed on cpu " << cpu;
+  }
+}
+
+TEST(PlacementPolicy, ReplicasColocateOnTheSlotNodeOnDistinctCpus) {
+  PlacementConfig cfg;
+  cfg.pin_workers = true;
+  const CpuTopology topo = two_nodes();
+  const PlacementPolicy policy(cfg, topo);
+  for (std::uint32_t slot = 0; slot < 4; ++slot) {
+    std::set<int> cpus;
+    for (std::uint32_t rep = 0; rep < 3; ++rep) {
+      const int cpu = policy.cpu_for(slot, rep, 3);
+      const auto& node = topo.node_cpus[static_cast<std::size_t>(slot % 2)];
+      EXPECT_NE(std::find(node.begin(), node.end(), cpu), node.end())
+          << "replica crossed the NUMA boundary";
+      cpus.insert(cpu);
+    }
+    // 3 replicas over a 4-CPU node: all distinct.
+    EXPECT_EQ(cpus.size(), 3u) << "slot " << slot;
+  }
+}
+
+TEST(PlacementPolicy, DeterministicInItsArguments) {
+  PlacementConfig cfg;
+  cfg.pin_workers = true;
+  const PlacementPolicy a(cfg, two_nodes());
+  const PlacementPolicy b(cfg, two_nodes());
+  for (std::uint32_t slot = 0; slot < 6; ++slot) {
+    for (std::uint32_t rep = 0; rep < 2; ++rep) {
+      EXPECT_EQ(a.cpu_for(slot, rep, 2), b.cpu_for(slot, rep, 2));
+    }
+  }
+}
+
+TEST(PlacementPolicy, CpuFilterRestrictsAndPreservesNodes) {
+  PlacementConfig cfg;
+  cfg.pin_workers = true;
+  cfg.cpus = {1, 5};  // one CPU per node
+  const PlacementPolicy policy(cfg, two_nodes());
+  ASSERT_TRUE(policy.enabled());
+  EXPECT_EQ(policy.topology().num_cpus(), 2u);
+  EXPECT_EQ(policy.topology().num_nodes(), 2u);
+  for (std::uint32_t slot = 0; slot < 4; ++slot) {
+    const int cpu = policy.cpu_for(slot, 0, 1);
+    EXPECT_EQ(cpu, slot % 2 == 0 ? 1 : 5);
+  }
+}
+
+TEST(PlacementPolicy, UnknownCpusFormTrailingNode) {
+  PlacementConfig cfg;
+  cfg.pin_workers = true;
+  cfg.cpus = {2, 40, 41};  // 40/41 unknown to the topology
+  const PlacementPolicy policy(cfg, two_nodes());
+  ASSERT_TRUE(policy.enabled());
+  EXPECT_EQ(policy.topology().num_nodes(), 2u);  // {2} and {40, 41}
+  EXPECT_EQ(policy.topology().num_cpus(), 3u);
+}
+
+TEST(PlacementPolicy, NumaUnawareCollapsesToRoundRobin) {
+  PlacementConfig cfg;
+  cfg.pin_workers = true;
+  cfg.numa_aware = false;
+  const PlacementPolicy policy(cfg, two_nodes());
+  ASSERT_EQ(policy.topology().num_nodes(), 1u);
+  // Slots take CPUs round-robin over the flattened list.
+  EXPECT_EQ(policy.cpu_for(0, 0, 1), 0);
+  EXPECT_EQ(policy.cpu_for(1, 0, 1), 1);
+  EXPECT_EQ(policy.cpu_for(8, 0, 1), 0);  // wraps
+}
+
+TEST(PlacementPolicy, EmptyIntersectionDisablesPinning) {
+  PlacementConfig cfg;
+  cfg.pin_workers = true;
+  cfg.cpus = {};  // empty list is "all CPUs", so build one that misses
+  CpuTopology topo;
+  topo.node_cpus = {{}};
+  const PlacementPolicy policy(cfg, topo);
+  EXPECT_FALSE(policy.enabled());
+  EXPECT_EQ(policy.cpu_for(0, 0, 1), -1);
+}
+
+TEST(PlacementPolicy, DiscoverAlwaysYieldsUsableTopology) {
+  const CpuTopology topo = CpuTopology::discover();
+  EXPECT_GE(topo.num_nodes(), 1u);
+  EXPECT_GE(topo.num_cpus(), 1u);
+}
+
+TEST(Placement, PinCurrentThreadRejectsNegative) {
+  EXPECT_FALSE(pin_current_thread(-1));
+}
+
+#if defined(__linux__)
+TEST(Placement, PinCurrentThreadToCpuZeroSticks) {
+  // CPU 0 is online on every Linux box this suite runs on.
+  EXPECT_TRUE(pin_current_thread(0));
+}
+#endif
+
+// --- End-to-end: pinned cluster is an optimization, not a semantic ------
+
+ClusterConfig cluster_config() {
+  ClusterConfig cfg;
+  cfg.partitioning = Partitioning::kKeyHash;
+  cfg.shards = 2;
+  cfg.spec = stream::JoinSpec::equi_on_key();
+  cfg.worker.backend = core::Backend::kSwSplitJoin;
+  cfg.worker.num_cores = 2;
+  cfg.window_size = 128;
+  return cfg;
+}
+
+std::vector<stream::Tuple> workload(std::size_t n) {
+  stream::WorkloadConfig wl;
+  wl.seed = 7;
+  wl.key_domain = 32;
+  wl.deterministic_interleave = false;
+  return stream::WorkloadGenerator(wl).take(n);
+}
+
+TEST(Placement, PinnedClusterMatchesUnpinnedExactly) {
+  const auto tuples = workload(700);
+  const auto run = [&](bool pin) {
+    ClusterConfig cfg = cluster_config();
+    cfg.placement.pin_workers = pin;
+    // The 1-CPU CI box still exercises the full path: every worker pins
+    // to the only CPU (correct, just not parallel).
+    ClusterEngine engine(cfg);
+    engine.process(tuples);
+    auto results = stream::normalize(engine.take_results());
+    const ClusterReport rep = engine.report();
+    return std::make_pair(std::move(results), rep.pinned_workers);
+  };
+  const auto [unpinned, pinned_count_off] = run(false);
+  const auto [pinned, pinned_count_on] = run(true);
+  EXPECT_EQ(pinned, unpinned);
+  EXPECT_EQ(pinned_count_off, 0u);
+#if defined(__linux__)
+  // Every worker thread should have landed its affinity mask.
+  ClusterConfig cfg = cluster_config();
+  EXPECT_EQ(pinned_count_on, cfg.shards * cfg.replicas);
+#endif
+}
+
+TEST(Placement, WorkerReportCarriesPinAssignment) {
+  ClusterConfig cfg = cluster_config();
+  cfg.placement.pin_workers = true;
+  ClusterEngine engine(cfg);
+  engine.process(workload(100));
+  const ClusterReport rep = engine.report();
+  for (const WorkerReport& wr : rep.workers) {
+    EXPECT_GE(wr.pin_cpu, 0) << "worker " << wr.index;
+#if defined(__linux__)
+    EXPECT_TRUE(wr.pinned) << "worker " << wr.index;
+#endif
+  }
+}
+
+}  // namespace
+}  // namespace hal::cluster

@@ -14,7 +14,9 @@
 #include "core/stream_join.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "simd/probe.h"
 #include "stream/generator.h"
+#include "sw/probe_path.h"
 
 namespace hal::core {
 namespace {
@@ -47,6 +49,21 @@ std::string deterministic_json(Backend b, std::uint64_t seed = 101) {
   obs::ExportOptions det;
   det.include_runtime = false;
   return obs::to_json(snapshot_run(*engine, report), det);
+}
+
+// Same, but pinning the probe path and the simd ISA for the run.
+std::string deterministic_json_path(Backend b, sw::ProbePath probe,
+                                    simd::Isa isa) {
+  EXPECT_EQ(simd::force_isa(isa), isa);
+  EngineConfig cfg = config_for(b);
+  cfg.probe = probe;
+  auto engine = make_engine(cfg);
+  const RunReport report = engine->process(workload());
+  obs::ExportOptions det;
+  det.include_runtime = false;
+  std::string json = obs::to_json(snapshot_run(*engine, report), det);
+  simd::reset_isa();
+  return json;
 }
 
 class SnapshotBackendTest : public testing::TestWithParam<Backend> {};
@@ -96,6 +113,35 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return s;
     });
+
+// The indexed/SIMD data path must not leak into the deterministic
+// projection: indexed vs full-scan probes, and every runnable ISA, all
+// produce the same bytes as the scalar-forced scan oracle. (Probe/match
+// tallies are order-independent sums; this test is the tripwire should a
+// future counter become path- or ISA-shaped without a kRuntime tag.)
+TEST(Snapshot, ProjectionInvariantUnderProbePathAndIsa) {
+  if (!obs::kEnabled) GTEST_SKIP() << "HAL_OBS=0";
+  for (const Backend b :
+       {Backend::kSwSplitJoin, Backend::kSwBatch, Backend::kCluster}) {
+    const std::string oracle = deterministic_json_path(
+        b, sw::ProbePath::kScan, simd::Isa::kScalar);
+    EXPECT_EQ(deterministic_json_path(b, sw::ProbePath::kIndexed,
+                                      simd::Isa::kScalar),
+              oracle)
+        << to_string(b) << ": indexed/scalar diverged";
+    const simd::Isa wide = simd::detected_isa();
+    if (wide != simd::Isa::kScalar) {
+      EXPECT_EQ(deterministic_json_path(b, sw::ProbePath::kIndexed, wide),
+                oracle)
+          << to_string(b) << ": indexed/" << simd::to_string(wide)
+          << " diverged";
+      EXPECT_EQ(deterministic_json_path(b, sw::ProbePath::kScan, wide),
+                oracle)
+          << to_string(b) << ": scan/" << simd::to_string(wide)
+          << " diverged";
+    }
+  }
+}
 
 TEST(Snapshot, ProjectionComparisonHasTeeth) {
   if (!obs::kEnabled) GTEST_SKIP() << "HAL_OBS=0";

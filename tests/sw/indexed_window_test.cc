@@ -1,0 +1,202 @@
+// Property tests for IndexedSoaWindow: the hash-partitioned index must be
+// observationally identical to the O(W) scan — same counts, same match
+// multisets, same age order — under random insert/probe interleavings,
+// circular overwrite (expiry), duplicate-heavy keys, and clear().
+// SoaWindow runs alongside as the structural twin: storage layout and age
+// order must stay drop-in compatible, since property checkpoints and the
+// engines' snapshot/restore walk the window in age order.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "stream/tuple.h"
+#include "sw/indexed_window.h"
+#include "sw/key_bucket_index.h"
+#include "sw/soa_window.h"
+
+namespace hal::sw {
+namespace {
+
+using stream::StreamId;
+using stream::Tuple;
+
+Tuple make_tuple(std::uint32_t key, std::uint64_t seq) {
+  Tuple t;
+  t.key = key;
+  t.value = static_cast<std::uint32_t>(seq * 2654435761ULL);
+  t.seq = seq;
+  t.origin = (seq & 1) != 0 ? StreamId::S : StreamId::R;
+  return t;
+}
+
+// Sorted seqs of the matches a probe emits — the order-free multiset.
+template <typename Window>
+std::vector<std::uint64_t> probe_seqs(const Window& win, std::uint32_t key) {
+  std::vector<std::uint64_t> seqs;
+  win.collect_equal(key, [&](const Tuple& t) { seqs.push_back(t.seq); });
+  std::sort(seqs.begin(), seqs.end());
+  return seqs;
+}
+
+std::vector<std::uint64_t> oracle_seqs(const IndexedSoaWindow& win,
+                                       std::uint32_t key) {
+  std::vector<std::uint64_t> seqs;
+  win.collect_equal_scan_oracle(key,
+                                [&](const Tuple& t) { seqs.push_back(t.seq); });
+  std::sort(seqs.begin(), seqs.end());
+  return seqs;
+}
+
+TEST(IndexedWindow, EmptyWindowProbesFindNothing) {
+  for (const ProbePath path : {ProbePath::kIndexed, ProbePath::kScan}) {
+    const IndexedSoaWindow win(64, path);
+    EXPECT_EQ(win.size(), 0u);
+    EXPECT_EQ(win.count_equal(7), 0u);
+    EXPECT_EQ(probe_seqs(win, 7).size(), 0u);
+  }
+}
+
+TEST(IndexedWindow, AgeOrderMatchesSoaWindowThroughWraparound) {
+  constexpr std::size_t kCap = 16;
+  IndexedSoaWindow indexed(kCap, ProbePath::kIndexed);
+  SoaWindow plain(kCap);
+  for (std::uint64_t seq = 0; seq < 3 * kCap + 5; ++seq) {
+    const Tuple t = make_tuple(static_cast<std::uint32_t>(seq % 6), seq);
+    indexed.insert(t);
+    plain.insert(t);
+    ASSERT_EQ(indexed.size(), plain.size());
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+      ASSERT_EQ(indexed.at(i), plain.at(i)) << "seq=" << seq << " i=" << i;
+      ASSERT_EQ(indexed.slot(i), plain.slot(i));
+      ASSERT_EQ(indexed.keys()[i], plain.keys()[i]);
+    }
+    ASSERT_EQ(indexed.oldest(), plain.oldest());
+  }
+}
+
+// The core property: after every operation of a random schedule, probes
+// through the index agree with the scan oracle (and with SoaWindow) for
+// every key — resident, expired, and never-inserted alike.
+TEST(IndexedWindow, RandomScheduleAgreesWithScanOracle) {
+  const struct {
+    std::size_t capacity;
+    std::uint32_t key_domain;
+  } shapes[] = {
+      {1, 1},     // degenerate: every insert overwrites
+      {7, 3},     // duplicate-heavy, non-power-of-two capacity
+      {64, 8},    // typical sub-window
+      {128, 400}  // sparse: most buckets empty, probes mostly miss
+  };
+  for (const auto& shape : shapes) {
+    for (const ProbePath path : {ProbePath::kIndexed, ProbePath::kScan}) {
+      IndexedSoaWindow win(shape.capacity, path);
+      SoaWindow twin(shape.capacity);
+      std::mt19937_64 rng(shape.capacity * 1000 + shape.key_domain +
+                          static_cast<std::uint64_t>(path));
+      std::uniform_int_distribution<std::uint32_t> key_dist(
+          0, shape.key_domain - 1);
+      std::uint64_t seq = 0;
+      for (int op = 0; op < 2000; ++op) {
+        const std::uint32_t roll = static_cast<std::uint32_t>(rng() % 100);
+        if (roll < 60) {
+          const Tuple t = make_tuple(key_dist(rng), seq++);
+          win.insert(t);
+          twin.insert(t);
+        } else if (roll < 97) {
+          // Probe a key that may be resident, expired, or out of domain.
+          const std::uint32_t key =
+              roll < 90 ? key_dist(rng) : shape.key_domain + (rng() % 5);
+          ASSERT_EQ(win.count_equal(key), win.count_equal_scan_oracle(key))
+              << "op=" << op << " key=" << key;
+          ASSERT_EQ(win.count_equal(key), twin.count_equal(key));
+          ASSERT_EQ(probe_seqs(win, key), oracle_seqs(win, key))
+              << "op=" << op << " key=" << key;
+          ASSERT_EQ(probe_seqs(win, key), probe_seqs(twin, key));
+        } else {
+          win.clear();
+          twin.clear();
+          ASSERT_EQ(win.size(), 0u);
+          ASSERT_EQ(win.count_equal(key_dist(rng)), 0u);
+        }
+      }
+      // Closing sweep over the whole domain.
+      for (std::uint32_t key = 0; key < shape.key_domain + 3; ++key) {
+        ASSERT_EQ(win.count_equal(key), win.count_equal_scan_oracle(key));
+        ASSERT_EQ(probe_seqs(win, key), oracle_seqs(win, key));
+      }
+    }
+  }
+}
+
+TEST(IndexedWindow, OverwriteUnhooksExpiredKeys) {
+  // Fill with key A, wrap with key B: A must vanish from the index
+  // exactly as it vanishes from the lanes.
+  constexpr std::size_t kCap = 32;
+  IndexedSoaWindow win(kCap, ProbePath::kIndexed);
+  std::uint64_t seq = 0;
+  for (std::size_t i = 0; i < kCap; ++i) win.insert(make_tuple(111, seq++));
+  EXPECT_EQ(win.count_equal(111), kCap);
+  for (std::size_t i = 0; i < kCap; ++i) {
+    win.insert(make_tuple(222, seq++));
+    ASSERT_EQ(win.count_equal(111), kCap - i - 1);
+    ASSERT_EQ(win.count_equal(222), i + 1);
+    ASSERT_EQ(win.count_equal(111), win.count_equal_scan_oracle(111));
+  }
+  EXPECT_EQ(win.count_equal(111), 0u);
+  EXPECT_EQ(probe_seqs(win, 111).size(), 0u);
+}
+
+TEST(IndexedWindow, CollectMatchingVisitsAllResidents) {
+  IndexedSoaWindow win(16, ProbePath::kIndexed);
+  for (std::uint64_t seq = 0; seq < 40; ++seq) {
+    win.insert(make_tuple(static_cast<std::uint32_t>(seq % 5), seq));
+  }
+  std::size_t seen = 0;
+  const std::size_t hits = win.collect_matching(
+      [](const Tuple&) { return true; }, [&](const Tuple&) { ++seen; });
+  EXPECT_EQ(hits, win.size());
+  EXPECT_EQ(seen, win.size());
+}
+
+// KeyBucketIndex in isolation: add/remove bookkeeping stays exact under a
+// churn schedule that exercises swap-remove of interior entries.
+TEST(KeyBucketIndex, ChurnKeepsBucketsConsistent) {
+  constexpr std::size_t kCap = 48;
+  KeyBucketIndex idx(kCap);
+  // Model: slot -> key for resident slots.
+  std::vector<std::int64_t> resident(kCap, -1);
+  std::mt19937_64 rng(99);
+  for (int op = 0; op < 5000; ++op) {
+    const auto slot = static_cast<std::uint32_t>(rng() % kCap);
+    const auto key = static_cast<std::uint32_t>(rng() % 9);
+    if (resident[slot] >= 0) {
+      idx.remove(static_cast<std::uint32_t>(resident[slot]), slot);
+    }
+    idx.add(key, slot);
+    resident[slot] = key;
+
+    // Every resident (key, slot) pair appears exactly once in key's
+    // bucket; counts per key agree with the model.
+    const std::uint32_t probe = static_cast<std::uint32_t>(rng() % 9);
+    const std::size_t b = idx.bucket_of(probe);
+    std::size_t found = 0;
+    for (std::size_t j = 0; j < idx.bucket_size(b); ++j) {
+      if (idx.bucket_keys(b)[j] == probe) {
+        ++found;
+        const std::uint32_t s = idx.bucket_slots(b)[j];
+        ASSERT_EQ(resident[s], probe) << "bucket points at stale slot";
+      }
+    }
+    std::size_t expect = 0;
+    for (const std::int64_t k : resident) {
+      expect += static_cast<std::size_t>(k == probe);
+    }
+    ASSERT_EQ(found, expect) << "op=" << op;
+  }
+}
+
+}  // namespace
+}  // namespace hal::sw

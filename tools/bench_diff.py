@@ -43,6 +43,16 @@ SPECS = {
     ],
     "sw_batch_sweep": [
         ("splitjoin_best_speedup", "higher", "rel", 0.15),
+        # Indexed vs full-lane scan at the window-2^17 headline point.
+        ("indexed_vs_scan_speedup", "higher", "rel", 0.15),
+    ],
+    "kernel_cycles": [
+        # Cycles/probe of the explicit kernels (rdtsc, CV-gated in the
+        # bench itself): a >15% cycles/tuple regression fails.
+        ("scan_simd.cycles_per_probe", "lower", "rel", 0.15),
+        ("indexed.cycles_per_probe", "lower", "rel", 0.15),
+        ("hash_fib_hi16.cycles_per_probe", "lower", "rel", 0.15),
+        ("indexed_vs_scan_speedup", "higher", "rel", 0.15),
     ],
     "recovery_cost": [
         # Fractions (the bench claims log_overhead < 0.02).
