@@ -1,0 +1,139 @@
+// query_serving: multi-tenant continuous queries on one hal::serve
+// fabric — shared window state, live hot-add/cancel, admission control.
+//
+// A Customer/Product stream is served while the query set changes
+// underneath it:
+//
+//   epoch 1      tenant "alerts" runs two queries: a σ(Age>40) filter
+//                and an equi-join C ⋈ P (window 128). The join's window
+//                state starts filling.
+//   barrier      tenant "dash" hot-adds the *same* join shape — it is
+//                interned onto the running global plan and inherits the
+//                warm shared windows (no re-synthesis, no cold start).
+//   epoch 2      three queries served from one DAG; the common join
+//                evaluates once per arrival.
+//   barrier      "alerts" cancels its filter; a fourth, over-budget
+//                query is rejected by admission control.
+//   epoch 3      the remaining queries keep running; the report shows
+//                the sharing and admission ledger.
+//
+// Build & run:   cmake -B build -G Ninja && cmake --build build
+//                ./build/examples/query_serving
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "fqp/query.h"
+#include "serve/serve_engine.h"
+
+using namespace hal;
+using fqp::Query;
+using fqp::QueryBuilder;
+using fqp::Record;
+using fqp::Schema;
+using stream::CmpOp;
+
+namespace {
+
+Schema customer() { return Schema("Customer", {"Age", "Gender", "ProductID"}); }
+Schema product() { return Schema("Product", {"ProductID", "Price"}); }
+
+Query join_query(const std::string& out) {
+  return QueryBuilder::from("Customer", customer())
+      .join(QueryBuilder::from("Product", product()), "ProductID",
+            "ProductID", 128)
+      .output(out);
+}
+
+// A deterministic little arrival stream; seq is the global index.
+std::vector<serve::Arrival> epoch(std::uint64_t& seq, std::size_t n) {
+  std::vector<serve::Arrival> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    ++seq;
+    // Both sides cycle the same 8 ProductIDs (seq/2 so the alternating
+    // streams land on overlapping ids).
+    const auto pid = static_cast<std::uint32_t>((seq / 2) % 8);
+    if (i % 2 == 0) {
+      out.push_back({"Customer",
+                     Record{{static_cast<std::uint32_t>(20 + seq % 50),
+                             static_cast<std::uint32_t>(seq % 2), pid},
+                            seq}});
+    } else {
+      out.push_back({"Product",
+                     Record{{pid, static_cast<std::uint32_t>(seq % 100)},
+                            seq}});
+    }
+  }
+  return out;
+}
+
+void show(const serve::ServeReport& rep, const char* when) {
+  std::printf("\n-- report %s --\n", when);
+  std::printf("  epochs %llu, arrivals %llu, results %llu, ops %llu\n",
+              static_cast<unsigned long long>(rep.epochs),
+              static_cast<unsigned long long>(rep.arrivals),
+              static_cast<unsigned long long>(rep.results),
+              static_cast<unsigned long long>(rep.ops));
+  std::printf("  global plan: %llu DAG nodes, %llu shared windows "
+              "(%llu created, %llu warm attach%s)\n",
+              static_cast<unsigned long long>(rep.nodes_live),
+              static_cast<unsigned long long>(rep.windows_live),
+              static_cast<unsigned long long>(rep.windows_created),
+              static_cast<unsigned long long>(rep.window_shared_hits),
+              rep.window_shared_hits == 1 ? "" : "es");
+  for (const auto& t : rep.tenants) {
+    std::printf("  tenant %-8s running %u, rejected %u, cancelled %u, "
+                "est %.1f ops/tuple, results %llu\n",
+                t.name.c_str(), t.running, t.rejected, t.cancelled,
+                t.estimated_ops_per_tuple,
+                static_cast<unsigned long long>(t.results));
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("hal::serve — live multi-tenant query serving\n");
+
+  serve::ServeConfig cfg;
+  cfg.capacity_ops_per_tuple = 18.0;  // fabric admission budget
+  serve::ServeEngine engine(cfg);
+
+  // Epoch 1: tenant "alerts" brings up a filter and a join.
+  const serve::QueryId filter_id =
+      engine.submit("alerts", QueryBuilder::from("Customer", customer())
+                                  .select("Age", CmpOp::Gt, 40)
+                                  .output("hot_customers"));
+  (void)engine.submit("alerts", join_query("alerts_pairs"));
+  std::uint64_t seq = 0;
+  auto tuples = epoch(seq, 400);
+  std::printf("\nepoch 1: 2 queries installed, %llu results\n",
+              static_cast<unsigned long long>(engine.process_epoch(tuples)));
+
+  // Hot-add: "dash" submits the same join shape mid-run. It interns onto
+  // the live DAG node and probes the already-warm shared windows.
+  (void)engine.submit("dash", join_query("dash_pairs"));
+  tuples = epoch(seq, 400);
+  std::printf("epoch 2: dash hot-added (warm attach), %llu results\n",
+              static_cast<unsigned long long>(engine.process_epoch(tuples)));
+  show(engine.report(), "after hot-add");
+
+  // Cancel one query; reject one that would blow the fabric budget.
+  (void)engine.cancel(filter_id);
+  const serve::QueryId big = engine.submit(
+      "dash", QueryBuilder::from("Customer", customer())
+                  .join(QueryBuilder::from("Product", product()),
+                        "ProductID", "ProductID", 1u << 16)
+                  .output("firehose"));
+  std::printf("\ncancel hot_customers; firehose admission: %s\n",
+              serve::to_string(engine.state(big)));
+  tuples = epoch(seq, 400);
+  std::printf("epoch 3: %llu results\n",
+              static_cast<unsigned long long>(engine.process_epoch(tuples)));
+  show(engine.report(), "final");
+
+  std::printf("\nThe shared join evaluated once per arrival throughout — "
+              "both tenants' outputs\ncome from one window pair, and the "
+              "hot-added query saw the warm state.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+#include "fqp/cost.h"
+
+#include <variant>
+
+namespace hal::fqp {
+
+namespace {
+
+// Returns the node's output rate (records emitted per input tuple of the
+// workload) and accumulates the cost of every node not yet in `priced`.
+// `priced` doubles as the visited set: it stores each node's output rate
+// so a later marginal walk can price a consumer of an already-running
+// node without re-deriving (or re-charging) the producer.
+double walk(const PlanNode* n, const CostParams& p,
+            std::map<const PlanNode*, double>& priced, CostEstimate& est) {
+  if (n == nullptr) return 0.0;
+  if (const auto it = priced.find(n); it != priced.end()) return it->second;
+  double rate = 0.0;
+  switch (n->kind) {
+    case PlanNode::Kind::kSource:
+      rate = 1.0;
+      break;
+    case PlanNode::Kind::kSelect:
+    case PlanNode::Kind::kTruthSelect: {
+      const double in = walk(n->left.get(), p, priced, est);
+      est.ops_per_tuple += in;
+      ++est.operators;
+      rate = in * p.select_selectivity;
+      break;
+    }
+    case PlanNode::Kind::kProject: {
+      const double in = walk(n->left.get(), p, priced, est);
+      est.ops_per_tuple += in;
+      ++est.operators;
+      rate = in;
+      break;
+    }
+    case PlanNode::Kind::kJoin: {
+      const double l = walk(n->left.get(), p, priced, est);
+      const double r = walk(n->right.get(), p, priced, est);
+      const auto& instr = std::get<JoinInstruction>(n->instr);
+      // Each arriving record pays one insert plus its expected matches;
+      // both sides' windows are resident state.
+      est.ops_per_tuple += (l + r) * (1.0 + p.join_hit_rate);
+      est.state_records += 2.0 * static_cast<double>(instr.window_size);
+      ++est.operators;
+      rate = (l + r) * p.join_hit_rate;
+      break;
+    }
+  }
+  priced[n] = rate;
+  return rate;
+}
+
+}  // namespace
+
+CostEstimate estimate_cost(const PlanNode& node, const CostParams& params) {
+  std::map<const PlanNode*, double> priced;
+  CostEstimate est;
+  walk(&node, params, priced, est);
+  return est;
+}
+
+CostEstimate estimate_marginal_cost(
+    const PlanNode& node, std::map<const PlanNode*, double>& already_priced,
+    const CostParams& params) {
+  CostEstimate est;
+  walk(&node, params, already_priced, est);
+  return est;
+}
+
+}  // namespace hal::fqp

@@ -1,0 +1,61 @@
+// Estimated execution cost of FQP plans, in operator evaluations per
+// input tuple ("ops/tuple").
+//
+// The assigner's cost model (open problem 2) prices *wire distance* on
+// the fabric; this one prices *work*, which is what a serving layer must
+// budget: how much CPU does admitting one more tenant query cost per
+// arriving record? The estimate walks the plan DAG once per node —
+// shared nodes (share_common_subplans / hal::serve's live canonicalizer)
+// are counted once, so the marginal cost of a query that shares a warm
+// prefix is only its private residual operators. hal::serve admission
+// control compares these estimates against a fabric capacity and against
+// per-tenant quotas (serve/serve_engine.h).
+//
+// The model is deliberately simple and fully deterministic:
+//   * every operator costs 1 evaluation per record reaching it;
+//   * selections pass `select_selectivity` of their input on;
+//   * a windowed equi-join additionally pays `join_hit_rate` emissions
+//     per probing record (the expected indexed-bucket probe: with the
+//     KeyBucketIndex the probe touches O(bucket) ≈ O(matches) residents,
+//     so expected matches is the right unit, not the window size).
+#pragma once
+
+#include <cstddef>
+#include <map>
+
+#include "fqp/query.h"
+
+namespace hal::fqp {
+
+struct CostParams {
+  double select_selectivity = 0.5;  // fraction a σ / truth-σ passes on
+  double join_hit_rate = 4.0;       // expected matches per probing record
+};
+
+struct CostEstimate {
+  double ops_per_tuple = 0.0;     // Σ operator evaluations per arrival
+  double state_records = 0.0;     // Σ resident window slots (both sides)
+  std::size_t operators = 0;      // operator nodes priced (shared: once)
+
+  CostEstimate& operator+=(const CostEstimate& other) noexcept {
+    ops_per_tuple += other.ops_per_tuple;
+    state_records += other.state_records;
+    operators += other.operators;
+    return *this;
+  }
+};
+
+// Cost of the sub-plan rooted at `node`, every reachable node counted
+// once (DAG-aware).
+[[nodiscard]] CostEstimate estimate_cost(const PlanNode& node,
+                                         const CostParams& params = {});
+
+// Cost of the sub-plan rooted at `node`, skipping nodes present in
+// `already_priced` — the *marginal* cost of installing this plan on a
+// fabric that is already running those nodes. Every newly priced node is
+// added to `already_priced`.
+[[nodiscard]] CostEstimate estimate_marginal_cost(
+    const PlanNode& node, std::map<const PlanNode*, double>& already_priced,
+    const CostParams& params = {});
+
+}  // namespace hal::fqp

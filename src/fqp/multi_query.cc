@@ -16,33 +16,27 @@ namespace {
   return a.instr == b.instr && a.left == b.left && a.right == b.right;
 }
 
-class Canonicalizer {
- public:
-  PlanPtr canonical(const PlanPtr& node) {
-    if (node == nullptr) return nullptr;
-    const PlanPtr left = canonical(node->left);
-    const PlanPtr right = canonical(node->right);
-
-    // Rebuild only if a child was replaced.
-    PlanPtr candidate = node;
-    if (left != node->left || right != node->right) {
-      auto rebuilt = std::make_shared<PlanNode>(*node);
-      rebuilt->left = left;
-      rebuilt->right = right;
-      candidate = rebuilt;
-    }
-    for (const PlanPtr& existing : canon_) {
-      if (shallow_equal(*existing, *candidate)) return existing;
-    }
-    canon_.push_back(candidate);
-    return candidate;
-  }
-
- private:
-  std::vector<PlanPtr> canon_;
-};
-
 }  // namespace
+
+PlanPtr PlanCanonicalizer::canonical(const PlanPtr& node) {
+  if (node == nullptr) return nullptr;
+  const PlanPtr left = canonical(node->left);
+  const PlanPtr right = canonical(node->right);
+
+  // Rebuild only if a child was replaced.
+  PlanPtr candidate = node;
+  if (left != node->left || right != node->right) {
+    auto rebuilt = std::make_shared<PlanNode>(*node);
+    rebuilt->left = left;
+    rebuilt->right = right;
+    candidate = rebuilt;
+  }
+  for (const PlanPtr& existing : interned_) {
+    if (shallow_equal(*existing, *candidate)) return existing;
+  }
+  interned_.push_back(candidate);
+  return candidate;
+}
 
 bool plans_equal(const PlanNode& a, const PlanNode& b) {
   if (a.kind != b.kind) return false;
@@ -60,18 +54,7 @@ bool plans_equal(const PlanNode& a, const PlanNode& b) {
   return left_ok && right_ok;
 }
 
-SharingReport share_common_subplans(std::vector<Query>& queries) {
-  SharingReport report;
-  for (const Query& q : queries) {
-    report.operators_before += q.root->operator_count();
-  }
-
-  Canonicalizer canon;
-  for (Query& q : queries) {
-    q.root = canon.canonical(q.root);
-  }
-
-  // Count unique operators in the rewritten global plan.
+std::size_t unique_operator_count(const std::vector<Query>& queries) {
   std::vector<const PlanNode*> seen;
   auto count = [&](auto&& self, const PlanNode* n) -> void {
     if (n == nullptr || n->kind == PlanNode::Kind::kSource) return;
@@ -83,7 +66,21 @@ SharingReport share_common_subplans(std::vector<Query>& queries) {
     self(self, n->right.get());
   };
   for (const Query& q : queries) count(count, q.root.get());
-  report.operators_after = seen.size();
+  return seen.size();
+}
+
+SharingReport share_common_subplans(std::vector<Query>& queries) {
+  // Count distinct nodes, not per-tree totals: on input that already
+  // shares nodes (a second pass, or pointer-shared builders) a per-query
+  // sum would overcount the shared prefixes and report phantom savings.
+  SharingReport report;
+  report.operators_before = unique_operator_count(queries);
+
+  PlanCanonicalizer canon;
+  for (Query& q : queries) {
+    q.root = canon.canonical(q.root);
+  }
+  report.operators_after = unique_operator_count(queries);
   return report;
 }
 

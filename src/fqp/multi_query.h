@@ -22,6 +22,30 @@ namespace hal::fqp {
 // equal children; sources compare by stream name).
 [[nodiscard]] bool plans_equal(const PlanNode& a, const PlanNode& b);
 
+// Incremental hash-consing of plan nodes: canonical() maps a plan tree to
+// a DAG in which structurally equal sub-plans are one shared node, reusing
+// nodes interned by earlier calls. share_common_subplans() runs one pass
+// over a fixed query set; hal::serve keeps a canonicalizer alive across
+// live submissions so a hot-added query lands on the running global plan's
+// nodes (and therefore on their shared runtime state).
+class PlanCanonicalizer {
+ public:
+  PlanPtr canonical(const PlanPtr& node);
+
+  // Interned nodes, in first-seen order (children before parents).
+  [[nodiscard]] const std::vector<PlanPtr>& nodes() const noexcept {
+    return interned_;
+  }
+
+ private:
+  std::vector<PlanPtr> interned_;
+};
+
+// Operator nodes (sources excluded) reachable from `queries`, counted
+// once per distinct node pointer — the size of the global plan.
+[[nodiscard]] std::size_t unique_operator_count(
+    const std::vector<Query>& queries);
+
 struct SharingReport {
   // Operator count before/after sharing (sources excluded).
   std::size_t operators_before = 0;

@@ -103,9 +103,18 @@ Query QueryBuilder::output(const std::string& name) const {
 PlanInterpreter::PlanInterpreter(std::vector<Query> queries)
     : queries_(std::move(queries)) {}
 
-std::vector<Record> PlanInterpreter::evaluate(const PlanNode* node,
-                                              const std::string& stream,
-                                              const Record& r) {
+const std::vector<Record>& PlanInterpreter::evaluate(const PlanNode* node,
+                                                     const std::string& stream,
+                                                     const Record& r) {
+  // One evaluation per node per arrival: a node shared by several queries
+  // (or appearing on both sides of a self-join) must see the arrival —
+  // and mutate its join state — exactly once; consumers fan out from the
+  // memoized output. std::map references stay valid across the recursive
+  // inserts below.
+  if (const auto hit = arrival_memo_.find(node); hit != arrival_memo_.end()) {
+    return hit->second;
+  }
+  std::vector<Record> result = [&]() -> std::vector<Record> {
   switch (node->kind) {
     case PlanNode::Kind::kSource:
       return node->stream_name == stream ? std::vector<Record>{r}
@@ -178,12 +187,15 @@ std::vector<Record> PlanInterpreter::evaluate(const PlanNode* node,
     }
   }
   return {};
+  }();
+  return arrival_memo_[node] = std::move(result);
 }
 
 void PlanInterpreter::process(const std::string& stream, const Record& r) {
+  arrival_memo_.clear();
   for (const Query& q : queries_) {
-    for (Record& e : evaluate(q.root.get(), stream, r)) {
-      outputs_[q.output_name].push_back(std::move(e));
+    for (const Record& e : evaluate(q.root.get(), stream, r)) {
+      outputs_[q.output_name].push_back(e);
     }
   }
 }

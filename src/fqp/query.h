@@ -78,6 +78,13 @@ class QueryBuilder {
 
 // Reference execution of a set of queries, independent of the topology
 // machinery (per-join windows keyed by plan node).
+//
+// Plans may form a DAG (share_common_subplans rewrites structurally equal
+// sub-plans to one shared node): every node is evaluated exactly once per
+// arrival and its output fanned out to all consumers, so a shared join
+// node probes and stores each arrival once — the Rete semantics the
+// sharing pass assumes. Per-query results are therefore identical before
+// and after the rewrite.
 class PlanInterpreter {
  public:
   explicit PlanInterpreter(std::vector<Query> queries);
@@ -94,12 +101,15 @@ class PlanInterpreter {
   };
 
   // Pushes `r` (arriving from `stream`) through `node`; returns the
-  // records the node emits for this arrival.
-  std::vector<Record> evaluate(const PlanNode* node, const std::string& stream,
-                               const Record& r);
+  // records the node emits for this arrival. Memoized per arrival so DAG
+  // nodes run once.
+  const std::vector<Record>& evaluate(const PlanNode* node,
+                                      const std::string& stream,
+                                      const Record& r);
 
   std::vector<Query> queries_;
   std::map<const PlanNode*, JoinState> join_state_;
+  std::map<const PlanNode*, std::vector<Record>> arrival_memo_;
   std::map<std::string, std::vector<Record>> outputs_;
 };
 

@@ -1,0 +1,135 @@
+#include "serve/cluster_serve.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace hal::serve {
+
+namespace {
+
+bool cmp(std::uint32_t lhs, stream::CmpOp op, std::uint32_t rhs) noexcept {
+  switch (op) {
+    case stream::CmpOp::Eq: return lhs == rhs;
+    case stream::CmpOp::Ne: return lhs != rhs;
+    case stream::CmpOp::Lt: return lhs < rhs;
+    case stream::CmpOp::Le: return lhs <= rhs;
+    case stream::CmpOp::Gt: return lhs > rhs;
+    case stream::CmpOp::Ge: return lhs >= rhs;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool MatchFilter::matches(const stream::ResultTuple& t) const noexcept {
+  for (const Cond& c : conds) {
+    const std::uint32_t v =
+        c.side == stream::StreamId::R ? t.r.value : t.s.value;
+    if (!cmp(v, c.op, c.operand)) return false;
+  }
+  return true;
+}
+
+ClusterTenantService::ClusterTenantService(const cluster::ClusterConfig& cfg)
+    : engine_(cfg) {}
+
+TenantId ClusterTenantService::add_tenant(std::string name,
+                                          MatchFilter filter) {
+  const TenantId id = static_cast<TenantId>(tenants_.size());
+  TenantRt rt;
+  rt.rep.id = id;
+  rt.rep.name = std::move(name);
+  rt.filter = std::move(filter);
+  tenants_.push_back(std::move(rt));
+  pending_add_.push_back(id);
+  return id;
+}
+
+bool ClusterTenantService::remove_tenant(TenantId id) {
+  if (id >= tenants_.size()) return false;
+  const bool pending =
+      std::find(pending_add_.begin(), pending_add_.end(), id) !=
+      pending_add_.end();
+  if (!tenants_[id].rep.live && !pending) return false;
+  if (std::find(pending_remove_.begin(), pending_remove_.end(), id) !=
+      pending_remove_.end()) {
+    return false;
+  }
+  pending_remove_.push_back(id);
+  return true;
+}
+
+core::RunReport ClusterTenantService::process(
+    const std::vector<stream::Tuple>& tuples) {
+  // Epoch barrier: the engine is quiescent between process() calls, so
+  // the floors recorded here are exact seq boundaries for delivery.
+  for (const TenantId id : pending_remove_) {
+    TenantRt& t = tenants_[id];
+    pending_add_.erase(
+        std::remove(pending_add_.begin(), pending_add_.end(), id),
+        pending_add_.end());
+    if (t.rep.live) {
+      t.rep.live = false;
+      t.rep.remove_floor = tuples_fed_;
+    } else {
+      // Added and removed between two epochs: never served.
+      t.rep.install_floor = tuples_fed_;
+      t.rep.remove_floor = tuples_fed_;
+    }
+  }
+  pending_remove_.clear();
+  for (const TenantId id : pending_add_) {
+    TenantRt& t = tenants_[id];
+    t.rep.live = true;
+    t.rep.install_floor = tuples_fed_;
+  }
+  pending_add_.clear();
+
+  core::RunReport rep = engine_.process(tuples);
+  tuples_fed_ += tuples.size();
+
+  const std::vector<stream::ResultTuple> results = engine_.take_results();
+  for (TenantRt& t : tenants_) {
+    if (!t.rep.live) continue;
+    for (const stream::ResultTuple& r : results) {
+      if (t.filter.matches(r)) {
+        t.outputs.push_back(r);
+        ++t.rep.matches;
+      }
+    }
+  }
+  return rep;
+}
+
+const std::vector<stream::ResultTuple>& ClusterTenantService::output(
+    TenantId id) const {
+  HAL_CHECK(id < tenants_.size(), "unknown tenant id");
+  return tenants_[id].outputs;
+}
+
+const ClusterTenantReport& ClusterTenantService::tenant(TenantId id) const {
+  HAL_CHECK(id < tenants_.size(), "unknown tenant id");
+  return tenants_[id].rep;
+}
+
+std::vector<ClusterTenantReport> ClusterTenantService::report() const {
+  std::vector<ClusterTenantReport> out;
+  out.reserve(tenants_.size());
+  for (const TenantRt& t : tenants_) out.push_back(t.rep);
+  return out;
+}
+
+void ClusterTenantService::collect_metrics(obs::MetricRegistry& registry,
+                                           const std::string& prefix) const {
+  engine_.collect_metrics(registry, prefix + "cluster.");
+  registry.set_counter(prefix + "tenants", tenants_.size());
+  for (const TenantRt& t : tenants_) {
+    const std::string tp = prefix + "tenant." + t.rep.name + ".";
+    registry.set_counter(tp + "live", t.rep.live ? 1 : 0);
+    registry.set_counter(tp + "matches", t.rep.matches);
+    registry.set_counter(tp + "install_floor", t.rep.install_floor);
+  }
+}
+
+}  // namespace hal::serve

@@ -1,0 +1,117 @@
+// ClusterTenantService — multi-tenant serving over the sharded cluster
+// runtime (the fabric-level tier of hal::serve; the record-level tier is
+// serve/serve_engine.h).
+//
+// Operator sharing taken to its extreme: every tenant subscribes to ONE
+// supervised cluster equi-join — the paper's case-study operator — so
+// the (R, S, W) window state, the partitioned probe work, the transport
+// and the recovery machinery are all amortized across the whole tenant
+// population. A tenant is a residual MatchFilter over the shared match
+// stream plus an admission floor:
+//
+//   * add_tenant()/remove_tenant() queue; both take effect at the next
+//     process() barrier, where the engine is quiescent (the same freeze
+//     point recovery checkpoints and elastic migrations use).
+//   * A tenant installed at floor F delivers exactly the matches whose
+//     newest participant has seq > F: every result the merger emits in
+//     an epoch is probed by a tuple of that epoch, so epoch-granular
+//     install/remove is seq-exact. The differential suite exploits this:
+//     a hot-added tenant's output equals the fixed-tenant-set oracle's
+//     output filtered to seq > F — byte-identical, chaos kills included,
+//     because the underlying supervised cluster is byte-identical to the
+//     fault-free reference.
+//
+// process() runs on one thread, like ClusterEngine::process.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_engine.h"
+#include "obs/metrics.h"
+#include "stream/join_spec.h"
+#include "stream/tuple.h"
+
+namespace hal::serve {
+
+using TenantId = std::uint32_t;
+
+// Conjunction of comparator conditions over a match pair's value fields
+// (empty = pass-through). The cluster-level analogue of a residual
+// selection OP-Block downstream of the shared join.
+struct MatchFilter {
+  struct Cond {
+    stream::StreamId side = stream::StreamId::R;
+    stream::CmpOp op = stream::CmpOp::Eq;
+    std::uint32_t operand = 0;
+  };
+  std::vector<Cond> conds;
+
+  MatchFilter& where_r(stream::CmpOp op, std::uint32_t operand) {
+    conds.push_back(Cond{stream::StreamId::R, op, operand});
+    return *this;
+  }
+  MatchFilter& where_s(stream::CmpOp op, std::uint32_t operand) {
+    conds.push_back(Cond{stream::StreamId::S, op, operand});
+    return *this;
+  }
+
+  [[nodiscard]] bool matches(const stream::ResultTuple& t) const noexcept;
+};
+
+struct ClusterTenantReport {
+  TenantId id = 0;
+  std::string name;
+  bool live = false;
+  std::uint64_t install_floor = 0;  // tuples fed before install
+  std::uint64_t remove_floor = 0;   // tuples fed before removal (live: 0)
+  std::uint64_t matches = 0;        // delivered results
+};
+
+class ClusterTenantService {
+ public:
+  explicit ClusterTenantService(const cluster::ClusterConfig& cfg);
+
+  // Queued; installed at the next process() barrier.
+  TenantId add_tenant(std::string name, MatchFilter filter);
+  // Queued; the tenant stops receiving results from the next barrier on.
+  // False for unknown / already-removed ids.
+  bool remove_tenant(TenantId id);
+
+  // One epoch: apply pending adds/removes, drive the cluster, fan the
+  // epoch's merged results out to the live tenants.
+  core::RunReport process(const std::vector<stream::Tuple>& tuples);
+
+  [[nodiscard]] const std::vector<stream::ResultTuple>& output(
+      TenantId id) const;
+  [[nodiscard]] const ClusterTenantReport& tenant(TenantId id) const;
+  [[nodiscard]] std::vector<ClusterTenantReport> report() const;
+  [[nodiscard]] std::uint64_t tuples_fed() const noexcept {
+    return tuples_fed_;
+  }
+
+  [[nodiscard]] cluster::ClusterEngine& engine() noexcept { return engine_; }
+  [[nodiscard]] const cluster::ClusterEngine& engine() const noexcept {
+    return engine_;
+  }
+
+  // Cluster metrics plus the deterministic per-tenant delivery tallies.
+  void collect_metrics(obs::MetricRegistry& registry,
+                       const std::string& prefix) const;
+
+ private:
+  struct TenantRt {
+    ClusterTenantReport rep;
+    MatchFilter filter;
+    std::vector<stream::ResultTuple> outputs;
+  };
+
+  cluster::ClusterEngine engine_;
+  std::vector<TenantRt> tenants_;        // indexed by TenantId
+  std::vector<TenantId> pending_add_;    // ids staged for the next barrier
+  std::vector<TenantId> pending_remove_;
+  std::uint64_t tuples_fed_ = 0;
+};
+
+}  // namespace hal::serve

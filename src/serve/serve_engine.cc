@@ -1,0 +1,413 @@
+#include "serve/serve_engine.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace hal::serve {
+
+namespace {
+
+// Join output record, matching fqp::PlanInterpreter byte for byte.
+fqp::Record joined_record(const fqp::Record& l, const fqp::Record& r) {
+  fqp::Record joined;
+  joined.seq = std::max(l.seq, r.seq);
+  joined.fields = l.fields;
+  joined.fields.insert(joined.fields.end(), r.fields.begin(), r.fields.end());
+  return joined;
+}
+
+}  // namespace
+
+const char* to_string(QueryState s) noexcept {
+  switch (s) {
+    case QueryState::kAdmitted: return "admitted";
+    case QueryState::kRunning: return "running";
+    case QueryState::kRejectedCapacity: return "rejected-capacity";
+    case QueryState::kRejectedQuota: return "rejected-quota";
+    case QueryState::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+ServeEngine::ServeEngine(ServeConfig cfg) : cfg_(cfg) {}
+
+template <typename Fn>
+void ServeEngine::for_each_node(const QueryRt& q, Fn&& fn) const {
+  std::vector<const fqp::PlanNode*> seen;
+  std::vector<fqp::PlanPtr> stack{q.query.root};
+  while (!stack.empty()) {
+    fqp::PlanPtr node = std::move(stack.back());
+    stack.pop_back();
+    if (std::find(seen.begin(), seen.end(), node.get()) != seen.end()) {
+      continue;
+    }
+    seen.push_back(node.get());
+    if (node->left) stack.push_back(node->left);
+    if (node->right) stack.push_back(node->right);
+    fn(node);
+  }
+}
+
+QueryId ServeEngine::submit(const std::string& tenant,
+                            const fqp::Query& query) {
+  HAL_CHECK(query.root != nullptr, "submit of an empty plan");
+  TenantRt& t = tenants_[tenant];
+  t.rep.name = tenant;
+  ++t.rep.submitted;
+
+  const QueryId id = next_id_++;
+  QueryRt rt;
+  rt.info.id = id;
+  rt.info.tenant = tenant;
+  // Intern onto the running global plan: structurally equal sub-plans —
+  // including whole plans another tenant already runs — collapse to the
+  // live canonical nodes.
+  rt.query = fqp::Query{canon_.canonical(query.root), query.output_name};
+
+  // Price the marginal cost against a copy of the live pricing so a
+  // rejected submit leaves the books untouched (and a resubmit is priced
+  // the same way).
+  auto priced = priced_;
+  const fqp::CostEstimate est =
+      fqp::estimate_marginal_cost(*rt.query.root, priced, cfg_.cost);
+  rt.info.marginal_ops_per_tuple = est.ops_per_tuple;
+
+  if (cfg_.capacity_ops_per_tuple > 0.0 &&
+      total_estimated_ + est.ops_per_tuple > cfg_.capacity_ops_per_tuple) {
+    rt.info.state = QueryState::kRejectedCapacity;
+    ++t.rep.rejected;
+  } else if (t.quota.max_estimated_ops_per_tuple > 0.0 &&
+             t.rep.estimated_ops_per_tuple + est.ops_per_tuple >
+                 t.quota.max_estimated_ops_per_tuple) {
+    rt.info.state = QueryState::kRejectedQuota;
+    ++t.rep.rejected;
+  } else {
+    rt.info.state = QueryState::kAdmitted;
+    priced_ = std::move(priced);
+    total_estimated_ += est.ops_per_tuple;
+    t.rep.estimated_ops_per_tuple += est.ops_per_tuple;
+    ++t.rep.admitted;
+    pending_install_.push_back(id);
+  }
+  queries_.emplace(id, std::move(rt));
+  return id;
+}
+
+bool ServeEngine::cancel(QueryId id) {
+  const auto it = queries_.find(id);
+  if (it == queries_.end()) return false;
+  const QueryState s = it->second.info.state;
+  if (s != QueryState::kAdmitted && s != QueryState::kRunning) return false;
+  if (std::find(pending_cancel_.begin(), pending_cancel_.end(), id) !=
+      pending_cancel_.end()) {
+    return false;
+  }
+  pending_cancel_.push_back(id);
+  return true;
+}
+
+void ServeEngine::set_quota(const std::string& tenant,
+                            const TenantQuota& quota) {
+  TenantRt& t = tenants_[tenant];
+  t.rep.name = tenant;
+  t.quota = quota;
+}
+
+void ServeEngine::install(QueryRt& q) {
+  for_each_node(q, [&](const fqp::PlanPtr& node) {
+    NodeRt& rt = nodes_[node.get()];
+    if (rt.refs == 0) {
+      rt.plan = node;
+      if (node->kind == fqp::PlanNode::Kind::kJoin) {
+        const auto& instr = std::get<fqp::JoinInstruction>(node->instr);
+        rt.left_win = store_.acquire(
+            WindowKey{node->left.get(), instr.left_field, instr.window_size,
+                      /*right_side=*/false},
+            cfg_.probe);
+        rt.right_win = store_.acquire(
+            WindowKey{node.get(), instr.right_field, instr.window_size,
+                      /*right_side=*/true},
+            cfg_.probe);
+      }
+    }
+    ++rt.refs;
+  });
+  q.info.state = QueryState::kRunning;
+  running_.push_back(q.info.id);
+}
+
+void ServeEngine::uninstall(QueryRt& q) {
+  for_each_node(q, [&](const fqp::PlanPtr& node) {
+    const auto it = nodes_.find(node.get());
+    HAL_CHECK(it != nodes_.end() && it->second.refs > 0,
+              "uninstall of a query whose nodes are not installed");
+    if (--it->second.refs == 0) {
+      if (node->kind == fqp::PlanNode::Kind::kJoin) {
+        const auto& instr = std::get<fqp::JoinInstruction>(node->instr);
+        store_.release(WindowKey{node->left.get(), instr.left_field,
+                                 instr.window_size, /*right_side=*/false});
+        store_.release(WindowKey{node.get(), instr.right_field,
+                                 instr.window_size, /*right_side=*/true});
+      }
+      nodes_.erase(it);
+    }
+  });
+  running_.erase(std::find(running_.begin(), running_.end(), q.info.id));
+}
+
+void ServeEngine::barrier() {
+  for (const QueryId id : pending_cancel_) {
+    QueryRt& q = queries_.at(id);
+    if (q.info.state == QueryState::kAdmitted) {
+      pending_install_.erase(std::find(pending_install_.begin(),
+                                       pending_install_.end(), id));
+    } else {
+      uninstall(q);
+    }
+    q.info.state = QueryState::kCancelled;
+    ++tenants_.at(q.info.tenant).rep.cancelled;
+  }
+  pending_cancel_.clear();
+  for (const QueryId id : pending_install_) {
+    install(queries_.at(id));
+  }
+  pending_install_.clear();
+
+  // Re-price the live set from scratch in install order: cancels release
+  // their share, and shared prefixes stay attributed to their earliest
+  // surviving consumer.
+  priced_.clear();
+  total_estimated_ = 0.0;
+  for (auto& [name, t] : tenants_) {
+    t.rep.estimated_ops_per_tuple = 0.0;
+    t.rep.running = 0;
+  }
+  for (auto& [node, rt] : nodes_) {
+    rt.consumers.clear();
+  }
+  for (const QueryId id : running_) {
+    QueryRt& q = queries_.at(id);
+    const fqp::CostEstimate est =
+        fqp::estimate_marginal_cost(*q.query.root, priced_, cfg_.cost);
+    q.info.marginal_ops_per_tuple = est.ops_per_tuple;
+    total_estimated_ += est.ops_per_tuple;
+    TenantRt& t = tenants_.at(q.info.tenant);
+    t.rep.estimated_ops_per_tuple += est.ops_per_tuple;
+    ++t.rep.running;
+    for_each_node(q, [&](const fqp::PlanPtr& node) {
+      nodes_.at(node.get()).consumers.push_back(id);
+    });
+  }
+  // Work on a shared node is split across the consumers that can demand
+  // it this epoch; a fully throttled node is never evaluated at all.
+  for (auto& [node, rt] : nodes_) {
+    rt.active_consumers = 0;
+    for (const QueryId id : rt.consumers) {
+      if (!tenants_.at(queries_.at(id).info.tenant).throttled) {
+        ++rt.active_consumers;
+      }
+    }
+  }
+}
+
+void ServeEngine::charge(const NodeRt& rt, double work) {
+  ops_ += static_cast<std::uint64_t>(work);
+  if (rt.active_consumers == 0) return;
+  const double share = work / rt.active_consumers;
+  for (const QueryId id : rt.consumers) {
+    TenantRt& t = tenants_.at(queries_.at(id).info.tenant);
+    if (!t.throttled) t.epoch_ops += share;
+  }
+}
+
+const std::vector<fqp::Record>& ServeEngine::evaluate(
+    const fqp::PlanNode* node, const std::string& stream,
+    const fqp::Record& r) {
+  if (const auto hit = memo_.find(node); hit != memo_.end()) {
+    return hit->second;
+  }
+  NodeRt& rt = nodes_.at(node);
+  std::vector<fqp::Record> result;
+  double inputs = 0.0;
+  switch (node->kind) {
+    case fqp::PlanNode::Kind::kSource:
+      if (node->stream_name == stream) result.push_back(r);
+      break;
+    case fqp::PlanNode::Kind::kSelect: {
+      const auto& instr = std::get<fqp::SelectInstruction>(node->instr);
+      const auto& in = evaluate(node->left.get(), stream, r);
+      inputs = static_cast<double>(in.size());
+      for (const fqp::Record& e : in) {
+        if (instr.matches(e)) result.push_back(e);
+      }
+      break;
+    }
+    case fqp::PlanNode::Kind::kTruthSelect: {
+      const auto& instr = std::get<fqp::TruthTableInstruction>(node->instr);
+      const auto& in = evaluate(node->left.get(), stream, r);
+      inputs = static_cast<double>(in.size());
+      for (const fqp::Record& e : in) {
+        if (instr.matches(e)) result.push_back(e);
+      }
+      break;
+    }
+    case fqp::PlanNode::Kind::kProject: {
+      const auto& instr = std::get<fqp::ProjectInstruction>(node->instr);
+      const auto& in = evaluate(node->left.get(), stream, r);
+      inputs = static_cast<double>(in.size());
+      for (const fqp::Record& e : in) {
+        fqp::Record projected;
+        projected.seq = e.seq;
+        for (const std::size_t f : instr.keep) {
+          projected.fields.push_back(e.at(f));
+        }
+        result.push_back(std::move(projected));
+      }
+      break;
+    }
+    case fqp::PlanNode::Kind::kJoin: {
+      const auto& instr = std::get<fqp::JoinInstruction>(node->instr);
+      const auto& left_in = evaluate(node->left.get(), stream, r);
+      const auto& right_in = evaluate(node->right.get(), stream, r);
+      inputs = static_cast<double>(left_in.size() + right_in.size());
+      // Interpreter semantics, phased: left arrivals probe the right
+      // window as of the previous arrival, then land in the (possibly
+      // shared) left window; right arrivals probe the left window
+      // *including* this arrival's left records, then land in the right
+      // window. claim_arrival makes the inserts once-per-arrival when
+      // several join nodes share a window.
+      for (const fqp::Record& e : left_in) {
+        rt.right_win->collect_equal(e.at(instr.left_field),
+                                    [&](const fqp::Record& o) {
+                                      result.push_back(joined_record(e, o));
+                                    });
+      }
+      if (rt.left_win->claim_arrival(tick_)) {
+        for (const fqp::Record& e : left_in) rt.left_win->insert(e);
+      }
+      for (const fqp::Record& o : right_in) {
+        rt.left_win->collect_equal(o.at(instr.right_field),
+                                   [&](const fqp::Record& l) {
+                                     result.push_back(joined_record(l, o));
+                                   });
+      }
+      if (rt.right_win->claim_arrival(tick_)) {
+        for (const fqp::Record& o : right_in) rt.right_win->insert(o);
+      }
+      break;
+    }
+  }
+  charge(rt, 1.0 + inputs + static_cast<double>(result.size()));
+  return memo_[node] = std::move(result);
+}
+
+std::uint64_t ServeEngine::process_epoch(const std::vector<Arrival>& epoch) {
+  barrier();
+  ++epochs_;
+  for (auto& [name, t] : tenants_) {
+    t.epoch_ops = 0.0;
+    if (t.throttled) ++t.rep.throttled_epochs;
+  }
+  std::uint64_t delivered = 0;
+  for (const Arrival& a : epoch) {
+    ++arrivals_;
+    ++tick_;
+    memo_.clear();
+    for (const QueryId id : running_) {
+      QueryRt& q = queries_.at(id);
+      TenantRt& t = tenants_.at(q.info.tenant);
+      if (t.throttled) {
+        ++t.rep.shed_arrivals;
+        continue;
+      }
+      const auto& out = evaluate(q.query.root.get(), a.stream, a.record);
+      if (out.empty()) continue;
+      q.info.results += out.size();
+      t.rep.results += out.size();
+      results_ += out.size();
+      delivered += out.size();
+      if (cfg_.collect_outputs) {
+        q.outputs.insert(q.outputs.end(), out.begin(), out.end());
+      }
+    }
+  }
+  // Token-debt regulator: an overrun accumulates as debt; a throttled
+  // epoch generates (almost) no charges, so the debt drains by the quota
+  // per epoch until the tenant is re-admitted at a later barrier.
+  for (auto& [name, t] : tenants_) {
+    t.rep.measured_ops += t.epoch_ops;
+    if (t.quota.max_ops_per_epoch > 0.0) {
+      t.debt = std::max(0.0, t.debt + t.epoch_ops - t.quota.max_ops_per_epoch);
+      t.throttled = t.debt > 0.0;
+    } else {
+      t.throttled = false;
+    }
+  }
+  return delivered;
+}
+
+const QueryInfo& ServeEngine::info(QueryId id) const {
+  const auto it = queries_.find(id);
+  HAL_CHECK(it != queries_.end(), "unknown query id");
+  return it->second.info;
+}
+
+const std::vector<fqp::Record>& ServeEngine::output(QueryId id) const {
+  static const std::vector<fqp::Record> kEmpty;
+  const auto it = queries_.find(id);
+  return it == queries_.end() ? kEmpty : it->second.outputs;
+}
+
+void ServeEngine::clear_outputs() {
+  for (auto& [id, q] : queries_) q.outputs.clear();
+}
+
+ServeReport ServeEngine::report() const {
+  ServeReport rep;
+  rep.epochs = epochs_;
+  rep.arrivals = arrivals_;
+  rep.results = results_;
+  rep.ops = ops_;
+  rep.queries_running = static_cast<std::uint32_t>(running_.size());
+  rep.nodes_live = nodes_.size();
+  rep.windows_live = store_.live();
+  rep.windows_created = store_.created();
+  rep.window_acquires = store_.acquires();
+  rep.window_shared_hits = store_.shared_hits();
+  rep.resident_records = store_.resident_records();
+  rep.estimated_ops_per_tuple = total_estimated_;
+  rep.capacity_ops_per_tuple = cfg_.capacity_ops_per_tuple;
+  for (const auto& [name, t] : tenants_) rep.tenants.push_back(t.rep);
+  return rep;
+}
+
+void ServeEngine::collect_metrics(obs::MetricRegistry& registry,
+                                  const std::string& prefix) const {
+  const ServeReport rep = report();
+  registry.set_counter(prefix + "epochs", rep.epochs);
+  registry.set_counter(prefix + "arrivals", rep.arrivals);
+  registry.set_counter(prefix + "results", rep.results);
+  registry.set_counter(prefix + "ops", rep.ops);
+  registry.set_counter(prefix + "queries_running", rep.queries_running);
+  registry.set_counter(prefix + "nodes_live", rep.nodes_live);
+  registry.set_counter(prefix + "windows.live", rep.windows_live);
+  registry.set_counter(prefix + "windows.created", rep.windows_created);
+  registry.set_counter(prefix + "windows.acquires", rep.window_acquires);
+  registry.set_counter(prefix + "windows.shared_hits",
+                       rep.window_shared_hits);
+  registry.set_counter(prefix + "windows.resident_records",
+                       rep.resident_records);
+  registry.set_gauge(prefix + "estimated_ops_per_tuple",
+                     rep.estimated_ops_per_tuple);
+  for (const TenantReport& t : rep.tenants) {
+    const std::string tp = prefix + "tenant." + t.name + ".";
+    registry.set_counter(tp + "running", t.running);
+    registry.set_counter(tp + "results", t.results);
+    registry.set_counter(tp + "rejected", t.rejected);
+    registry.set_counter(tp + "throttled_epochs", t.throttled_epochs);
+    registry.set_counter(tp + "shed_arrivals", t.shed_arrivals);
+  }
+}
+
+}  // namespace hal::serve

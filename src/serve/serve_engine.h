@@ -1,0 +1,223 @@
+// hal::serve — multi-tenant continuous-query serving over the FQP layer.
+//
+// The paper's FQP fabric is programmed once and then serves many queries
+// concurrently, with new queries installed in microseconds rather than
+// re-synthesized (§II, Fig. 6). This subsystem models the serving layer
+// that sits on top of that capability:
+//
+//   * One Rete-like global plan. Submitted plans are interned through a
+//     long-lived fqp::PlanCanonicalizer, so structurally equal sub-plans
+//     — across tenants, across time — collapse to one DAG node that is
+//     evaluated once per arrival (the memoized fan-out of
+//     fqp::PlanInterpreter, here with indexed windows).
+//   * Shared runtime state. Join windows live in a SharedWindowStore:
+//     N queries over the same (input sub-plan, join field, window size)
+//     probe ONE RecordWindow (KeyBucketIndex + hal::simd probes) instead
+//     of N copies. A query hot-added mid-run inherits the warm window.
+//   * Live lifecycle at the epoch barrier. submit()/cancel() only queue;
+//     installs and removals take effect at the start of the next
+//     process_epoch() call — the engine is quiescent there, the same
+//     freeze point the elastic migration protocol uses. From its install
+//     barrier onward a hot-added query's outputs are byte-identical (as
+//     multisets) to the same query running in a fixed set since epoch 0.
+//   * Admission control and quotas. submit() prices the query's
+//     *marginal* cost with fqp::estimate_marginal_cost — a query sharing
+//     a warm prefix is charged only for its private residual operators —
+//     and rejects it when the fabric capacity or the tenant's estimate
+//     quota would be exceeded. At runtime, measured per-tenant work
+//     (operator evaluations, shared nodes split across their active
+//     consumers) feeds a token-debt regulator: a tenant that overruns
+//     max_ops_per_epoch is throttled at the next barrier — its private
+//     operators stop evaluating and its deliveries are shed — until the
+//     debt drains. Shared nodes keep running for the other tenants, so
+//     an over-quota tenant cannot degrade its neighbors.
+//
+// Single-threaded by design (the record-level tier; the sharded
+// cluster-level tier is serve/cluster_serve.h). Callers assign Record::seq
+// (tests and benches stamp the global arrival index); the engine never
+// rewrites it, so oracle comparisons are exact.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fqp/cost.h"
+#include "fqp/multi_query.h"
+#include "fqp/query.h"
+#include "obs/metrics.h"
+#include "serve/shared_store.h"
+#include "sw/probe_path.h"
+
+namespace hal::serve {
+
+using QueryId = std::uint64_t;
+
+struct Arrival {
+  std::string stream;
+  fqp::Record record;
+};
+
+struct ServeConfig {
+  // Fabric-wide admission budget in estimated ops/tuple; 0 = unlimited.
+  double capacity_ops_per_tuple = 0.0;
+  fqp::CostParams cost;
+  sw::ProbePath probe = sw::ProbePath::kIndexed;
+  // Keep per-query result records (tests / small serves). Off, only the
+  // per-query and per-tenant counts are maintained (benches).
+  bool collect_outputs = true;
+};
+
+struct TenantQuota {
+  // Admission-time cap on the tenant's aggregate *estimated* marginal
+  // ops/tuple; 0 = unlimited.
+  double max_estimated_ops_per_tuple = 0.0;
+  // Runtime cap on measured operator evaluations charged to the tenant
+  // per epoch; overruns accumulate as debt and throttle the tenant at
+  // the next barrier until repaid. 0 = unlimited.
+  double max_ops_per_epoch = 0.0;
+};
+
+enum class QueryState : std::uint8_t {
+  kAdmitted,          // accepted; installs at the next epoch barrier
+  kRunning,
+  kRejectedCapacity,  // fabric estimate budget exhausted
+  kRejectedQuota,     // tenant estimate quota exhausted
+  kCancelled,
+};
+
+[[nodiscard]] const char* to_string(QueryState s) noexcept;
+
+struct QueryInfo {
+  QueryId id = 0;
+  std::string tenant;
+  QueryState state = QueryState::kAdmitted;
+  // Marginal estimated ops/tuple charged to this query (at admission;
+  // re-attributed in install order at every barrier).
+  double marginal_ops_per_tuple = 0.0;
+  std::uint64_t results = 0;
+};
+
+struct TenantReport {
+  std::string name;
+  std::uint32_t submitted = 0;
+  std::uint32_t admitted = 0;
+  std::uint32_t rejected = 0;
+  std::uint32_t cancelled = 0;
+  std::uint32_t running = 0;
+  double estimated_ops_per_tuple = 0.0;  // current aggregate estimate
+  double measured_ops = 0.0;             // charged operator evaluations
+  std::uint64_t results = 0;
+  std::uint64_t throttled_epochs = 0;
+  // query-arrivals shed while throttled (one per running query per
+  // arrival).
+  std::uint64_t shed_arrivals = 0;
+};
+
+struct ServeReport {
+  std::uint64_t epochs = 0;
+  std::uint64_t arrivals = 0;
+  std::uint64_t results = 0;
+  std::uint64_t ops = 0;  // operator evaluation work units, fabric-wide
+  std::uint32_t queries_running = 0;
+  std::uint64_t nodes_live = 0;  // canonical DAG nodes installed
+  // SharedWindowStore:
+  std::uint64_t windows_live = 0;
+  std::uint64_t windows_created = 0;
+  std::uint64_t window_acquires = 0;
+  std::uint64_t window_shared_hits = 0;
+  std::uint64_t resident_records = 0;
+  double estimated_ops_per_tuple = 0.0;
+  double capacity_ops_per_tuple = 0.0;
+  std::vector<TenantReport> tenants;  // sorted by name
+};
+
+class ServeEngine {
+ public:
+  explicit ServeEngine(ServeConfig cfg = {});
+
+  // Prices and decides admission immediately (so capacity accounting is
+  // submission-ordered); an admitted query installs at the next barrier.
+  QueryId submit(const std::string& tenant, const fqp::Query& query);
+  // Queued; takes effect at the next barrier. False if the query cannot
+  // be cancelled (unknown id, rejected, or already cancelled).
+  bool cancel(QueryId id);
+  void set_quota(const std::string& tenant, const TenantQuota& quota);
+
+  // One epoch: barrier (cancels, installs, re-pricing, throttle flags),
+  // then the arrivals in order. Returns results delivered this epoch.
+  std::uint64_t process_epoch(const std::vector<Arrival>& arrivals);
+
+  [[nodiscard]] const QueryInfo& info(QueryId id) const;
+  [[nodiscard]] QueryState state(QueryId id) const { return info(id).state; }
+  // Delivered results (empty unless cfg.collect_outputs).
+  [[nodiscard]] const std::vector<fqp::Record>& output(QueryId id) const;
+  void clear_outputs();
+
+  [[nodiscard]] ServeReport report() const;
+  // Deterministic serving tallies (arrivals, results, ops, sharing
+  // stats, per-tenant counts) folded into the registry.
+  void collect_metrics(obs::MetricRegistry& registry,
+                       const std::string& prefix) const;
+
+ private:
+  struct NodeRt {
+    fqp::PlanPtr plan;           // keeps the canonical node alive
+    std::uint32_t refs = 0;      // running queries whose DAG contains it
+    std::vector<QueryId> consumers;
+    std::uint32_t active_consumers = 0;  // non-throttled, this epoch
+    // kJoin only:
+    std::shared_ptr<RecordWindow> left_win;
+    std::shared_ptr<RecordWindow> right_win;
+  };
+
+  struct QueryRt {
+    QueryInfo info;
+    fqp::Query query;  // canonical root
+    std::vector<fqp::Record> outputs;
+  };
+
+  struct TenantRt {
+    TenantQuota quota;
+    TenantReport rep;
+    double epoch_ops = 0.0;
+    double debt = 0.0;
+    bool throttled = false;
+  };
+
+  void barrier();
+  void install(QueryRt& q);
+  void uninstall(QueryRt& q);
+  // Walks q's canonical DAG, visiting every node once.
+  template <typename Fn>
+  void for_each_node(const QueryRt& q, Fn&& fn) const;
+
+  const std::vector<fqp::Record>& evaluate(const fqp::PlanNode* node,
+                                           const std::string& stream,
+                                           const fqp::Record& r);
+  void charge(const NodeRt& rt, double work);
+
+  ServeConfig cfg_;
+  fqp::PlanCanonicalizer canon_;
+  SharedWindowStore store_;
+  std::map<QueryId, QueryRt> queries_;
+  std::vector<QueryId> running_;  // install order
+  std::vector<QueryId> pending_install_;
+  std::vector<QueryId> pending_cancel_;
+  std::map<const fqp::PlanNode*, NodeRt> nodes_;
+  std::map<std::string, TenantRt> tenants_;
+  // Marginal-pricing state (rebuilt from the live set at each barrier).
+  std::map<const fqp::PlanNode*, double> priced_;
+  double total_estimated_ = 0.0;
+
+  std::map<const fqp::PlanNode*, std::vector<fqp::Record>> memo_;
+  QueryId next_id_ = 1;
+  std::uint64_t tick_ = 0;  // arrival counter (window insert claims)
+  std::uint64_t epochs_ = 0;
+  std::uint64_t arrivals_ = 0;
+  std::uint64_t results_ = 0;
+  std::uint64_t ops_ = 0;
+};
+
+}  // namespace hal::serve

@@ -1,0 +1,112 @@
+// SharedWindowStore — refcounted registry of live RecordWindows, the
+// runtime-state half of multi-query sharing.
+//
+// fqp::share_common_subplans (and the serve engine's live
+// PlanCanonicalizer) collapse structurally equal sub-plans to one DAG
+// node; this store collapses the *window state* those nodes carry, so N
+// tenant queries over the same (input sub-plan, join field, window size)
+// probe one indexed window instead of keeping N copies. It also carries
+// the hot-add warmth guarantee: a query submitted mid-run that acquires
+// an already-live key starts against the warm window — its results from
+// the install barrier onward are byte-identical to a query that was in
+// the fixed set from the start.
+//
+// Sharing granularity (and why it is exact):
+//   * Left-side windows are keyed by the *producing child* node — two
+//     different joins with the same (left child, left field, window)
+//     share one window. Sound because a left window only ever ingests
+//     that child's per-arrival output (identical no matter which
+//     consumer inserts first; RecordWindow::claim_arrival makes the
+//     insert once-per-arrival) and is only probed by right-phase
+//     arrivals, which by the interpreter's semantics must see the
+//     current arrival's left records — always true once any consumer
+//     ran its left phase, which each join does before its own right
+//     phase.
+//   * Right-side windows are keyed by the *join node itself*. Left-phase
+//     probes must see the right window as of the previous arrival
+//     (pre-insert snapshot); if two distinct joins shared one right
+//     window, whichever evaluated first would insert — and possibly
+//     evict — records the other's left phase must not / must still see.
+//     Distinct join nodes therefore keep private right windows; queries
+//     whose joins canonicalize to the *same* node still share it (the
+//     node is evaluated once per arrival for all of them).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <tuple>
+
+#include "common/assert.h"
+#include "fqp/query.h"
+#include "serve/record_window.h"
+
+namespace hal::serve {
+
+struct WindowKey {
+  // Left side: the producing child node. Right side: the join node.
+  const fqp::PlanNode* scope = nullptr;
+  std::size_t field = 0;
+  std::size_t window = 0;
+  bool right_side = false;
+
+  friend bool operator<(const WindowKey& a, const WindowKey& b) noexcept {
+    return std::tie(a.scope, a.field, a.window, a.right_side) <
+           std::tie(b.scope, b.field, b.window, b.right_side);
+  }
+};
+
+class SharedWindowStore {
+ public:
+  // Returns the window for `key`, creating it cold if absent; bumps the
+  // refcount either way. An acquire that lands on a live window is a
+  // "shared hit" — the caller inherits warm state.
+  std::shared_ptr<RecordWindow> acquire(const WindowKey& key,
+                                        sw::ProbePath path) {
+    ++acquires_;
+    auto& entry = entries_[key];
+    if (!entry.window) {
+      entry.window = std::make_shared<RecordWindow>(key.window, key.field,
+                                                    path);
+      ++created_;
+    } else {
+      ++shared_hits_;
+    }
+    ++entry.refs;
+    return entry.window;
+  }
+
+  // Drops one reference; the window (and its state) is destroyed at zero,
+  // so a later re-acquire starts cold.
+  void release(const WindowKey& key) {
+    const auto it = entries_.find(key);
+    HAL_CHECK(it != entries_.end() && it->second.refs > 0,
+              "release of a window that is not held");
+    if (--it->second.refs == 0) entries_.erase(it);
+  }
+
+  [[nodiscard]] std::size_t live() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::uint64_t created() const noexcept { return created_; }
+  [[nodiscard]] std::uint64_t acquires() const noexcept { return acquires_; }
+  [[nodiscard]] std::uint64_t shared_hits() const noexcept {
+    return shared_hits_;
+  }
+  [[nodiscard]] std::size_t resident_records() const noexcept {
+    std::size_t total = 0;
+    for (const auto& [key, entry] : entries_) total += entry.window->size();
+    return total;
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<RecordWindow> window;
+    std::uint32_t refs = 0;
+  };
+
+  std::map<WindowKey, Entry> entries_;
+  std::uint64_t created_ = 0;
+  std::uint64_t acquires_ = 0;
+  std::uint64_t shared_hits_ = 0;
+};
+
+}  // namespace hal::serve

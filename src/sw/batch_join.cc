@@ -79,6 +79,15 @@ void BatchJoinEngine::worker_loop(std::uint32_t index) {
     // are handled centrally by the dispatcher.
     slice.out.clear();
     for (std::size_t i = 0; i < batch_count_; ++i) {
+      // Hide the bucket-lane miss of the probe a few tuples ahead (no-op
+      // in the HAL_SIMD=OFF build; harmless on the kScan path).
+      constexpr std::size_t kPrefetchDistance = 8;
+      if (pure_key_equi_ && cfg_.probe == ProbePath::kIndexed &&
+          i + kPrefetchDistance < batch_count_) {
+        const Tuple& ahead = batch_data_[i + kPrefetchDistance];
+        (ahead.origin == StreamId::R ? slice.idx_s : slice.idx_r)
+            .prefetch(ahead.key);
+      }
       const Tuple& t = batch_data_[i];
       const bool is_r = t.origin == StreamId::R;
       const auto& win = is_r ? slice.win_s : slice.win_r;
@@ -246,21 +255,30 @@ bool BatchJoinEngine::restore_state(const core::WindowImage& image) {
   }
   for (std::uint32_t i = 0; i < cfg_.num_workers; ++i) {
     WorkerSlice& slice = *slices_[i];
-    slice.head_r = slice.head_s = 0;
-    slice.size_r = slice.size_s = 0;
-    slice.idx_r.clear();
-    slice.idx_s.clear();
     const auto& src = image.cores[i];
-    // Re-inserting in age order rebuilds the circular layout and the
-    // key/arrival lanes consistently.
-    for (std::size_t k = 0; k < src.win_r.size(); ++k) {
-      Tuple t = src.win_r[k];
-      insert_into_slice(slice, t, src.arr_r[k]);
-    }
-    for (std::size_t k = 0; k < src.win_s.size(); ++k) {
-      Tuple t = src.win_s[k];
-      insert_into_slice(slice, t, src.arr_s[k]);
-    }
+    // Age-ordered images bulk-load into the dense lanes, then each bucket
+    // index is rebuilt in one exact-reserve pass — the batched rebuild
+    // path (no per-tuple hook/unhook as in the old tuple-at-a-time loop).
+    const auto load_side = [&](const std::vector<Tuple>& win,
+                               const std::vector<std::uint64_t>& arr,
+                               std::vector<Entry>& dst_win,
+                               std::vector<std::uint32_t>& dst_keys,
+                               std::vector<std::uint64_t>& dst_arrivals,
+                               KeyBucketIndex& idx, std::size_t& head,
+                               std::size_t& size) {
+      for (std::size_t k = 0; k < win.size(); ++k) {
+        dst_win[k] = Entry{win[k], arr[k]};
+        dst_keys[k] = win[k].key;
+        dst_arrivals[k] = arr[k];
+      }
+      size = win.size();
+      head = size % sub_window_;
+      idx.rebuild(dst_keys.data(), size);
+    };
+    load_side(src.win_r, src.arr_r, slice.win_r, slice.keys_r,
+              slice.arrivals_r, slice.idx_r, slice.head_r, slice.size_r);
+    load_side(src.win_s, src.arr_s, slice.win_s, slice.keys_s,
+              slice.arrivals_s, slice.idx_s, slice.head_s, slice.size_s);
   }
   count_r_ = image.count_r;
   count_s_ = image.count_s;

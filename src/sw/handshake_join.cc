@@ -333,10 +333,10 @@ bool HandshakeJoinEngine::restore_state(const core::WindowImage& image) {
   for (std::uint32_t i = 0; i < cfg_.num_cores; ++i) {
     Core& core = *cores_[i];
     const auto& src = image.cores[i];
-    core.win_r.clear();
-    for (const Tuple& t : src.win_r) core.win_r.insert(t);
-    core.win_s.clear();
-    for (const Tuple& t : src.win_s) core.win_s.insert(t);
+    // Age-ordered images bulk-load straight into the lanes + one index
+    // rebuild (the batched rebuild path, as in SplitJoin's restore).
+    core.win_r.load(src.win_r.data(), src.win_r.size());
+    core.win_s.load(src.win_s.data(), src.win_s.size());
   }
   for (std::size_t b = 0; b < boundaries_.size(); ++b) {
     Boundary& boundary = *boundaries_[b];

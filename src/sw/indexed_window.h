@@ -75,6 +75,31 @@ class IndexedSoaWindow {
     index_.clear();
   }
 
+  // Bulk (re)load from an age-ordered tuple sequence — the batched path
+  // of the recovery/elastic rebuild loops. Equivalent to clear() plus
+  // insert() of every tuple in order (tuples beyond the capacity evict
+  // the oldest, exactly like the circular store), but fills the dense
+  // lanes first and rebuilds the bucket index in one exact-reserve pass
+  // instead of hooking/unhooking per insert.
+  void load(const stream::Tuple* tuples, std::size_t n) {
+    const std::size_t keep = n < slots_.size() ? n : slots_.size();
+    const stream::Tuple* src = tuples + (n - keep);
+    for (std::size_t i = 0; i < keep; ++i) {
+      slots_[i] = src[i];
+      keys_[i] = src[i].key;
+    }
+    size_ = keep;
+    write_pos_ = keep % slots_.size();
+    index_.rebuild(keys_.data(), keep);
+  }
+
+  // Prefetch hint for a probe of `key` a few iterations ahead (kIndexed
+  // bucket lanes; the kScan dense lane streams linearly and needs none).
+  // No-op in the HAL_SIMD=OFF build.
+  void prefetch_equal(std::uint32_t key) const noexcept {
+    if (path_ == ProbePath::kIndexed) index_.prefetch(key);
+  }
+
   // Storage-order access (slots [0, size) are all resident).
   [[nodiscard]] const std::uint32_t* keys() const noexcept {
     return keys_.data();

@@ -18,6 +18,14 @@
 #include "common/assert.h"
 #include "simd/probe.h"
 
+// The hal_simd target defines HAL_SIMD_ENABLED=0 (PUBLIC) when built with
+// -DHAL_SIMD=OFF; the default build leaves it undefined, meaning on. The
+// prefetch hints below ride the same knob so the scalar-only build stays
+// byte-for-byte untouched.
+#if !defined(HAL_SIMD_ENABLED)
+#define HAL_SIMD_ENABLED 1
+#endif
+
 namespace hal::sw {
 
 class KeyBucketIndex {
@@ -78,6 +86,47 @@ class KeyBucketIndex {
       b.keys.clear();
       b.slots.clear();
     }
+  }
+
+  // Bulk (re)build from a dense key lane: keys[i] is the resident key of
+  // slot i, for i < count. Equivalent to clear() followed by add(keys[i],
+  // i) for every i, but sizes each bucket exactly first, so a rebuild of
+  // a skewed window performs no incremental growth and no per-insert
+  // unhooking — the batched path of the recovery/elastic rebuild loops.
+  void rebuild(const std::uint32_t* keys, std::size_t count) {
+    HAL_ASSERT(count <= pos_of_slot_.size());
+    for (Bucket& b : buckets_) {
+      b.keys.clear();
+      b.slots.clear();
+    }
+    std::vector<std::uint32_t> fill(buckets_.size(), 0);
+    for (std::size_t i = 0; i < count; ++i) ++fill[bucket_of(keys[i])];
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+      if (fill[b] > buckets_[b].keys.capacity()) {
+        buckets_[b].keys.reserve(fill[b]);
+        buckets_[b].slots.reserve(fill[b]);
+      }
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      Bucket& b = buckets_[bucket_of(keys[i])];
+      pos_of_slot_[i] = static_cast<std::uint32_t>(b.keys.size());
+      b.keys.push_back(keys[i]);
+      b.slots.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+
+  // Software prefetch of the lanes `key` hashes to, for a probe a few
+  // iterations ahead (the bucket header plus the front of both lanes —
+  // short buckets, the kTargetFill design point, fit the first lines).
+  // Compiles to nothing in the HAL_SIMD=OFF scalar-only build.
+  void prefetch(std::uint32_t key) const noexcept {
+#if HAL_SIMD_ENABLED
+    const Bucket& b = buckets_[bucket_of(key)];
+    __builtin_prefetch(b.keys.data(), 0, 1);
+    __builtin_prefetch(b.slots.data(), 0, 1);
+#else
+    (void)key;
+#endif
   }
 
   // Dense lanes of the bucket `key` hashes to, for the probe kernels.

@@ -92,6 +92,14 @@ void SplitJoinEngine::process_batch(Core& core, std::uint32_t index,
   // granularity, never the per-tuple semantics, which is what keeps the
   // deterministic obs projection byte-identical to the oracle path.
   for (std::size_t i = 0; i < n; ++i) {
+    // Hide the bucket-lane miss of a probe a few tuples ahead (no-op in
+    // the HAL_SIMD=OFF build and on the kScan path).
+    constexpr std::size_t kPrefetchDistance = 8;
+    if (i + kPrefetchDistance < n) {
+      const bool pf_r = batch.origin_at(i + kPrefetchDistance) == StreamId::R;
+      (pf_r ? core.win_s : core.win_r)
+          .prefetch_equal(batch.key_at(i + kPrefetchDistance));
+    }
     const bool is_r = batch.origin_at(i) == StreamId::R;
     const IndexedSoaWindow& opposite = is_r ? core.win_s : core.win_r;
     if constexpr (obs::kEnabled) core.probes += opposite.size();
@@ -254,18 +262,25 @@ void SplitJoinEngine::wait_quiescent() {
 
 void SplitJoinEngine::prefill(const std::vector<Tuple>& tuples) {
   wait_quiescent();
+  // Deal round-robin per stream into per-core age-ordered runs, then
+  // bulk-load each sub-window (one exact-reserve index rebuild per core
+  // instead of a hook/unhook per tuple — the elastic rebuild hot path).
+  std::vector<std::vector<Tuple>> runs_r(cfg_.num_cores);
+  std::vector<std::vector<Tuple>> runs_s(cfg_.num_cores);
   std::uint64_t idx_r = 0;
   std::uint64_t idx_s = 0;
   for (const Tuple& t : tuples) {
     const bool is_r = t.origin == StreamId::R;
     std::uint64_t& idx = is_r ? idx_r : idx_s;
-    Core& core = *cores_[idx % cfg_.num_cores];
-    (is_r ? core.win_r : core.win_s).insert(t);
+    (is_r ? runs_r : runs_s)[idx % cfg_.num_cores].push_back(t);
     ++idx;
   }
-  for (auto& core : cores_) {
-    core->count_r = idx_r;
-    core->count_s = idx_s;
+  for (std::uint32_t i = 0; i < cfg_.num_cores; ++i) {
+    Core& core = *cores_[i];
+    core.win_r.load(runs_r[i].data(), runs_r[i].size());
+    core.win_s.load(runs_s[i].data(), runs_s[i].size());
+    core.count_r = idx_r;
+    core.count_s = idx_s;
   }
 }
 
@@ -311,10 +326,11 @@ bool SplitJoinEngine::restore_state(const core::WindowImage& image) {
   for (std::uint32_t i = 0; i < cfg_.num_cores; ++i) {
     Core& core = *cores_[i];
     const auto& src = image.cores[i];
-    core.win_r.clear();
-    for (const Tuple& t : src.win_r) core.win_r.insert(t);
-    core.win_s.clear();
-    for (const Tuple& t : src.win_s) core.win_s.insert(t);
+    // Image windows are age-ordered; bulk-load rebuilds lanes + index in
+    // one pass (recovery restores sit on the supervised-restart MTTR
+    // path).
+    core.win_r.load(src.win_r.data(), src.win_r.size());
+    core.win_s.load(src.win_s.data(), src.win_s.size());
     core.count_r = image.count_r;
     core.count_s = image.count_s;
   }

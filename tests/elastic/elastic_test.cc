@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <vector>
@@ -18,6 +19,7 @@
 #include "obs/metrics.h"
 #include "stream/generator.h"
 #include "stream/reference_join.h"
+#include "sw/indexed_window.h"
 
 namespace hal::elastic {
 namespace {
@@ -451,6 +453,48 @@ TEST(Elastic, ControllerMetricsExport) {
     ASSERT_NE(shards, nullptr);
     EXPECT_EQ(shards->counter_value, 3u);
   }  // else: HAL_OBS=0 shell registry — nothing to assert.
+}
+
+// The migration rebuild loop reloads every affected slot's windows
+// through the batched IndexedSoaWindow::load path (dense-lane fill plus
+// one exact-reserve index rebuild) instead of per-tuple insert. Guard
+// its throughput with a floor generous enough for sanitizer builds —
+// the release path runs orders of magnitude above it — so a regression
+// back to per-insert hooking shows up as a hard failure, and prove the
+// batched load leaves the window probe-equivalent to the insert loop.
+TEST(Elastic, BatchedWindowRebuildMeetsThroughputFloor) {
+  constexpr std::size_t kCapacity = 4096;
+  constexpr std::size_t kRounds = 64;
+  const auto tuples = workload(kCapacity + 128, 91, 1 << 10);
+
+  sw::IndexedSoaWindow batched(kCapacity);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    batched.load(tuples.data(), tuples.size());
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const double rate =
+      static_cast<double>(kRounds * tuples.size()) / std::max(secs, 1e-9);
+  EXPECT_GT(rate, 2e5) << "batched rebuild regressed to " << rate
+                       << " tuples/s";
+
+  sw::IndexedSoaWindow inserted(kCapacity);
+  for (const Tuple& t : tuples) inserted.insert(t);
+  ASSERT_EQ(batched.size(), inserted.size());
+  for (std::uint32_t key = 0; key < (1u << 10); ++key) {
+    std::vector<std::uint64_t> a, b;
+    batched.collect_equal(key, [&](const stream::Tuple& t) {
+      a.push_back(t.seq);
+    });
+    inserted.collect_equal(key, [&](const stream::Tuple& t) {
+      b.push_back(t.seq);
+    });
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    ASSERT_EQ(a, b) << "probe divergence on key " << key;
+  }
 }
 
 }  // namespace

@@ -2,6 +2,11 @@
 // scheduling.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <vector>
+
 #include "common/rng.h"
 #include "fqp/assigner.h"
 #include "fqp/multi_query.h"
@@ -80,6 +85,109 @@ TEST(MultiQuery, SharedJoinAcrossQueries) {
   // A and B share the identical join; C (different window) stays apart.
   EXPECT_EQ(report.operators_before, 3u);
   EXPECT_EQ(report.operators_after, 2u);
+}
+
+// --- share_common_subplans property tests ------------------------------------
+//
+// Random query sets over a deliberately tiny parameter domain (so
+// structural collisions are frequent), checked against the reference
+// interpreter: sharing must never change any query's output multiset,
+// and the SharingReport must agree with unique_operator_count on both
+// sides of the rewrite.
+
+Query random_query(Rng& rng, int i) {
+  QueryBuilder b = QueryBuilder::from("Customer", customer());
+  static const char* kFields[] = {"Age", "Gender", "ProductID"};
+  static const CmpOp kOps[] = {CmpOp::Gt, CmpOp::Lt, CmpOp::Ge};
+  static const std::uint32_t kConsts[] = {2, 10, 25};
+  const std::size_t selects = rng.next_below(3);
+  for (std::size_t s = 0; s < selects; ++s) {
+    b.select(kFields[rng.next_below(3)], kOps[rng.next_below(3)],
+             kConsts[rng.next_below(3)]);
+  }
+  if (rng.next_bool(0.5)) {
+    QueryBuilder rhs = QueryBuilder::from("Product", product());
+    if (rng.next_bool(0.5)) {
+      rhs.select("Price", CmpOp::Lt, kConsts[rng.next_below(3)] * 2);
+    }
+    b.join(rhs, "ProductID", "ProductID",
+           rng.next_bool(0.5) ? 64 : 128);
+  }
+  return b.output("q" + std::to_string(i));
+}
+
+std::vector<Record> normalized(const std::vector<Record>& records) {
+  std::vector<Record> out = records;
+  std::sort(out.begin(), out.end(), [](const Record& a, const Record& b) {
+    return std::tie(a.fields, a.seq) < std::tie(b.fields, b.seq);
+  });
+  return out;
+}
+
+TEST(MultiQueryProperty, SharingPreservesOutputsOnRandomQuerySets) {
+  for (std::uint64_t trial = 0; trial < 12; ++trial) {
+    Rng rng(0x5EED0 + trial);
+    std::vector<Query> queries;
+    for (int i = 0; i < 8; ++i) queries.push_back(random_query(rng, i));
+    const std::vector<Query> baseline = queries;  // original trees
+
+    const std::size_t before = unique_operator_count(baseline);
+    const SharingReport report = share_common_subplans(queries);
+    EXPECT_EQ(report.operators_before, before) << "trial " << trial;
+    EXPECT_EQ(report.operators_after, unique_operator_count(queries))
+        << "trial " << trial;
+    EXPECT_EQ(report.saved(), before - report.operators_after);
+    EXPECT_LE(report.operators_after, report.operators_before);
+
+    // A second pass over an already-shared set must be a no-op.
+    std::vector<Query> again = queries;
+    EXPECT_EQ(share_common_subplans(again).saved(), 0u) << "trial " << trial;
+
+    PlanInterpreter shared(queries);
+    PlanInterpreter separate(baseline);
+    for (std::uint64_t seq = 1; seq <= 200; ++seq) {
+      if (rng.next_bool(0.5)) {
+        Record r{{static_cast<std::uint32_t>(rng.next_below(60)),
+                  static_cast<std::uint32_t>(rng.next_below(2)),
+                  static_cast<std::uint32_t>(rng.next_below(8))}};
+        r.seq = seq;
+        shared.process("Customer", r);
+        separate.process("Customer", r);
+      } else {
+        Record r{{static_cast<std::uint32_t>(rng.next_below(8)),
+                  static_cast<std::uint32_t>(rng.next_below(100))}};
+        r.seq = seq;
+        shared.process("Product", r);
+        separate.process("Product", r);
+      }
+    }
+    for (int i = 0; i < 8; ++i) {
+      const std::string name = "q" + std::to_string(i);
+      EXPECT_EQ(normalized(shared.output(name)),
+                normalized(separate.output(name)))
+          << "trial " << trial << " query " << name;
+    }
+  }
+}
+
+TEST(MultiQueryProperty, SavedCountsCollapsedDuplicates) {
+  // k structurally identical queries collapse to one chain: the pass must
+  // save exactly (k-1) * operators_per_query.
+  constexpr int k = 5;
+  std::vector<Query> queries;
+  for (int i = 0; i < k; ++i) {
+    queries.push_back(QueryBuilder::from("Customer", customer())
+                          .select("Age", CmpOp::Gt, 25)
+                          .project({"Age", "ProductID"})
+                          .output("dup" + std::to_string(i)));
+  }
+  const SharingReport report = share_common_subplans(queries);
+  EXPECT_EQ(report.operators_before, 2u * k);
+  EXPECT_EQ(report.operators_after, 2u);
+  EXPECT_EQ(report.saved(), 2u * (k - 1));
+  for (int i = 1; i < k; ++i) {
+    EXPECT_EQ(queries[0].root.get(), queries[i].root.get());
+  }
 }
 
 TEST(MultiQuery, PlansEqualIsStructural) {

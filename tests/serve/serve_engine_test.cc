@@ -1,0 +1,417 @@
+// hal::serve differential suite — the record-level serving tier.
+//
+// Ground truth is fqp::PlanInterpreter running the *original*
+// (un-canonicalized) queries: distinct plan nodes there mean fully
+// independent join state, i.e. the "N independent queries" baseline the
+// shared engine must be observationally identical to. Windowed outputs
+// are order-free multisets, so comparisons normalize by sorting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "fqp/cost.h"
+#include "fqp/query.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "serve/record_window.h"
+#include "serve/serve_engine.h"
+
+namespace hal::serve {
+namespace {
+
+using fqp::PlanInterpreter;
+using fqp::Query;
+using fqp::QueryBuilder;
+using fqp::Record;
+using fqp::Schema;
+using stream::CmpOp;
+
+Schema customer() { return Schema("Customer", {"Age", "Gender", "ProductID"}); }
+Schema product() { return Schema("Product", {"ProductID", "Price"}); }
+
+// Multiset normal form: records sorted by (fields, seq).
+std::vector<Record> normalize(std::vector<Record> records) {
+  std::sort(records.begin(), records.end(),
+            [](const Record& a, const Record& b) {
+              return std::tie(a.fields, a.seq) < std::tie(b.fields, b.seq);
+            });
+  return records;
+}
+
+// Seeded workload: random Customer/Product arrivals over a small key
+// domain (so joins actually match), seq = 1-based global arrival index.
+std::vector<Arrival> make_arrivals(std::uint64_t seed, std::size_t count,
+                                   std::uint64_t first_seq = 1) {
+  Rng rng(seed);
+  std::vector<Arrival> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Arrival a;
+    if (rng.next_bool(0.5)) {
+      a.stream = "Customer";
+      a.record = Record{{static_cast<std::uint32_t>(rng.next_below(60)),
+                         static_cast<std::uint32_t>(rng.next_below(2)),
+                         static_cast<std::uint32_t>(rng.next_below(8))},
+                        first_seq + i};
+    } else {
+      a.stream = "Product";
+      a.record = Record{{static_cast<std::uint32_t>(rng.next_below(8)),
+                         static_cast<std::uint32_t>(rng.next_below(100))},
+                        first_seq + i};
+    }
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+void feed(PlanInterpreter& oracle, const std::vector<Arrival>& arrivals) {
+  for (const Arrival& a : arrivals) oracle.process(a.stream, a.record);
+}
+
+Query join_query(const std::string& name, std::size_t window,
+                 std::uint32_t min_age = 0) {
+  auto b = QueryBuilder::from("Customer", customer());
+  if (min_age > 0) b.select("Age", CmpOp::Gt, min_age);
+  return b
+      .join(QueryBuilder::from("Product", product()), "ProductID", "ProductID",
+            window)
+      .output(name);
+}
+
+// --- RecordWindow -----------------------------------------------------------
+
+TEST(RecordWindow, IndexedProbeMatchesScanOracleAcrossEviction) {
+  Rng rng(7);
+  RecordWindow win(32, 2, sw::ProbePath::kIndexed);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    win.insert(Record{{static_cast<std::uint32_t>(rng.next_below(60)),
+                       static_cast<std::uint32_t>(rng.next_below(2)),
+                       static_cast<std::uint32_t>(rng.next_below(6))},
+                      i + 1});
+    ASSERT_LE(win.size(), 32u);
+    for (std::uint32_t key = 0; key < 6; ++key) {
+      std::vector<Record> indexed;
+      std::vector<Record> scanned;
+      win.collect_equal(key, [&](const Record& r) { indexed.push_back(r); });
+      win.collect_equal_scan_oracle(
+          key, [&](const Record& r) { scanned.push_back(r); });
+      ASSERT_EQ(normalize(indexed), normalize(scanned))
+          << "key " << key << " after insert " << i;
+    }
+  }
+}
+
+TEST(RecordWindow, ClaimArrivalIsOncePerTick) {
+  RecordWindow win(8, 0);
+  EXPECT_TRUE(win.claim_arrival(1));
+  EXPECT_FALSE(win.claim_arrival(1));
+  EXPECT_TRUE(win.claim_arrival(2));
+}
+
+// --- Differential: fixed query sets ----------------------------------------
+
+TEST(ServeEngine, SingleQueryMatchesInterpreter) {
+  const Query q = QueryBuilder::from("Customer", customer())
+                      .select("Age", CmpOp::Gt, 20)
+                      .join(QueryBuilder::from("Product", product()),
+                            "ProductID", "ProductID", 64)
+                      .project({"Customer.Age", "Product.Price"})
+                      .output("q");
+  const auto arrivals = make_arrivals(11, 400);
+
+  ServeEngine eng;
+  const QueryId id = eng.submit("alice", q);
+  EXPECT_EQ(eng.state(id), QueryState::kAdmitted);
+  eng.process_epoch(arrivals);
+  EXPECT_EQ(eng.state(id), QueryState::kRunning);
+
+  PlanInterpreter oracle({q});
+  feed(oracle, arrivals);
+  EXPECT_EQ(normalize(eng.output(id)), normalize(oracle.output("q")));
+}
+
+TEST(ServeEngine, SharedQueriesMatchIndependentOracles) {
+  // Ten queries across three tenants; seven canonicalize onto the same
+  // join, so the engine runs far fewer operators and windows than the
+  // independent baseline — with identical per-query results.
+  std::vector<Query> originals;
+  for (int i = 0; i < 7; ++i) {
+    originals.push_back(join_query("shared" + std::to_string(i), 64));
+  }
+  originals.push_back(join_query("w128", 128));
+  originals.push_back(join_query("age25", 64, 25));
+  originals.push_back(QueryBuilder::from("Customer", customer())
+                          .select("Age", CmpOp::Gt, 40)
+                          .output("sel"));
+  // Distinct join node (σ on the right side) with the same left (input
+  // sub-plan, field, window): shares the left window across join nodes.
+  originals.push_back(
+      QueryBuilder::from("Customer", customer())
+          .join(QueryBuilder::from("Product", product())
+                    .select("Price", CmpOp::Gt, 50),
+                "ProductID", "ProductID", 64)
+          .output("rsel"));
+  const auto arrivals = make_arrivals(23, 500);
+
+  ServeEngine eng;
+  std::vector<QueryId> ids;
+  for (std::size_t i = 0; i < originals.size(); ++i) {
+    ids.push_back(eng.submit("tenant" + std::to_string(i % 3), originals[i]));
+  }
+  eng.process_epoch(arrivals);
+
+  PlanInterpreter oracle(originals);
+  feed(oracle, arrivals);
+  for (std::size_t i = 0; i < originals.size(); ++i) {
+    EXPECT_EQ(normalize(eng.output(ids[i])),
+              normalize(oracle.output(originals[i].output_name)))
+        << originals[i].output_name;
+  }
+
+  const ServeReport rep = eng.report();
+  EXPECT_EQ(rep.queries_running, 11u);
+  // 10 join queries would need 20 private windows; canonicalization
+  // leaves 4 join nodes (shared-64, w128, age25, rsel), and rsel's left
+  // window is the store-shared one of shared-64: 7 windows total.
+  EXPECT_EQ(rep.windows_live, 7u);
+  EXPECT_EQ(rep.windows_created, 7u);
+  EXPECT_EQ(rep.window_shared_hits, 1u);
+  EXPECT_LT(rep.nodes_live, 20u);
+}
+
+// --- Live lifecycle ---------------------------------------------------------
+
+TEST(ServeEngine, HotAddColdQueryMatchesPostInstallOracle) {
+  // A structurally new query hot-added at an epoch barrier starts with
+  // cold windows: it must equal an oracle that begins at the barrier.
+  const auto epoch1 = make_arrivals(31, 200, 1);
+  const auto epoch2 = make_arrivals(37, 200, 201);
+
+  ServeEngine eng;
+  eng.submit("alice", join_query("warm", 64));
+  eng.process_epoch(epoch1);
+  const QueryId cold = eng.submit("bob", join_query("cold", 32));
+  eng.process_epoch(epoch2);
+
+  PlanInterpreter oracle({join_query("cold", 32)});
+  feed(oracle, epoch2);
+  EXPECT_EQ(normalize(eng.output(cold)), normalize(oracle.output("cold")));
+}
+
+TEST(ServeEngine, HotAddSharedQueryInheritsWarmWindowByteIdentical) {
+  // The acceptance property: a query hot-added onto a warm shared window
+  // delivers, from its install barrier on, byte-identical results to the
+  // same query having been in the fixed set since epoch 0 — including
+  // matches that pair a new arrival with a pre-install resident.
+  const auto epoch1 = make_arrivals(41, 300, 1);
+  const auto epoch2 = make_arrivals(43, 300, 301);
+
+  ServeEngine eng;
+  eng.submit("alice", join_query("resident", 64));
+  eng.process_epoch(epoch1);
+  const QueryId late = eng.submit("bob", join_query("late", 64));
+  eng.process_epoch(epoch2);
+  EXPECT_EQ(eng.report().windows_created, 2u)
+      << "the late query must attach to the live windows, not copy them";
+
+  // Fixed-query-set oracle, filtered to results emitted after the
+  // install floor (a join result's seq is its newest participant's seq =
+  // the emitting arrival's seq, and seqs are the global arrival index).
+  PlanInterpreter oracle({join_query("late", 64)});
+  feed(oracle, epoch1);
+  feed(oracle, epoch2);
+  std::vector<Record> expected;
+  for (const Record& r : oracle.output("late")) {
+    if (r.seq > 300) expected.push_back(r);
+  }
+  ASSERT_FALSE(expected.empty());
+  EXPECT_EQ(normalize(eng.output(late)), normalize(expected));
+
+  // And the delivered set must differ from a cold start — i.e. some
+  // match paired a post-install arrival with a pre-install resident, the
+  // warm-window inheritance itself.
+  PlanInterpreter cold_oracle({join_query("late", 64)});
+  feed(cold_oracle, epoch2);
+  EXPECT_NE(normalize(eng.output(late)), normalize(cold_oracle.output("late")))
+      << "workload never paired across the barrier; weak test";
+}
+
+TEST(ServeEngine, CancelStopsDeliveryAndReleasesState) {
+  const auto epoch1 = make_arrivals(53, 150, 1);
+  const auto epoch2 = make_arrivals(59, 150, 151);
+
+  ServeEngine eng;
+  const QueryId keep = eng.submit("alice", join_query("keep", 64));
+  const QueryId drop = eng.submit("bob", join_query("drop", 32));
+  eng.process_epoch(epoch1);
+  EXPECT_EQ(eng.report().windows_live, 4u);
+
+  EXPECT_TRUE(eng.cancel(drop));
+  EXPECT_FALSE(eng.cancel(drop)) << "double cancel";
+  const std::size_t frozen = eng.output(drop).size();
+  eng.process_epoch(epoch2);
+
+  EXPECT_EQ(eng.state(drop), QueryState::kCancelled);
+  EXPECT_EQ(eng.output(drop).size(), frozen) << "no post-cancel delivery";
+  EXPECT_EQ(eng.report().windows_live, 2u) << "drop's windows released";
+  EXPECT_EQ(eng.report().queries_running, 1u);
+
+  // The surviving query is unaffected: full-history oracle equality.
+  PlanInterpreter oracle({join_query("keep", 64)});
+  feed(oracle, epoch1);
+  feed(oracle, epoch2);
+  EXPECT_EQ(normalize(eng.output(keep)), normalize(oracle.output("keep")));
+}
+
+TEST(ServeEngine, CancelOneSharerKeepsWindowWarmForTheOther) {
+  const auto epoch1 = make_arrivals(61, 200, 1);
+  const auto epoch2 = make_arrivals(67, 200, 201);
+
+  ServeEngine eng;
+  const QueryId a = eng.submit("alice", join_query("a", 64));
+  const QueryId b = eng.submit("bob", join_query("b", 64));
+  eng.process_epoch(epoch1);
+  EXPECT_TRUE(eng.cancel(a));
+  eng.process_epoch(epoch2);
+  EXPECT_EQ(eng.report().windows_live, 2u) << "b still holds the windows";
+
+  PlanInterpreter oracle({join_query("b", 64)});
+  feed(oracle, epoch1);
+  feed(oracle, epoch2);
+  EXPECT_EQ(normalize(eng.output(b)), normalize(oracle.output("b")));
+  (void)a;
+}
+
+// --- Admission control and quotas -------------------------------------------
+
+TEST(ServeEngine, AdmissionPricesMarginalCostOfSharedPlans) {
+  const Query q = join_query("q", 64);
+  const double solo = fqp::estimate_cost(*q.root).ops_per_tuple;
+
+  ServeConfig cfg;
+  cfg.capacity_ops_per_tuple = solo * 1.5;  // room for ~1.5 private joins
+  ServeEngine eng(cfg);
+
+  const QueryId first = eng.submit("alice", join_query("q1", 64));
+  EXPECT_EQ(eng.state(first), QueryState::kAdmitted);
+  // Structurally identical plan from another tenant: marginal cost ~0.
+  const QueryId twin = eng.submit("bob", join_query("q2", 64));
+  EXPECT_EQ(eng.state(twin), QueryState::kAdmitted);
+  EXPECT_LT(eng.info(twin).marginal_ops_per_tuple, 1e-9);
+  // A private join (different window) busts the budget.
+  const QueryId over = eng.submit("carol", join_query("q3", 128));
+  EXPECT_EQ(eng.state(over), QueryState::kRejectedCapacity);
+
+  const ServeReport rep = eng.report();
+  EXPECT_NEAR(rep.estimated_ops_per_tuple, solo, 1e-9);
+  // The rejected submit left the books untouched: resubmitting the twin
+  // shape still prices at ~0 and admits.
+  const QueryId twin2 = eng.submit("carol", join_query("q4", 64));
+  EXPECT_EQ(eng.state(twin2), QueryState::kAdmitted);
+}
+
+TEST(ServeEngine, TenantEstimateQuotaRejectsIndependently) {
+  ServeEngine eng;
+  const double solo =
+      fqp::estimate_cost(*join_query("x", 64).root).ops_per_tuple;
+  eng.set_quota("bounded", TenantQuota{solo * 1.1, 0.0});
+
+  EXPECT_EQ(eng.state(eng.submit("bounded", join_query("a", 64))),
+            QueryState::kAdmitted);
+  // Second *private* join exceeds the tenant's estimate quota...
+  const QueryId over = eng.submit("bounded", join_query("b", 128));
+  EXPECT_EQ(eng.state(over), QueryState::kRejectedQuota);
+  // ...but an unbounded tenant takes the same shape fine.
+  EXPECT_EQ(eng.state(eng.submit("free", join_query("c", 128))),
+            QueryState::kAdmitted);
+
+  const ServeReport rep = eng.report();
+  const auto bounded = std::find_if(
+      rep.tenants.begin(), rep.tenants.end(),
+      [](const TenantReport& t) { return t.name == "bounded"; });
+  ASSERT_NE(bounded, rep.tenants.end());
+  EXPECT_EQ(bounded->rejected, 1u);
+}
+
+TEST(ServeEngine, RuntimeQuotaThrottlesAggressorNotNeighbors) {
+  // "noisy" runs a quadratic self-amplifying join (every key collides);
+  // "quiet" runs a cheap selection. With a runtime quota on noisy, quiet
+  // must stay byte-identical to its solo oracle while noisy is shed.
+  const Query quiet_q = QueryBuilder::from("Customer", customer())
+                            .select("Age", CmpOp::Gt, 10)
+                            .output("quiet");
+  const Query noisy_q = join_query("noisy", 256);
+
+  std::vector<std::vector<Arrival>> epochs;
+  for (int e = 0; e < 6; ++e) {
+    epochs.push_back(
+        make_arrivals(100 + e, 50, static_cast<std::uint64_t>(e) * 50 + 1));
+  }
+
+  ServeEngine eng;
+  eng.set_quota("noisy", TenantQuota{0.0, 50.0});
+  const QueryId quiet = eng.submit("quiet", quiet_q);
+  const QueryId noisy = eng.submit("noisy", noisy_q);
+  for (const auto& epoch : epochs) eng.process_epoch(epoch);
+
+  const ServeReport rep = eng.report();
+  const auto tenant = [&](const std::string& name) {
+    return *std::find_if(rep.tenants.begin(), rep.tenants.end(),
+                         [&](const TenantReport& t) { return t.name == name; });
+  };
+  EXPECT_GT(tenant("noisy").throttled_epochs, 0u);
+  EXPECT_GT(tenant("noisy").shed_arrivals, 0u);
+  EXPECT_EQ(tenant("quiet").throttled_epochs, 0u);
+  EXPECT_EQ(tenant("quiet").shed_arrivals, 0u);
+
+  PlanInterpreter oracle({quiet_q, noisy_q});
+  for (const auto& epoch : epochs) feed(oracle, epoch);
+  EXPECT_EQ(normalize(eng.output(quiet)), normalize(oracle.output("quiet")))
+      << "neighbor must be untouched by the aggressor's throttling";
+  EXPECT_LT(eng.output(noisy).size(), oracle.output("noisy").size())
+      << "aggressor must actually be shed";
+  EXPECT_EQ(eng.info(noisy).results, eng.output(noisy).size());
+}
+
+// --- Reporting and metrics ---------------------------------------------------
+
+TEST(ServeEngine, DeterministicMetricsProjectionIsStableAcrossRuns) {
+  const auto run = [] {
+    ServeEngine eng;
+    eng.submit("alice", join_query("a", 64));
+    eng.submit("bob", join_query("b", 64));
+    eng.process_epoch(make_arrivals(71, 250));
+    obs::MetricRegistry registry;
+    eng.collect_metrics(registry, "serve.");
+    obs::ExportOptions opts;
+    opts.include_runtime = false;
+    return obs::to_json(registry.snapshot("serve"), opts);
+  };
+  const std::string first = run();
+  EXPECT_EQ(first, run());
+  EXPECT_TRUE(obs::json_lint(first));
+}
+
+TEST(ServeEngine, ReportCountsConsistent) {
+  ServeEngine eng;
+  const QueryId a = eng.submit("alice", join_query("a", 64));
+  eng.process_epoch(make_arrivals(73, 100));
+  const ServeReport rep = eng.report();
+  EXPECT_EQ(rep.epochs, 1u);
+  EXPECT_EQ(rep.arrivals, 100u);
+  EXPECT_EQ(rep.results, eng.info(a).results);
+  EXPECT_EQ(rep.windows_created, 2u);
+  EXPECT_EQ(rep.window_acquires, 2u);
+  EXPECT_EQ(rep.window_shared_hits, 0u);
+  EXPECT_GT(rep.ops, 0u);
+  ASSERT_EQ(rep.tenants.size(), 1u);
+  EXPECT_EQ(rep.tenants[0].running, 1u);
+  EXPECT_EQ(rep.tenants[0].results, rep.results);
+}
+
+}  // namespace
+}  // namespace hal::serve

@@ -54,6 +54,21 @@ SPECS = {
         ("hash_fib_hi16.cycles_per_probe", "lower", "rel", 0.15),
         ("indexed_vs_scan_speedup", "higher", "rel", 0.15),
     ],
+    "serve_multi_tenant": [
+        # Wall-clock ratios of same-process measurements: stable in
+        # direction, generous in magnitude on shared CI hardware.
+        ("scaling_64.speedup", "higher", "rel", 0.5),
+        ("scaling_256.speedup", "higher", "rel", 0.5),
+        # Deterministic given the pinned seed and query pool: the global
+        # plan's size and the shared-window census. Exact on purpose —
+        # drift means the canonicalizer or the store changed shape.
+        ("sharing.nodes_live", "lower", "abs", 0.0),
+        ("sharing.windows_live", "lower", "abs", 0.0),
+        # Fraction near zero (the bench claims <= 0.20).
+        # Wide tolerance: the baseline run's best paired rep can land
+        # slightly negative, and the bench's own claim gate allows +0.20.
+        ("admission.quota_p99_degradation", "lower", "abs", 0.5),
+    ],
     "recovery_cost": [
         # Fractions (the bench claims log_overhead < 0.02).
         ("fast_path.log_overhead", "lower", "abs", 0.02),
