@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   ucfg.distribution = hw::NetworkKind::kLightweight;
   ucfg.gathering = hw::NetworkKind::kLightweight;
   MeasureOptions opts;
+  opts.sim_threads = bench::sim_threads();
   opts.num_tuples = 256;
   opts.requested_mhz = 100.0;
   const HwThroughput uni = measure_uniflow_throughput(ucfg, v5, opts);

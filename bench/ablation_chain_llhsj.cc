@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
   constexpr std::size_t kWindow = 1u << 12;
 
   MeasureOptions opts;
+  opts.sim_threads = bench::sim_threads();
   opts.num_tuples = 384;
   opts.requested_mhz = 1e9;  // modeled F_max
 

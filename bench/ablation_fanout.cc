@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
     cfg.gathering = hw::NetworkKind::kScalable;
     cfg.fanout = fanout;
     MeasureOptions opts;
+    opts.sim_threads = bench::sim_threads();
     opts.requested_mhz = 1e9;
     lat[fanout] = measure_uniflow_latency(cfg, v7, opts);
     const hw::DesignStats stats = hw::UniflowEngine(cfg).design_stats();

@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
       cfg.window_size = 1u << 12;
       cfg.algorithm = alg;
       MeasureOptions opts;
+      opts.sim_threads = bench::sim_threads();
       opts.num_tuples = 512;
       opts.requested_mhz = 300.0;
       opts.key_domain = key_domain;

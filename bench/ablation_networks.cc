@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
       cfg.distribution = net;
       cfg.gathering = net;
       MeasureOptions opts;
+      opts.sim_threads = bench::sim_threads();
       opts.num_tuples = 512;
       opts.requested_mhz = 1e9;  // run at modeled F_max
       const HwThroughput t = measure_uniflow_throughput(cfg, v7, opts);

@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
     cfg.num_select_cores = 1;
     cfg.join.num_cores = 8;
     cfg.join.window_size = 1u << 12;
+    cfg.sim.threads = bench::sim_threads();
     OpChainEngine engine(cfg);
     engine.program_join(stream::JoinSpec::equi_on_key());
     if (sel < 1.0) {

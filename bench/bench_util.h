@@ -15,6 +15,10 @@
 //   --seed=<n>         workload seed override for the benches that draw
 //                      random streams (chaos schedules, cluster scaling),
 //                      so a CI failure names a seed a dev box can replay.
+//   --sim-threads[=N]  host threads for the cycle-simulation kernel in the
+//                      hw benches (default 1 = serial oracle; bare flag
+//                      means hardware_concurrency). Purely host-side: the
+//                      simulated results are byte-identical across values.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +27,7 @@
 #include <filesystem>
 #include <string>
 #include <string_view>
+#include <thread>
 
 #include "common/table.h"
 #include "obs/export.h"
@@ -36,6 +41,7 @@ inline std::string g_obs_json_path;
 inline std::string g_out_dir;
 inline bool g_seed_set = false;
 inline std::uint64_t g_seed = 0;
+inline std::uint32_t g_sim_threads = 1;
 
 // Process-wide registry benches record into (directly or by pointing
 // core::MeasureOptions::registry at it). With HAL_OBS=0 this is the no-op
@@ -51,7 +57,22 @@ inline void init(int argc, char** argv) {
     constexpr std::string_view kObsJson = "--obs-json=";
     constexpr std::string_view kOutDir = "--out-dir=";
     constexpr std::string_view kSeed = "--seed=";
-    if (arg.substr(0, kObsJson.size()) == kObsJson) {
+    constexpr std::string_view kSimThreads = "--sim-threads";
+    if (arg == kSimThreads) {
+      const unsigned hw = std::thread::hardware_concurrency();
+      g_sim_threads = hw > 0 ? hw : 1;
+    } else if (arg.substr(0, kSimThreads.size() + 1) ==
+               std::string(kSimThreads) + "=") {
+      const std::string value(arg.substr(kSimThreads.size() + 1));
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(value.c_str(), &end, 10);
+      if (end != nullptr && *end == '\0' && !value.empty() && parsed >= 1) {
+        g_sim_threads = static_cast<std::uint32_t>(parsed);
+      } else {
+        std::fprintf(stderr, "warning: ignoring malformed --sim-threads=%s\n",
+                     value.c_str());
+      }
+    } else if (arg.substr(0, kObsJson.size()) == kObsJson) {
       g_obs_json_path = std::string(arg.substr(kObsJson.size()));
     } else if (arg.substr(0, kSeed.size()) == kSeed) {
       const std::string value(arg.substr(kSeed.size()));
@@ -94,8 +115,9 @@ inline std::string out_path(const std::string& filename) {
 }
 
 // Standard opening of every BENCH_*.json artifact: bench name, the
-// workload seed the run actually used, and the resolved artifact path —
-// so a CI diff names both the replay seed and the exact file it compared.
+// workload seed the run actually used, the simulation-kernel thread count
+// and the resolved artifact path — so a CI diff names the replay seed, the
+// host execution mode and the exact file it compared.
 inline void json_header(std::FILE* f, const char* bench_name,
                         std::uint64_t seed, const std::string& path) {
   std::string escaped;
@@ -105,10 +127,13 @@ inline void json_header(std::FILE* f, const char* bench_name,
   }
   std::fprintf(f,
                "{\n  \"bench\": \"%s\",\n  \"seed\": %llu,\n"
-               "  \"out_path\": \"%s\",\n",
+               "  \"sim_threads\": %u,\n  \"out_path\": \"%s\",\n",
                bench_name, static_cast<unsigned long long>(seed),
-               escaped.c_str());
+               static_cast<unsigned>(g_sim_threads), escaped.c_str());
 }
+
+// The --sim-threads override (1 when absent) for hw engine configs.
+[[nodiscard]] inline std::uint32_t sim_threads() { return g_sim_threads; }
 
 // The --seed override, or the bench's own default.
 inline std::uint64_t seed_or(std::uint64_t fallback) {

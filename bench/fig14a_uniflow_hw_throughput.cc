@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
       cfg.distribution = hw::NetworkKind::kLightweight;
       cfg.gathering = hw::NetworkKind::kLightweight;
       MeasureOptions opts;
+      opts.sim_threads = bench::sim_threads();
       opts.num_tuples = 512;
       opts.requested_mhz = 100.0;  // paper: "F:100MHz"
       opts.registry = &bench::registry();

@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
     ucfg.distribution = hw::NetworkKind::kLightweight;
     ucfg.gathering = hw::NetworkKind::kLightweight;
     MeasureOptions uopts;
+    uopts.sim_threads = bench::sim_threads();
     uopts.num_tuples = 512;
     uopts.requested_mhz = 100.0;
     const HwThroughput uni = measure_uniflow_throughput(ucfg, v5, uopts);
@@ -45,6 +46,7 @@ int main(int argc, char** argv) {
     bcfg.num_cores = kCores;
     bcfg.window_size = window;
     MeasureOptions bopts;
+    bopts.sim_threads = bench::sim_threads();
     bopts.num_tuples = window >= (1u << 12) ? 96 : 192;
     bopts.requested_mhz = 100.0;
     const HwThroughput bi = measure_biflow_throughput(bcfg, v5, bopts);

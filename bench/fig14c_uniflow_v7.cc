@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
     cfg.distribution = hw::NetworkKind::kScalable;
     cfg.gathering = hw::NetworkKind::kScalable;
     MeasureOptions opts;
+    opts.sim_threads = bench::sim_threads();
     // Enough tuples for steady state; scans dominate at large windows.
     opts.num_tuples = exp >= 17 ? 192 : 1024;
     opts.requested_mhz = 300.0;  // paper: "300MHz clock ... as provided by

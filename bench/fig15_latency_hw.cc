@@ -53,6 +53,7 @@ int main(int argc, char** argv) {
       cfg.distribution = s.network;
       cfg.gathering = s.network;
       MeasureOptions opts;
+      opts.sim_threads = bench::sim_threads();
       opts.requested_mhz = s.requested_mhz;  // V7: run at modeled F_max
       const HwLatency lat = measure_uniflow_latency(cfg, s.device, opts);
       results[s.name][cores] = lat;

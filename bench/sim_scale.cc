@@ -1,0 +1,316 @@
+// Host-side scaling of the thread-parallel simulation kernel on the
+// paper's open-problem fabric shapes: uni-flow distribution/gathering
+// trees and OP-Chain selection pipelines at 2^10-2^14 modules.
+//
+// Unlike every other bench, nothing here is about the simulated design —
+// the simulated results are byte-identical at every thread count (the
+// two-phase determinism contract, asserted below against the serial
+// oracle). What is measured is how fast the host can turn the crank:
+// module-evaluations per second over a fixed cycle budget, per thread
+// count, plus the partition quality (cut links) the topology-aware
+// sharding achieves.
+//
+// Emits BENCH_simscale.json. tools/bench_diff.py gates the deterministic
+// fields exactly and the serial throughput generously; the speedup claim
+// is gated on hardware_concurrency >= 8 (a 1-2 core CI box cannot
+// demonstrate an 8-way speedup and SKIPs instead of lying).
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "hw/opchain/op_chain_engine.h"
+#include "hw/uniflow/engine.h"
+#include "obs/export.h"
+#include "stream/generator.h"
+#include "stream/join_spec.h"
+
+namespace {
+
+using hal::hw::OpChainConfig;
+using hal::hw::OpChainEngine;
+using hal::hw::UniflowConfig;
+using hal::hw::UniflowEngine;
+
+constexpr std::uint32_t kThreadSweep[] = {1, 2, 4, 8};
+
+struct RunResult {
+  std::uint64_t cycle = 0;
+  std::vector<hal::stream::ResultTuple> results;
+  std::string det_obs;  // deterministic obs projection (uniflow only)
+  double seconds = 0.0;
+  std::size_t modules = 0;
+  std::uint64_t partition_links = 0;
+  std::uint64_t partition_cut_links = 0;
+};
+
+struct FabricResult {
+  std::string name;
+  std::size_t modules = 0;
+  std::uint64_t cycles = 0;
+  std::map<std::uint32_t, double> seconds;   // thread count -> wall time
+  bool identical = true;                     // all runs matched serial
+  std::uint64_t partition_links = 0;         // at the max thread count
+  std::uint64_t partition_cut_links = 0;
+
+  [[nodiscard]] double mevals_per_sec(std::uint32_t t) const {
+    const double s = seconds.at(t);
+    return s > 0.0 ? static_cast<double>(modules) *
+                         static_cast<double>(cycles) / s / 1e6
+                   : 0.0;
+  }
+  [[nodiscard]] double speedup(std::uint32_t t) const {
+    const double base = seconds.at(1);
+    const double s = seconds.at(t);
+    return s > 0.0 ? base / s : 0.0;
+  }
+};
+
+std::vector<hal::stream::Tuple> make_workload(std::uint64_t seed,
+                                              std::size_t n) {
+  hal::stream::WorkloadConfig wl;
+  wl.seed = seed;
+  wl.key_domain = 1u << 16;  // enough matches to keep result paths busy
+  hal::stream::WorkloadGenerator gen(wl);
+  return gen.take(n);
+}
+
+// Deterministic projection of the engine's metrics: byte-identical across
+// thread counts iff the simulated design behaved identically.
+std::string det_projection(const UniflowEngine& engine) {
+  hal::obs::MetricRegistry reg;
+  engine.collect_metrics(reg, "engine.");
+  hal::obs::ExportOptions det;
+  det.include_runtime = false;
+  return hal::obs::to_json(reg.snapshot("sim_scale"), det);
+}
+
+template <typename Engine>
+void read_partition_stats(const Engine& engine, RunResult& out) {
+  out.modules = engine.module_count();
+  const auto* stepper = engine.simulator().stepper();
+  if (stepper == nullptr) return;
+  hal::obs::MetricRegistry reg;
+  engine.simulator().collect_metrics(reg, "");
+  const auto snap = reg.snapshot();
+  if (const auto* m = snap.find("sim.partition.links")) {
+    out.partition_links = m->counter_value;
+  }
+  if (const auto* m = snap.find("sim.partition.cut_links")) {
+    out.partition_cut_links = m->counter_value;
+  }
+}
+
+RunResult run_uniflow(const UniflowConfig& cfg, std::uint32_t threads,
+                      std::uint64_t cycles, std::uint64_t seed) {
+  UniflowConfig run_cfg = cfg;
+  run_cfg.sim.threads = threads;
+  UniflowEngine engine(run_cfg);
+  engine.set_record_injections(false);
+  engine.program(hal::stream::JoinSpec::equi_on_key());
+  engine.offer(make_workload(seed, 256));
+
+  const auto start = std::chrono::steady_clock::now();
+  engine.step(cycles);
+  const auto stop = std::chrono::steady_clock::now();
+
+  RunResult out;
+  out.cycle = engine.cycle();
+  out.results = engine.result_tuples();
+  out.det_obs = det_projection(engine);
+  out.seconds = std::chrono::duration<double>(stop - start).count();
+  read_partition_stats(engine, out);
+  return out;
+}
+
+RunResult run_opchain(const OpChainConfig& cfg, std::uint32_t threads,
+                      std::uint64_t cycles, std::uint64_t seed) {
+  OpChainConfig run_cfg = cfg;
+  run_cfg.sim.threads = threads;
+  OpChainEngine engine(run_cfg);
+  engine.set_record_injections(false);
+  engine.program_join(hal::stream::JoinSpec::equi_on_key());
+  engine.offer(make_workload(seed, 256));
+
+  const auto start = std::chrono::steady_clock::now();
+  engine.step(cycles);
+  const auto stop = std::chrono::steady_clock::now();
+
+  RunResult out;
+  out.cycle = engine.cycle();
+  out.results = engine.result_tuples();
+  out.seconds = std::chrono::duration<double>(stop - start).count();
+  read_partition_stats(engine, out);
+  return out;
+}
+
+template <typename RunFn>
+FabricResult sweep(const std::string& name, std::uint64_t cycles,
+                   std::uint64_t seed, RunFn&& run_at) {
+  FabricResult fab;
+  fab.name = name;
+  fab.cycles = cycles;
+  RunResult oracle;
+  for (const std::uint32_t t : kThreadSweep) {
+    RunResult r = run_at(t, cycles, seed);
+    fab.seconds[t] = r.seconds;
+    if (t == 1) {
+      oracle = std::move(r);
+      fab.modules = oracle.modules;
+      continue;
+    }
+    if (r.cycle != oracle.cycle || r.results != oracle.results ||
+        r.det_obs != oracle.det_obs) {
+      fab.identical = false;
+      std::printf("  MISMATCH: %s at %u threads diverged from serial\n",
+                  name.c_str(), t);
+    }
+    fab.partition_links = r.partition_links;
+    fab.partition_cut_links = r.partition_cut_links;
+  }
+  return fab;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hal::bench::init(argc, argv);
+  using namespace hal;
+
+  bench::banner("sim_scale",
+                "thread scaling of the two-phase simulation kernel");
+
+  const std::uint64_t seed = bench::seed_or(20170605);
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  std::printf("  host hardware threads: %u\n", hw_threads);
+
+  std::vector<FabricResult> fabrics;
+
+  // Uni-flow trees: fetch/result fifo per core + core + tree nodes, so
+  // C cores land at roughly 6C modules. The sweep spans 2^10 - 2^14.
+  struct UniPoint {
+    std::uint32_t cores;
+    std::uint32_t fanout;
+    std::uint64_t cycles;
+  };
+  for (const auto& p : {UniPoint{128, 2, 4096}, UniPoint{512, 4, 2048},
+                        UniPoint{2048, 2, 768}}) {
+    UniflowConfig cfg;
+    cfg.num_cores = p.cores;
+    cfg.window_size = static_cast<std::size_t>(p.cores) * 4;
+    cfg.fanout = p.fanout;
+    const std::string name = "uniflow_" + std::to_string(p.cores) + "_f" +
+                             std::to_string(p.fanout);
+    fabrics.push_back(
+        sweep(name, p.cycles, seed, [&](std::uint32_t t, std::uint64_t c,
+                                        std::uint64_t s) {
+          return run_uniflow(cfg, t, c, s);
+        }));
+  }
+
+  // OP-Chain selection pipelines: a σ-core + link per stage ahead of a
+  // modest join stage — the long-thin topology, worst case for
+  // partition balance.
+  struct OpPoint {
+    std::uint32_t selects;
+    std::uint64_t cycles;
+  };
+  for (const auto& p : {OpPoint{256, 2048}, OpPoint{1024, 1024}}) {
+    OpChainConfig cfg;
+    cfg.num_select_cores = p.selects;
+    cfg.join.num_cores = 64;
+    cfg.join.window_size = 64 * 4;
+    const std::string name = "opchain_" + std::to_string(p.selects);
+    fabrics.push_back(
+        sweep(name, p.cycles, seed, [&](std::uint32_t t, std::uint64_t c,
+                                        std::uint64_t s) {
+          return run_opchain(cfg, t, c, s);
+        }));
+  }
+
+  Table table({"fabric", "modules", "cycles", "serial Mevals/s", "x2", "x4",
+               "x8", "cut links", "identical"});
+  for (const auto& f : fabrics) {
+    table.add_row(
+        {f.name, Table::integer(f.modules), Table::integer(f.cycles),
+         Table::num(f.mevals_per_sec(1), 2),
+         Table::num(f.speedup(2), 2) + "x", Table::num(f.speedup(4), 2) + "x",
+         Table::num(f.speedup(8), 2) + "x",
+         Table::integer(f.partition_cut_links) + "/" +
+             Table::integer(f.partition_links),
+         f.identical ? "yes" : "NO"});
+  }
+  table.print();
+
+  const std::string json_path = bench::out_path("BENCH_simscale.json");
+  if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+    bench::json_header(f, "sim_scale", seed, json_path);
+    std::fprintf(f, "  \"hardware_concurrency\": %u,\n", hw_threads);
+    double best8 = 0.0;
+    for (const auto& fab : fabrics) {
+      if (fab.modules >= 4096 && fab.speedup(8) > best8) {
+        best8 = fab.speedup(8);
+      }
+      std::fprintf(
+          f,
+          "  \"%s\": {\"modules\": %zu, \"cycles\": %llu, "
+          "\"identical\": %d,\n"
+          "    \"serial_mevals_per_sec\": %.3f, \"speedup_t2\": %.3f, "
+          "\"speedup_t4\": %.3f, \"speedup_t8\": %.3f,\n"
+          "    \"partition_links\": %llu, \"partition_cut_links\": %llu},\n",
+          fab.name.c_str(), fab.modules,
+          static_cast<unsigned long long>(fab.cycles), fab.identical ? 1 : 0,
+          fab.mevals_per_sec(1), fab.speedup(2), fab.speedup(4),
+          fab.speedup(8),
+          static_cast<unsigned long long>(fab.partition_links),
+          static_cast<unsigned long long>(fab.partition_cut_links));
+    }
+    std::fprintf(f, "  \"best_speedup_t8_large_fabric\": %.3f\n", best8);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: cannot write %s\n", json_path.c_str());
+  }
+
+  // Claims. Byte-identity holds on any host; the scaling claim needs
+  // enough cores to mean anything.
+  for (const auto& fab : fabrics) {
+    bench::claim(fab.identical,
+                 fab.name + ": threaded runs byte-identical to the serial "
+                            "oracle (cycles, results, deterministic obs)");
+  }
+  // The tree fabrics' declared links should be nearly all intact after
+  // partitioning (contiguous DFS chunks cut near chunk boundaries only).
+  // Small fabrics pay a fixed per-boundary toll that dwarfs their link
+  // count, so the locality bar applies to the scaling targets.
+  for (const auto& fab : fabrics) {
+    if (fab.partition_links == 0 || fab.modules < 2048) continue;
+    const double cut_ratio = static_cast<double>(fab.partition_cut_links) /
+                             static_cast<double>(fab.partition_links);
+    bench::claim(cut_ratio < 0.05,
+                 fab.name + ": partition cuts < 5% of declared links (" +
+                     Table::num(cut_ratio * 100.0, 2) + "%)");
+  }
+  if (hw_threads >= 8) {
+    double best8 = 0.0;
+    for (const auto& fab : fabrics) {
+      if (fab.modules >= 4096 && fab.speedup(8) > best8) {
+        best8 = fab.speedup(8);
+      }
+    }
+    bench::claim(best8 >= 4.0,
+                 "8 threads reach >= 4x self-relative speedup on a >= "
+                 "4096-module fabric (best " +
+                     Table::num(best8, 2) + "x)");
+  } else {
+    std::printf("  [SKIP] 8-thread speedup claim (host has %u hardware "
+                "threads; needs >= 8)\n",
+                hw_threads);
+  }
+
+  return bench::finish();
+}

@@ -82,7 +82,9 @@ HwThroughput run_throughput(Engine& engine, const hw::DesignStats& stats,
 HwThroughput measure_uniflow_throughput(const hw::UniflowConfig& cfg,
                                         const hw::FpgaDevice& device,
                                         const MeasureOptions& opts) {
-  hw::UniflowEngine engine(cfg);
+  hw::UniflowConfig run_cfg = cfg;
+  if (opts.sim_threads > 0) run_cfg.sim.threads = opts.sim_threads;
+  hw::UniflowEngine engine(run_cfg);
   return run_throughput(engine, engine.design_stats(), device, opts,
                         /*fill_seed_offset=*/1000);
 }
@@ -90,7 +92,9 @@ HwThroughput measure_uniflow_throughput(const hw::UniflowConfig& cfg,
 HwThroughput measure_biflow_throughput(const hw::BiflowConfig& cfg,
                                        const hw::FpgaDevice& device,
                                        const MeasureOptions& opts) {
-  hw::BiflowEngine engine(cfg);
+  hw::BiflowConfig run_cfg = cfg;
+  if (opts.sim_threads > 0) run_cfg.sim.threads = opts.sim_threads;
+  hw::BiflowEngine engine(run_cfg);
   return run_throughput(engine, engine.design_stats(), device, opts,
                         /*fill_seed_offset=*/1000);
 }
@@ -100,7 +104,9 @@ HwLatency measure_uniflow_latency(const hw::UniflowConfig& cfg,
                                   const MeasureOptions& opts) {
   const hw::TimingModel timing;
 
-  hw::UniflowEngine engine(cfg);
+  hw::UniflowConfig run_cfg = cfg;
+  if (opts.sim_threads > 0) run_cfg.sim.threads = opts.sim_threads;
+  hw::UniflowEngine engine(run_cfg);
   const hw::DesignStats stats = engine.design_stats();
   const hw::ResourceModel resources;
 

@@ -73,6 +73,12 @@ struct MeasureOptions {
   // batch-size sweeps reuse one config.
   std::size_t dispatch_batch = 0;
 
+  // Hardware measurements only: host threads for the simulation kernel.
+  // 0 keeps the engine config's own sim.threads; n overrides it for this
+  // measurement. Purely host-side — simulated results and cycle counts are
+  // byte-identical across values (the two-phase determinism contract).
+  std::uint32_t sim_threads = 0;
+
   // When set, the measurement publishes the engine's internal metrics
   // (under "<obs_prefix>engine.") and its own outputs (under
   // "<obs_prefix>run.") into this registry. With HAL_OBS=0 the registry

@@ -28,6 +28,11 @@ BiflowEngine::BiflowEngine(BiflowConfig cfg) : cfg_(cfg) {
   const std::size_t sub_window = cfg_.window_size / cfg_.num_cores;
   const std::uint32_t n = cfg_.num_cores;
 
+  sim_.configure(cfg_.sim);
+  // Per core: 2 entry + ~2 eviction + 1 result fifo + the core itself,
+  // plus channels, gathering and the test bench.
+  sim_.reserve(8 * static_cast<std::size_t>(n) + 8);
+
   stats_.flow = FlowModel::kBiflow;
   stats_.num_cores = n;
   stats_.sub_window_capacity = sub_window;
@@ -64,6 +69,11 @@ BiflowEngine::BiflowEngine(BiflowConfig cfg) : cfg_(cfg) {
         "jc" + std::to_string(i), sub_window, cfg_.costs, *r_entry[i],
         *s_entry[i], r_out[i], s_out[i], rf));
     sim_.add(*cores_.back());
+    sim_.link(*cores_.back(), *r_entry[i]);
+    sim_.link(*cores_.back(), *s_entry[i]);
+    if (r_out[i] != nullptr) sim_.link(*cores_.back(), *r_out[i]);
+    if (s_out[i] != nullptr) sim_.link(*cores_.back(), *s_out[i]);
+    sim_.link(*cores_.back(), rf);
   }
 
   // Handshake channels on each boundary. The eviction buffers of the
@@ -73,6 +83,10 @@ BiflowEngine::BiflowEngine(BiflowConfig cfg) : cfg_(cfg) {
         "ch" + std::to_string(i), cfg_.costs, *r_out[i], *r_entry[i + 1],
         r_out[i + 1], *s_out[i + 1], *s_entry[i], s_out[i]));
     sim_.add(*channels_.back());
+    sim_.link(*channels_.back(), *r_out[i]);
+    sim_.link(*channels_.back(), *r_entry[i + 1]);
+    sim_.link(*channels_.back(), *s_out[i + 1]);
+    sim_.link(*channels_.back(), *s_entry[i]);
   }
 
   // Result gathering (same building blocks as the uni-flow engine).
@@ -90,11 +104,14 @@ BiflowEngine::BiflowEngine(BiflowConfig cfg) : cfg_(cfg) {
 
   r_driver_ = std::make_unique<TupleDriver>("r_driver", sim_, *r_entry[0]);
   sim_.add(*r_driver_);
+  sim_.link(*r_driver_, *r_entry[0]);
   s_driver_ =
       std::make_unique<TupleDriver>("s_driver", sim_, *s_entry[n - 1]);
   sim_.add(*s_driver_);
+  sim_.link(*s_driver_, *s_entry[n - 1]);
   sink_ = std::make_unique<ResultSink>("sink", sim_, output);
   sim_.add(*sink_);
+  sim_.link(*sink_, output);
 }
 
 sim::Fifo<Tuple>& BiflowEngine::new_tuple_fifo(std::string name,
@@ -159,9 +176,7 @@ void BiflowEngine::offer(const std::vector<Tuple>& tuples) {
   for (const auto& t : tuples) offer(t);
 }
 
-void BiflowEngine::step(std::uint64_t cycles) {
-  for (std::uint64_t i = 0; i < cycles; ++i) sim_.step();
-}
+void BiflowEngine::step(std::uint64_t cycles) { sim_.step_n(cycles); }
 
 bool BiflowEngine::quiescent() const {
   if (r_driver_ && (!r_driver_->done() || !s_driver_->done())) return false;
@@ -222,40 +237,63 @@ void BiflowEngine::collect_metrics(obs::MetricRegistry& registry,
                                    const std::string& prefix) const {
   sim_.collect_metrics(registry, prefix);
 
+  // Reused key buffer — see UniflowEngine::collect_metrics.
+  std::string key;
+  key.reserve(prefix.size() + 48);
+  const auto with = [&](std::string_view suffix) -> const std::string& {
+    key.assign(prefix);
+    key.append(suffix);
+    return key;
+  };
+
   std::uint64_t probes = 0;
   std::uint64_t matches = 0;
   std::uint64_t expired = 0;
   for (std::size_t i = 0; i < cores_.size(); ++i) {
     const BiflowJoinCore& c = *cores_[i];
-    const std::string core_prefix =
-        prefix + "core." + std::to_string(i) + ".";
-    registry.set_counter(core_prefix + "probes", c.probes());
-    registry.set_counter(core_prefix + "matches", c.matches());
-    registry.set_counter(core_prefix + "entries", c.entries_processed());
-    registry.set_counter(core_prefix + "expired", c.expired());
+    key.assign(prefix);
+    key.append("core.");
+    key.append(std::to_string(i));
+    const std::size_t stem = key.size();
+    key.append(".probes");
+    registry.set_counter(key, c.probes());
+    key.resize(stem);
+    key.append(".matches");
+    registry.set_counter(key, c.matches());
+    key.resize(stem);
+    key.append(".entries");
+    registry.set_counter(key, c.entries_processed());
+    key.resize(stem);
+    key.append(".expired");
+    registry.set_counter(key, c.expired());
     probes += c.probes();
     matches += c.matches();
     expired += c.expired();
   }
-  registry.set_counter(prefix + "probes", probes);
-  registry.set_counter(prefix + "matches", matches);
-  registry.set_counter(prefix + "expired", expired);
-  registry.set_counter(prefix + "results", sink_->collected().size());
+  registry.set_counter(with("probes"), probes);
+  registry.set_counter(with("matches"), matches);
+  registry.set_counter(with("expired"), expired);
+  registry.set_counter(with("results"), sink_->collected().size());
 
   std::uint64_t crossings = 0;
   for (const auto& ch : channels_) crossings += ch->transfers();
-  registry.set_counter(prefix + "channel.crossings", crossings);
+  registry.set_counter(with("channel.crossings"), crossings);
   std::uint64_t gather_stalls = 0;
   for (const auto& g : gnodes_) gather_stalls += g->stall_cycles();
-  registry.set_counter(prefix + "gathering.stall_cycles", gather_stalls);
+  registry.set_counter(with("gathering.stall_cycles"), gather_stalls);
 
+  const auto fifo_key = [&](std::string_view name) -> const std::string& {
+    key.assign(prefix);
+    key.append("fifo.");
+    key.append(name);
+    key.append(".high_water");
+    return key;
+  };
   for (const auto& f : tuple_fifos_) {
-    registry.set_counter(prefix + "fifo." + f->name() + ".high_water",
-                         f->high_water());
+    registry.set_counter(fifo_key(f->name()), f->high_water());
   }
   for (const auto& f : result_fifos_) {
-    registry.set_counter(prefix + "fifo." + f->name() + ".high_water",
-                         f->high_water());
+    registry.set_counter(fifo_key(f->name()), f->high_water());
   }
 }
 

@@ -31,6 +31,9 @@ struct BiflowConfig {
   BiflowCosts costs;
   std::size_t link_depth = 2;        // result links
   std::size_t outgoing_capacity = 16;  // eviction buffer per direction
+  // Simulation-kernel knobs (host-side execution only; never changes the
+  // simulated design or any cycle count). threads=1 is the serial oracle.
+  sim::SimConfig sim;
 };
 
 // Feeds one chain end with the tuples of one stream, one per cycle when
@@ -98,6 +101,10 @@ class BiflowEngine {
   [[nodiscard]] bool quiescent() const;
 
   [[nodiscard]] std::uint64_t cycle() const { return sim_.cycle(); }
+  [[nodiscard]] std::size_t module_count() const {
+    return sim_.module_count();
+  }
+  [[nodiscard]] const sim::Simulator& simulator() const { return sim_; }
   [[nodiscard]] const std::vector<TimedResult>& results() const {
     return sink_->collected();
   }

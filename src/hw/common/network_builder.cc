@@ -6,6 +6,23 @@ namespace hal::hw {
 
 namespace {
 
+// Partitioning hints for the parallel stepper: a node shares state with its
+// input and output fifos, so declaring those wires lets the partitioner
+// co-shard each subtree of the network (see sim/partition.h).
+void link_dnode(sim::Simulator& sim, const DNode& node,
+                const sim::Fifo<HwWord>& in,
+                const std::vector<sim::Fifo<HwWord>*>& outs) {
+  sim.link(node, in);
+  for (const auto* f : outs) sim.link(node, *f);
+}
+
+void link_gnode(sim::Simulator& sim, const GNode& node,
+                const std::vector<sim::Fifo<stream::ResultTuple>*>& ins,
+                const sim::Fifo<stream::ResultTuple>& out) {
+  for (const auto* f : ins) sim.link(node, *f);
+  sim.link(node, out);
+}
+
 void build_tree(std::uint32_t fanout, sim::Fifo<HwWord>& in,
                 std::vector<sim::Fifo<HwWord>*> leaves,
                 const WordFifoFactory& new_fifo, sim::Simulator& sim,
@@ -15,8 +32,9 @@ void build_tree(std::uint32_t fanout, sim::Fifo<HwWord>& in,
     out.nodes.push_back(std::make_unique<DNode>(
         "dnode" + std::to_string(depth) + "_" +
             std::to_string(out.nodes.size()),
-        in, std::move(leaves)));
+        in, leaves));
     sim.add(*out.nodes.back());
+    link_dnode(sim, *out.nodes.back(), in, leaves);
     return;
   }
   const std::size_t groups = std::min<std::size_t>(fanout, leaves.size());
@@ -39,6 +57,7 @@ void build_tree(std::uint32_t fanout, sim::Fifo<HwWord>& in,
           std::to_string(out.nodes.size()),
       in, intermediates));
   sim.add(*out.nodes.back());
+  link_dnode(sim, *out.nodes.back(), in, intermediates);
   for (std::size_t g = 0; g < groups; ++g) {
     build_tree(fanout, *intermediates[g], std::move(partitions[g]), new_fifo,
                sim, out, depth + 1);
@@ -57,6 +76,7 @@ DistributionBuild build_distribution(
     case NetworkKind::kLightweight:
       out.nodes.push_back(std::make_unique<DNode>("broadcast", in, fetchers));
       sim.add(*out.nodes.back());
+      link_dnode(sim, *out.nodes.back(), in, fetchers);
       out.max_fanout = n;
       out.counted_nodes = 0;  // pure wiring + the input register
       break;
@@ -69,6 +89,7 @@ DistributionBuild build_distribution(
             std::make_unique<DNode>("dchain" + std::to_string(i), *upstream,
                                     outs));
         sim.add(*out.nodes.back());
+        link_dnode(sim, *out.nodes.back(), *upstream, outs);
         if (i + 1 < n) upstream = outs.back();
       }
       out.max_fanout = 2;
@@ -96,6 +117,7 @@ GatheringBuild build_gathering(
       out.nodes.push_back(
           std::make_unique<GNode>("collector", leaves, output));
       sim.add(*out.nodes.back());
+      link_gnode(sim, *out.nodes.back(), leaves, output);
       out.max_fanin = n;
       out.counted_nodes = 0;
       break;
@@ -106,6 +128,7 @@ GatheringBuild build_gathering(
             "gchain0",
             std::vector<sim::Fifo<stream::ResultTuple>*>{carry}, output));
         sim.add(*out.nodes.back());
+        link_gnode(sim, *out.nodes.back(), {carry}, output);
       }
       for (std::uint32_t i = 1; i < n; ++i) {
         auto& next = (i + 1 < n) ? new_fifo("gchain" + std::to_string(i))
@@ -115,6 +138,7 @@ GatheringBuild build_gathering(
             std::vector<sim::Fifo<stream::ResultTuple>*>{carry, leaves[i]},
             next));
         sim.add(*out.nodes.back());
+        link_gnode(sim, *out.nodes.back(), {carry, leaves[i]}, next);
         carry = &next;
       }
       out.max_fanin = 2;
@@ -135,6 +159,8 @@ GatheringBuild build_gathering(
                                                            level[i + 1]},
               parent));
           sim.add(*out.nodes.back());
+          link_gnode(sim, *out.nodes.back(), {level[i], level[i + 1]},
+                     parent);
           next_level.push_back(&parent);
         }
         if (level.size() % 2 == 1) next_level.push_back(level.back());
@@ -147,6 +173,7 @@ GatheringBuild build_gathering(
             std::vector<sim::Fifo<stream::ResultTuple>*>{level.front()},
             output));
         sim.add(*out.nodes.back());
+        link_gnode(sim, *out.nodes.back(), {level.front()}, output);
       }
       out.max_fanin = 2;
       out.counted_nodes = static_cast<std::uint32_t>(out.nodes.size());

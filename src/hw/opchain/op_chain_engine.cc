@@ -18,6 +18,11 @@ OpChainEngine::OpChainEngine(OpChainConfig cfg) : cfg_(cfg) {
             "select core id collides with the broadcast target");
 
   const std::size_t sub_window = cfg_.join.window_size / cfg_.join.num_cores;
+
+  sim_.configure(cfg_.sim);
+  sim_.reserve(6 * static_cast<std::size_t>(cfg_.join.num_cores) +
+               2 * static_cast<std::size_t>(cfg_.num_select_cores) + 8);
+
   stats_.flow = FlowModel::kUniflow;
   stats_.num_cores = cfg_.join.num_cores;
   stats_.sub_window_capacity = sub_window;
@@ -37,6 +42,8 @@ OpChainEngine::OpChainEngine(OpChainConfig cfg) : cfg_(cfg) {
     select_cores_.push_back(std::make_unique<SelectCore>(
         "sel" + std::to_string(i), i, *upstream, next));
     sim_.add(*select_cores_.back());
+    sim_.link(*select_cores_.back(), *upstream);
+    sim_.link(*select_cores_.back(), next);
     upstream = &next;
   }
 
@@ -68,6 +75,8 @@ OpChainEngine::OpChainEngine(OpChainConfig cfg) : cfg_(cfg) {
           "jc" + std::to_string(i), i, sub_window, *fetchers[i], rf));
     }
     sim_.add(*join_cores_.back());
+    sim_.link(*join_cores_.back(), *fetchers[i]);
+    sim_.link(*join_cores_.back(), rf);
   }
 
   auto& output = new_result_fifo("output");
@@ -84,8 +93,10 @@ OpChainEngine::OpChainEngine(OpChainConfig cfg) : cfg_(cfg) {
 
   driver_ = std::make_unique<WordDriver>("driver", sim_, input);
   sim_.add(*driver_);
+  sim_.link(*driver_, input);
   sink_ = std::make_unique<ResultSink>("sink", sim_, output);
   sim_.add(*sink_);
+  sim_.link(*sink_, output);
 }
 
 sim::Fifo<HwWord>& OpChainEngine::new_word_fifo(std::string name) {
@@ -118,9 +129,7 @@ void OpChainEngine::program_join(const stream::JoinSpec& spec) {
   }
 }
 
-void OpChainEngine::step(std::uint64_t cycles) {
-  for (std::uint64_t i = 0; i < cycles; ++i) sim_.step();
-}
+void OpChainEngine::step(std::uint64_t cycles) { sim_.step_n(cycles); }
 
 bool OpChainEngine::quiescent() const {
   if (!driver_->done()) return false;

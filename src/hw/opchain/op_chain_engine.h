@@ -37,6 +37,9 @@ struct OpChainConfig {
     JoinAlgorithm algorithm = JoinAlgorithm::kNestedLoop;
   } join;
   std::size_t link_depth = 2;
+  // Simulation-kernel knobs (host-side execution only; never changes the
+  // simulated design or any cycle count). threads=1 is the serial oracle.
+  sim::SimConfig sim;
 };
 
 class OpChainEngine {
@@ -60,6 +63,10 @@ class OpChainEngine {
   [[nodiscard]] bool quiescent() const;
 
   [[nodiscard]] std::uint64_t cycle() const { return sim_.cycle(); }
+  [[nodiscard]] std::size_t module_count() const {
+    return sim_.module_count();
+  }
+  [[nodiscard]] const sim::Simulator& simulator() const { return sim_; }
   [[nodiscard]] const std::vector<TimedResult>& results() const {
     return sink_->collected();
   }

@@ -20,6 +20,11 @@ UniflowEngine::UniflowEngine(UniflowConfig cfg) : cfg_(cfg) {
 
   const std::size_t sub_window = cfg_.window_size / cfg_.num_cores;
 
+  sim_.configure(cfg_.sim);
+  // Fifos dominate the module count: one per core for fetch + result, the
+  // network-internal links, plus nodes, driver and sink.
+  sim_.reserve(6 * static_cast<std::size_t>(cfg_.num_cores) + 8);
+
   stats_.flow = FlowModel::kUniflow;
   stats_.num_cores = cfg_.num_cores;
   stats_.sub_window_capacity = sub_window;
@@ -63,6 +68,8 @@ UniflowEngine::UniflowEngine(UniflowConfig cfg) : cfg_(cfg) {
           "jc" + std::to_string(i), i, sub_window, *fetchers[i], rf));
     }
     sim_.add(*cores_.back());
+    sim_.link(*cores_.back(), *fetchers[i]);
+    sim_.link(*cores_.back(), rf);
   }
 
   // Result gathering network.
@@ -80,8 +87,10 @@ UniflowEngine::UniflowEngine(UniflowConfig cfg) : cfg_(cfg) {
 
   driver_ = std::make_unique<WordDriver>("driver", sim_, input);
   sim_.add(*driver_);
+  sim_.link(*driver_, input);
   sink_ = std::make_unique<ResultSink>("sink", sim_, output);
   sim_.add(*sink_);
+  sim_.link(*sink_, output);
 }
 
 sim::Fifo<HwWord>& UniflowEngine::new_word_fifo(std::string name) {
@@ -131,9 +140,7 @@ void UniflowEngine::offer(const std::vector<stream::Tuple>& tuples) {
   for (const auto& t : tuples) offer(t);
 }
 
-void UniflowEngine::step(std::uint64_t cycles) {
-  for (std::uint64_t i = 0; i < cycles; ++i) sim_.step();
-}
+void UniflowEngine::step(std::uint64_t cycles) { sim_.step_n(cycles); }
 
 bool UniflowEngine::quiescent() const {
   if (!driver_->done()) return false;
@@ -174,36 +181,59 @@ void UniflowEngine::collect_metrics(obs::MetricRegistry& registry,
                                     const std::string& prefix) const {
   sim_.collect_metrics(registry, prefix);
 
+  // One reused key buffer for the whole snapshot; with thousands of cores
+  // and fifos, rebuilding `prefix + name` per metric was the hot spot of
+  // the collection path (set_counter only needs a string_view).
+  std::string key;
+  key.reserve(prefix.size() + 48);
+  const auto with = [&](std::string_view suffix) -> const std::string& {
+    key.assign(prefix);
+    key.append(suffix);
+    return key;
+  };
+
   std::uint64_t probes = 0;
   std::uint64_t matches = 0;
   for (std::size_t i = 0; i < cores_.size(); ++i) {
     const IUniflowCore& c = *cores_[i];
-    const std::string core_prefix =
-        prefix + "core." + std::to_string(i) + ".";
-    registry.set_counter(core_prefix + "probes", c.probes());
-    registry.set_counter(core_prefix + "matches", c.matches());
-    registry.set_counter(core_prefix + "tuples_seen", c.tuples_seen());
+    key.assign(prefix);
+    key.append("core.");
+    key.append(std::to_string(i));
+    const std::size_t stem = key.size();
+    key.append(".probes");
+    registry.set_counter(key, c.probes());
+    key.resize(stem);
+    key.append(".matches");
+    registry.set_counter(key, c.matches());
+    key.resize(stem);
+    key.append(".tuples_seen");
+    registry.set_counter(key, c.tuples_seen());
     probes += c.probes();
     matches += c.matches();
   }
-  registry.set_counter(prefix + "probes", probes);
-  registry.set_counter(prefix + "matches", matches);
-  registry.set_counter(prefix + "results", sink_->collected().size());
+  registry.set_counter(with("probes"), probes);
+  registry.set_counter(with("matches"), matches);
+  registry.set_counter(with("results"), sink_->collected().size());
 
   std::uint64_t dist_stalls = 0;
   for (const auto& d : dnodes_) dist_stalls += d->stall_cycles();
-  registry.set_counter(prefix + "distribution.stall_cycles", dist_stalls);
+  registry.set_counter(with("distribution.stall_cycles"), dist_stalls);
   std::uint64_t gather_stalls = 0;
   for (const auto& g : gnodes_) gather_stalls += g->stall_cycles();
-  registry.set_counter(prefix + "gathering.stall_cycles", gather_stalls);
+  registry.set_counter(with("gathering.stall_cycles"), gather_stalls);
 
+  const auto fifo_key = [&](std::string_view name) -> const std::string& {
+    key.assign(prefix);
+    key.append("fifo.");
+    key.append(name);
+    key.append(".high_water");
+    return key;
+  };
   for (const auto& f : word_fifos_) {
-    registry.set_counter(prefix + "fifo." + f->name() + ".high_water",
-                         f->high_water());
+    registry.set_counter(fifo_key(f->name()), f->high_water());
   }
   for (const auto& f : result_fifos_) {
-    registry.set_counter(prefix + "fifo." + f->name() + ".high_water",
-                         f->high_water());
+    registry.set_counter(fifo_key(f->name()), f->high_water());
   }
 }
 

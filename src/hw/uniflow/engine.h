@@ -38,6 +38,9 @@ struct UniflowConfig {
   // kHash accelerates pure key equi-joins (O(1+matches) per tuple instead
   // of O(W/N)) at the cost of an index memory bank per sub-window.
   JoinAlgorithm algorithm = JoinAlgorithm::kNestedLoop;
+  // Simulation-kernel knobs (host-side execution only; never changes the
+  // simulated design or any cycle count). threads=1 is the serial oracle.
+  sim::SimConfig sim;
 };
 
 class UniflowEngine {
@@ -72,6 +75,10 @@ class UniflowEngine {
 
   // -- observers -----------------------------------------------------------
   [[nodiscard]] std::uint64_t cycle() const { return sim_.cycle(); }
+  [[nodiscard]] std::size_t module_count() const {
+    return sim_.module_count();
+  }
+  [[nodiscard]] const sim::Simulator& simulator() const { return sim_; }
   [[nodiscard]] const std::vector<TimedResult>& results() const {
     return sink_->collected();
   }

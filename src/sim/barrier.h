@@ -1,0 +1,71 @@
+// Reusable low-latency barrier for the parallel two-phase kernel.
+//
+// A cycle of the sharded simulator is two barrier-separated phases
+// (eval | commit), so the barrier is crossed twice per simulated cycle and
+// its cost is the whole parallelization tax. A centralized sense-reversing
+// spin barrier keeps that tax at one contended fetch_add plus a read-only
+// spin per thread — the same discipline the cluster workers use
+// (SpinBackoff), so an oversubscribed host (fewer cores than shards, or a
+// tsan run) degrades to yields/sleeps instead of livelocking.
+//
+// Memory semantics: every write a thread performed before arrive_and_wait()
+// is visible to every thread after it returns (acq_rel on the arrival
+// counter, release/acquire on the generation word). That is exactly the
+// happens-before edge the two-phase contract needs: all staged pushes are
+// visible to the owning FIFO's commit, and all commits are visible to the
+// next cycle's evals.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/assert.h"
+#include "common/backoff.h"
+
+namespace hal::sim {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::uint32_t participants)
+      : participants_(participants) {
+    HAL_CHECK(participants_ >= 1, "barrier needs at least one participant");
+  }
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  // Blocks until all participants have arrived. `spin_waits`, when
+  // provided, is incremented once per backoff step spent waiting — the
+  // per-shard stall counter the simulator publishes (runtime stability:
+  // it depends on scheduling, not on the simulated design).
+  void arrive_and_wait(std::atomic<std::uint64_t>* spin_waits = nullptr) {
+    const std::uint32_t gen = generation_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        participants_) {
+      // Last arriver: reset the count for the next use, then release the
+      // generation. The release store orders the reset before it, so a
+      // fast thread re-entering the next barrier increments from zero.
+      arrived_.store(0, std::memory_order_relaxed);
+      generation_.store(gen + 1, std::memory_order_release);
+      return;
+    }
+    SpinBackoff backoff;
+    while (generation_.load(std::memory_order_acquire) == gen) {
+      backoff.pause();
+      if (spin_waits != nullptr) {
+        spin_waits->fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  [[nodiscard]] std::uint32_t participants() const noexcept {
+    return participants_;
+  }
+
+ private:
+  const std::uint32_t participants_;
+  std::atomic<std::uint32_t> arrived_{0};
+  std::atomic<std::uint32_t> generation_{0};
+};
+
+}  // namespace hal::sim

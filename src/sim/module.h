@@ -56,10 +56,13 @@ class Register {
     dirty_ = true;
   }
   void commit() noexcept {
-    if (dirty_) {
-      value_ = next_;
-      dirty_ = false;
+    // Most registers are idle on most cycles; keep the clean case a
+    // predictable early return.
+    if (!dirty_) [[likely]] {
+      return;
     }
+    value_ = next_;
+    dirty_ = false;
   }
 
  private:

@@ -1,0 +1,73 @@
+#include "sim/parallel_stepper.h"
+
+#include <utility>
+
+#include "common/assert.h"
+#include "common/backoff.h"
+#include "sim/module.h"
+
+namespace hal::sim {
+
+ParallelStepper::ParallelStepper(std::vector<std::vector<Module*>> shards,
+                                 std::atomic<std::uint64_t>& cycle)
+    : shards_(shards.size()),
+      cycle_(cycle),
+      barrier_(static_cast<std::uint32_t>(shards.size())) {
+  HAL_CHECK(!shards.empty(), "stepper needs at least one shard");
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    shards_[s].modules = std::move(shards[s]);
+  }
+  workers_.reserve(shards_.size() - 1);
+  for (std::size_t s = 1; s < shards_.size(); ++s) {
+    workers_.emplace_back([this, s] { worker_main(s); });
+  }
+}
+
+ParallelStepper::~ParallelStepper() {
+  shutdown_.store(true, std::memory_order_release);
+  for (auto& w : workers_) w.join();
+}
+
+void ParallelStepper::run(std::uint64_t cycles) {
+  if (cycles == 0) return;
+  const std::uint64_t base = cycle_.load(std::memory_order_relaxed);
+  cycles_to_run_ = cycles;
+  base_cycle_ = base;
+  go_epoch_.fetch_add(1, std::memory_order_release);
+  run_shard(0, cycles, base);
+  // Leaving the final barrier means every shard committed the final
+  // cycle; stragglers may still be observing the barrier release, but
+  // their writes are already visible here.
+}
+
+void ParallelStepper::run_shard(std::size_t shard_idx, std::uint64_t cycles,
+                                std::uint64_t base_cycle) {
+  Shard& shard = shards_[shard_idx];
+  for (std::uint64_t c = 0; c < cycles; ++c) {
+    for (Module* m : shard.modules) m->eval();
+    barrier_.arrive_and_wait(&shard.spin_waits);
+    for (Module* m : shard.modules) m->commit();
+    if (shard_idx == 0) {
+      // Relaxed is enough: the commit barrier below publishes it before
+      // any module's next eval can read the clock.
+      cycle_.store(base_cycle + c + 1, std::memory_order_relaxed);
+    }
+    barrier_.arrive_and_wait(&shard.spin_waits);
+  }
+}
+
+void ParallelStepper::worker_main(std::size_t shard_idx) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    SpinBackoff backoff;
+    std::uint64_t epoch;
+    while ((epoch = go_epoch_.load(std::memory_order_acquire)) == seen) {
+      if (shutdown_.load(std::memory_order_acquire)) return;
+      backoff.pause();
+    }
+    seen = epoch;
+    run_shard(shard_idx, cycles_to_run_, base_cycle_);
+  }
+}
+
+}  // namespace hal::sim

@@ -1,0 +1,98 @@
+#include "sim/partition.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/assert.h"
+#include "sim/module.h"
+
+namespace hal::sim {
+
+Partition partition_modules(
+    const std::vector<Module*>& modules,
+    const std::vector<std::pair<const Module*, const Module*>>& links,
+    std::uint32_t num_shards) {
+  HAL_CHECK(num_shards >= 1, "need at least one shard");
+  const std::size_t n = modules.size();
+
+  Partition out;
+  out.shards.resize(num_shards);
+  if (n == 0) return out;
+
+  std::unordered_map<const Module*, std::size_t> index;
+  index.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) index.emplace(modules[i], i);
+
+  // Dedup links (an endpoint pair may be declared from both sides) and
+  // build the adjacency in declaration order, which the DFS below follows.
+  std::vector<std::vector<std::size_t>> adj(n);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(links.size());
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  edges.reserve(links.size());
+  for (const auto& [a, b] : links) {
+    const auto ia = index.find(a);
+    const auto ib = index.find(b);
+    HAL_CHECK(ia != index.end() && ib != index.end(),
+              "link references an unregistered module");
+    const std::size_t lo = ia->second < ib->second ? ia->second : ib->second;
+    const std::size_t hi = ia->second < ib->second ? ib->second : ia->second;
+    if (lo == hi) continue;
+    if (!seen.insert((static_cast<std::uint64_t>(lo) << 32) | hi).second) {
+      continue;
+    }
+    edges.emplace_back(lo, hi);
+    adj[ia->second].push_back(ib->second);
+    adj[ib->second].push_back(ia->second);
+  }
+  out.total_links = edges.size();
+
+  // Iterative DFS over the link graph, seeded in registration order so
+  // unlinked modules (and disconnected components) still appear exactly
+  // once, in a deterministic position.
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  std::vector<bool> visited(n, false);
+  std::vector<std::size_t> stack;
+  for (std::size_t seed = 0; seed < n; ++seed) {
+    if (visited[seed]) continue;
+    stack.push_back(seed);
+    visited[seed] = true;
+    while (!stack.empty()) {
+      const std::size_t m = stack.back();
+      stack.pop_back();
+      order.push_back(m);
+      // Push neighbors in reverse so the first-declared link is walked
+      // first (stack reverses the order).
+      for (auto it = adj[m].rbegin(); it != adj[m].rend(); ++it) {
+        if (!visited[*it]) {
+          visited[*it] = true;
+          stack.push_back(*it);
+        }
+      }
+    }
+  }
+  HAL_ASSERT(order.size() == n);
+
+  // Contiguous chunks of the DFS order, sizes differing by at most one.
+  std::vector<std::size_t> shard_of(n, 0);
+  const std::size_t base = n / num_shards;
+  const std::size_t extra = n % num_shards;
+  std::size_t pos = 0;
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    const std::size_t take = base + (s < extra ? 1 : 0);
+    out.shards[s].reserve(take);
+    for (std::size_t k = 0; k < take; ++k, ++pos) {
+      out.shards[s].push_back(modules[order[pos]]);
+      shard_of[order[pos]] = s;
+    }
+  }
+  HAL_ASSERT(pos == n);
+
+  for (const auto& [lo, hi] : edges) {
+    if (shard_of[lo] != shard_of[hi]) ++out.cut_links;
+  }
+  return out;
+}
+
+}  // namespace hal::sim

@@ -1,0 +1,47 @@
+// Topology-aware sharding of registered modules for the parallel stepper.
+//
+// The two-phase contract makes any partition *correct* (eval order within a
+// phase is irrelevant), so partitioning is purely a locality/balance
+// problem: a FIFO whose producer, consumer and own commit live on one
+// thread never bounces its cache lines across cores. Engines declare the
+// wiring with Simulator::link(a, b); the partitioner walks that graph
+// depth-first from the first registered module (neighbors in registration
+// order, so the walk follows construction order through each subtree) and
+// cuts the walk into `num_shards` contiguous chunks of near-equal size.
+// Depth-first keeps each distribution subtree, its cores and their result
+// links adjacent in the order, which is what keeps producer/consumer FIFO
+// endpoints co-sharded; the chunk boundaries are the only cut links.
+//
+// The result is a pure function of (registration order, link set,
+// num_shards) — no randomness, no tie-breaking on addresses — so a given
+// engine config always yields the same shards and the parallel run's
+// schedule is reproducible.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace hal::sim {
+
+class Module;
+
+struct Partition {
+  // Exactly `num_shards` entries; trailing shards may be empty when there
+  // are fewer modules than shards. Every registered module appears in
+  // exactly one shard.
+  std::vector<std::vector<Module*>> shards;
+  // Declared links whose endpoints landed on different shards (deduped).
+  std::size_t cut_links = 0;
+  // Total distinct declared links (deduped), for the cut ratio.
+  std::size_t total_links = 0;
+};
+
+// `links` entries must reference registered modules (HAL_CHECKed).
+[[nodiscard]] Partition partition_modules(
+    const std::vector<Module*>& modules,
+    const std::vector<std::pair<const Module*, const Module*>>& links,
+    std::uint32_t num_shards);
+
+}  // namespace hal::sim

@@ -1,57 +1,206 @@
 // The clock driver: steps all registered modules through eval/commit.
+//
+// Two execution kernels share one register/FIFO substrate:
+//
+//   threads == 1 — the serial stepper: two plain loops per cycle, exactly
+//                  the code every realization has always run. This is the
+//                  oracle: all determinism claims are stated against it.
+//   threads >= 2 — the parallel stepper (parallel_stepper.h): registered
+//                  modules are sharded once (topology-aware via link()
+//                  declarations, see partition.h) and persistent workers
+//                  run the eval | barrier | commit | barrier cycle. The
+//                  two-phase contract makes the result byte-identical to
+//                  the serial oracle for any shard assignment.
+//
+// run_until() batches predicate checks to `predicate_epoch` cycles; the
+// batching applies identically to both kernels, so for a fixed config the
+// parallel run always matches the serial one cycle-for-cycle. The default
+// epoch of 1 preserves the historical check-before-every-step semantics
+// bit-exactly.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
-#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "common/assert.h"
 #include "obs/metrics.h"
 #include "sim/module.h"
+#include "sim/parallel_stepper.h"
+#include "sim/partition.h"
 
 namespace hal::sim {
 
+struct SimConfig {
+  // Shards/threads for the stepping kernel; 1 selects the serial oracle.
+  // Clamped to the module count at partition time (an empty shard would
+  // still pay barrier crossings).
+  std::uint32_t threads = 1;
+  // run_until() checks its predicate every `predicate_epoch` cycles
+  // instead of every cycle. 1 = historical semantics. Larger epochs trade
+  // predicate latency (completion overshoot of up to epoch-1 cycles) for
+  // fewer kernel entries — the win is largest for the parallel kernel,
+  // where each entry is a worker wakeup.
+  std::uint64_t predicate_epoch = 1;
+};
+
 class Simulator {
  public:
+  Simulator() = default;
+  explicit Simulator(SimConfig cfg) { configure(cfg); }
+
+  void configure(const SimConfig& cfg) {
+    HAL_CHECK(cfg.threads >= 1, "SimConfig.threads must be >= 1");
+    HAL_CHECK(cfg.predicate_epoch >= 1,
+              "SimConfig.predicate_epoch must be >= 1");
+    config_ = cfg;
+    stepper_.reset();
+  }
+  [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
+
+  // Engines know their module population up front; reserving avoids the
+  // reallocation churn of thousands of push_backs at construction.
+  void reserve(std::size_t n) { modules_.reserve(n); }
+
   // Non-owning registration; callers (engines) own their modules and must
   // keep them alive for the simulator's lifetime.
-  void add(Module& m) { modules_.push_back(&m); }
+  void add(Module& m) {
+    modules_.push_back(&m);
+    stepper_.reset();
+  }
+
+  // Declares that `a` and `b` share a wire (FIFO endpoint, register
+  // handoff). Purely a partitioning hint: linked modules are co-sharded
+  // when balance allows, keeping their shared state on one thread's cache.
+  // Undeclared links cost locality, never correctness.
+  void link(const Module& a, const Module& b) {
+    links_.emplace_back(&a, &b);
+    stepper_.reset();
+  }
 
   // Advance one clock cycle.
-  void step() {
-    for (Module* m : modules_) m->eval();
-    for (Module* m : modules_) m->commit();
-    ++cycle_;
+  void step() { step_n(1); }
+
+  // Advance `cycles` clock cycles with no intervening predicate checks —
+  // the batched entry point both kernels implement natively.
+  void step_n(std::uint64_t cycles) {
+    if (cycles == 0) return;
+    if (config_.threads <= 1 || modules_.size() <= 1) {
+      for (std::uint64_t c = 0; c < cycles; ++c) {
+        for (Module* m : modules_) m->eval();
+        for (Module* m : modules_) m->commit();
+        cycle_.store(cycle_.load(std::memory_order_relaxed) + 1,
+                     std::memory_order_relaxed);
+      }
+      return;
+    }
+    ensure_stepper();
+    stepper_->run(cycles);
   }
 
   // Run until `done()` returns true or `max_cycles` elapse (counted from
   // the call). Returns the number of cycles stepped. The predicate is
-  // checked before each step, so a predicate that is already true costs 0.
+  // checked before each epoch of `predicate_epoch` cycles, so a predicate
+  // that is already true costs 0 and the default epoch of 1 checks before
+  // every step.
   template <typename Pred>
   std::uint64_t run_until(Pred&& done, std::uint64_t max_cycles) {
+    const std::uint64_t epoch = config_.predicate_epoch;
     std::uint64_t stepped = 0;
     while (stepped < max_cycles && !done()) {
-      step();
-      ++stepped;
+      const std::uint64_t batch = std::min(epoch, max_cycles - stepped);
+      step_n(batch);
+      stepped += batch;
     }
     return stepped;
   }
 
-  [[nodiscard]] std::uint64_t cycle() const noexcept { return cycle_; }
+  [[nodiscard]] std::uint64_t cycle() const noexcept {
+    return cycle_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] std::size_t module_count() const noexcept {
     return modules_.size();
   }
+  [[nodiscard]] std::size_t link_count() const noexcept {
+    return links_.size();
+  }
+  // Shards the parallel kernel would use for the current config (1 for the
+  // serial oracle). Partition introspection below is only populated once a
+  // threaded step has forced the partition to exist.
+  [[nodiscard]] std::uint32_t effective_threads() const noexcept {
+    if (config_.threads <= 1 || modules_.size() <= 1) return 1;
+    return static_cast<std::uint32_t>(
+        std::min<std::size_t>(config_.threads, modules_.size()));
+  }
+  [[nodiscard]] const ParallelStepper* stepper() const noexcept {
+    return stepper_.get();
+  }
 
-  // Publishes the clock-domain metrics (cycle count, module count) under
-  // `prefix`. Engines layer their per-module counters on top.
+  // Publishes the clock-domain metrics under `prefix`. Engines layer their
+  // per-module counters on top. The simulated-design values (cycles,
+  // modules) are deterministic; the execution-descriptive ones (threads,
+  // partition shape, barrier stalls) are tagged runtime so the
+  // deterministic projection is identical across thread counts.
   void collect_metrics(obs::MetricRegistry& registry,
                        const std::string& prefix) const {
-    registry.set_counter(prefix + "sim.cycles", cycle_);
-    registry.set_counter(prefix + "sim.modules", modules_.size());
+    // One reused key buffer: metric names share the prefix, so rebuilding
+    // `prefix + name` per metric is pure allocation churn on the snapshot
+    // path (set_counter only needs a string_view).
+    std::string key;
+    key.reserve(prefix.size() + 32);
+    const auto with = [&](std::string_view suffix) -> const std::string& {
+      key.assign(prefix);
+      key.append(suffix);
+      return key;
+    };
+    registry.set_counter(with("sim.cycles"), cycle());
+    registry.set_counter(with("sim.modules"), modules_.size());
+    registry.set_counter(with("sim.threads"), effective_threads(),
+                         obs::Stability::kRuntime);
+    if (stepper_ == nullptr) return;
+    registry.set_counter(with("sim.partition.links"), partition_links_,
+                         obs::Stability::kRuntime);
+    registry.set_counter(with("sim.partition.cut_links"), partition_cut_links_,
+                         obs::Stability::kRuntime);
+    for (std::size_t s = 0; s < stepper_->shard_count(); ++s) {
+      key.assign(prefix);
+      key.append("sim.shard.");
+      key.append(std::to_string(s));
+      const std::size_t stem = key.size();
+      key.append(".modules");
+      registry.set_counter(key, stepper_->shard_modules(s),
+                           obs::Stability::kRuntime);
+      key.resize(stem);
+      key.append(".spin_waits");
+      registry.set_counter(key, stepper_->shard_spin_waits(s),
+                           obs::Stability::kRuntime);
+    }
   }
 
  private:
+  void ensure_stepper() {
+    if (stepper_ != nullptr) return;
+    Partition part = partition_modules(modules_, links_, effective_threads());
+    partition_links_ = part.total_links;
+    partition_cut_links_ = part.cut_links;
+    stepper_ = std::make_unique<ParallelStepper>(std::move(part.shards),
+                                                 cycle_);
+  }
+
   std::vector<Module*> modules_;
-  std::uint64_t cycle_ = 0;
+  std::vector<std::pair<const Module*, const Module*>> links_;
+  SimConfig config_;
+  // Atomic because drivers/sinks read the clock during a parallel eval
+  // phase while the leader shard republishes it between barriers; relaxed
+  // ops keep the serial path a plain load/store.
+  std::atomic<std::uint64_t> cycle_{0};
+  std::unique_ptr<ParallelStepper> stepper_;
+  std::size_t partition_links_ = 0;
+  std::size_t partition_cut_links_ = 0;
 };
 
 }  // namespace hal::sim

@@ -69,6 +69,19 @@ SPECS = {
         # slightly negative, and the bench's own claim gate allows +0.20.
         ("admission.quota_p99_degradation", "lower", "abs", 0.5),
     ],
+    "sim_scale": [
+        # Byte-identity of threaded runs against the serial oracle: exact
+        # on purpose — any divergence is a kernel bug, never a perf matter.
+        ("uniflow_2048_f2.identical", "higher", "abs", 0.0),
+        ("opchain_1024.identical", "higher", "abs", 0.0),
+        # Deterministic partition shape of the largest fabric: drift means
+        # the partitioner or the engines' link declarations changed shape
+        # and the baseline must be regenerated deliberately.
+        ("uniflow_2048_f2.partition_cut_links", "lower", "abs", 0.0),
+        # Wall-clock serial throughput: generous on shared CI hardware,
+        # still catches order-of-magnitude slips in the stepper hot loop.
+        ("uniflow_2048_f2.serial_mevals_per_sec", "higher", "rel", 0.5),
+    ],
     "recovery_cost": [
         # Fractions (the bench claims log_overhead < 0.02).
         ("fast_path.log_overhead", "lower", "abs", 0.02),
