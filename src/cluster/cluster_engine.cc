@@ -63,7 +63,8 @@ ClusterEngine::ClusterEngine(const ClusterConfig& cfg)
               cfg.partitioning == Partitioning::kKeyHash ? 1 : cfg.grid_rows,
               cfg.partitioning == Partitioning::kKeyHash ? cfg.shards
                                                          : cfg.grid_cols),
-      placement_(cfg.placement, CpuTopology::discover()) {
+      placement_(cfg.placement, CpuTopology::discover()),
+      guard_(cfg.guard) {
   HAL_CHECK(cfg_.replicas >= 1, "need at least one replica per shard slot");
   HAL_CHECK(cfg_.transport.batch_size >= 1, "batch_size must be positive");
   HAL_CHECK(cfg_.worker.backend != core::Backend::kCluster,
@@ -96,6 +97,7 @@ ClusterEngine::ClusterEngine(const ClusterConfig& cfg)
     for (std::uint32_t rep = 0; rep < cfg_.replicas; ++rep) {
       workers_.push_back(make_worker(slot, rep));
       merge_.push_back(std::make_unique<MergeSlot>());
+      workers_.back()->merge_slot = merge_.back().get();
     }
   }
   setup_net_links();
@@ -170,6 +172,9 @@ void ClusterEngine::setup_net_links() {
   }
   net::EndpointOptions opts;
   opts.window_frames = cfg_.transport.net_window_frames;
+  if (cfg_.transport.net_stall_timeout_ms > 0.0) {
+    opts.stall_timeout_ms = cfg_.transport.net_stall_timeout_ms;
+  }
   net_listener_ = net_transport_->listen(address, opts);
   for (auto& w : workers_) attach_net_links(*w);
 }
@@ -179,13 +184,27 @@ void ClusterEngine::attach_net_links(Worker& w) {
   const std::string dial_address = net_listener_->address();
   net::EndpointOptions opts;
   opts.window_frames = cfg_.transport.net_window_frames;
+  if (cfg_.transport.net_connect_timeout_s > 0.0) {
+    opts.connect_timeout_s = cfg_.transport.net_connect_timeout_s;
+  }
+  if (cfg_.transport.net_stall_timeout_ms > 0.0) {
+    opts.stall_timeout_ms = cfg_.transport.net_stall_timeout_ms;
+  }
+  if (cfg_.transport.net_backoff_max_ms > 0.0) {
+    opts.backoff_max_ms = cfg_.transport.net_backoff_max_ms;
+  }
+  const auto& fault_targets = cfg_.transport.net_fault_workers;
+  const bool faulted =
+      fault_targets.empty() ||
+      std::find(fault_targets.begin(), fault_targets.end(), w.index) !=
+          fault_targets.end();
   // One connection pair per link, established strictly dial-then-accept
   // so accept order matches dial order. shard 0 = ingress, 1 = egress.
   for (std::uint32_t dir = 0; dir < 2; ++dir) {
     net::EndpointOptions dial = opts;
     dial.node_id = w.index;
     dial.shard = dir;
-    if (dir == 0) dial.fault = cfg_.transport.net_fault;
+    if (dir == 0 && faulted) dial.fault = cfg_.transport.net_fault;
     net_dialers_.push_back(net_transport_->connect(dial_address, dial));
     net::Connection* accepted = net_listener_->accept(15.0);
     HAL_CHECK(accepted != nullptr, "net-backed link accept timed out");
@@ -280,7 +299,18 @@ void ClusterEngine::worker_loop(Worker& w) {
 
 bool ClusterEngine::consume(Worker& w, TupleBatch batch, bool replaying) {
   if (!batch.tuples.empty()) {
-    if (const FaultEvent* ev = due_fault(w, batch)) {
+    while (const FaultEvent* ev = due_fault(w, batch)) {
+      if (ev->kind == FaultKind::kSlowWorker) {
+        // Latch the gray failure; the delay itself is paid inside the
+        // busy section below so service-time accounting sees it.
+        w.slow_remaining = ev->duration_batches == 0
+                               ? std::numeric_limits<std::uint64_t>::max()
+                               : ev->duration_batches;
+        w.slow_us = ev->extra_delay_us;
+        w.slow_period = ev->period == 0 ? 1 : ev->period;
+        w.slow_tick = 0;
+        continue;  // a plan may stack further faults at the same batch
+      }
       if (ev->kind == FaultKind::kKillWorker) {
         return fail_stop(w, batch.epoch);
       }
@@ -292,11 +322,21 @@ bool ClusterEngine::consume(Worker& w, TupleBatch batch, bool replaying) {
         return fail_stop(w, batch.epoch);
       }
     }
-    ++w.data_batches_in;
+    w.data_batches_in.fetch_add(1, std::memory_order_relaxed);
     ++w.epoch_batches;
-    w.tuples_in += batch.tuples.size();
+    w.tuples_in.fetch_add(batch.tuples.size(), std::memory_order_relaxed);
     if (!replaying) wait_until(batch.deliver_at_us);  // modeled wire time
     Timer busy;
+    if (w.slow_remaining > 0) {
+      // Injected degradation: stretch the busy section the way a thermal
+      // throttle or noisy neighbor would, leaving output untouched.
+      if (w.slow_tick++ % w.slow_period == 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            static_cast<std::int64_t>(w.slow_us)));
+        w.slow_batches.fetch_add(1, std::memory_order_relaxed);
+      }
+      --w.slow_remaining;
+    }
     core::RunReport inner;
     try {
       inner = w.engine->process(batch.tuples);
@@ -305,8 +345,12 @@ bool ClusterEngine::consume(Worker& w, TupleBatch batch, bool replaying) {
       return fail_stop(w, batch.epoch);
     }
     auto fresh = w.engine->take_results();
-    w.busy_seconds += busy.elapsed_seconds();
-    w.results_out += inner.results_emitted;
+    w.busy_seconds.store(
+        w.busy_seconds.load(std::memory_order_relaxed) +
+            busy.elapsed_seconds(),
+        std::memory_order_relaxed);
+    w.results_out.fetch_add(inner.results_emitted,
+                            std::memory_order_relaxed);
     w.staged.insert(w.staged.end(), fresh.begin(), fresh.end());
     if (!batch.end_of_epoch &&
         w.staged.size() >= cfg_.transport.batch_size) {
@@ -315,7 +359,9 @@ bool ClusterEngine::consume(Worker& w, TupleBatch batch, bool replaying) {
       out.results = std::move(w.staged);
       w.staged.clear();
       const auto n = static_cast<std::uint64_t>(out.results.size());
-      w.outbox.send(std::move(out), now_us(), n);
+      if (!w.outbox.send(std::move(out), now_us(), n)) {
+        return egress_lost(w);
+      }
     }
   } else if (!replaying) {
     wait_until(batch.deliver_at_us);
@@ -333,8 +379,26 @@ bool ClusterEngine::consume(Worker& w, TupleBatch batch, bool replaying) {
     out.results = std::move(w.staged);
     w.staged.clear();
     const auto n = static_cast<std::uint64_t>(out.results.size());
-    w.outbox.send(std::move(out), now_us(), n);
+    if (!w.outbox.send(std::move(out), now_us(), n)) {
+      return egress_lost(w);
+    }
   }
+  return true;
+}
+
+// The egress wire gave up (send budget exhausted / breaker open): the
+// obituary path runs over the same broken link, so the death notice goes
+// straight into the merge slot instead. The thread keeps running in
+// drain-only mode — the router's bounded ingress must never wedge on a
+// worker that stopped producing — and `dead` stays clear: a supervised
+// restart would only thrash against the same tripped breaker, so the slot
+// degrades to its replica (failover) or to accounted loss instead.
+bool ClusterEngine::egress_lost(Worker& w) {
+  w.dropped.store(true, std::memory_order_release);
+  if (cfg_.recovery.supervise) {
+    w.unrecoverable.store(true, std::memory_order_release);
+  }
+  w.merge_slot->died.store(true, std::memory_order_release);
   return true;
 }
 
@@ -346,7 +410,8 @@ const FaultEvent* ClusterEngine::due_fault(Worker& w,
     bool due = false;
     if (ev.epoch == 0) {
       // Whole-run counting (the legacy drop_worker semantics).
-      due = w.data_batches_in >= ev.after_batches;
+      due = w.data_batches_in.load(std::memory_order_relaxed) >=
+            ev.after_batches;
     } else if (batch.epoch == ev.epoch) {
       due = w.epoch_batches >= ev.after_batches;
     } else if (batch.epoch > ev.epoch) {
@@ -368,7 +433,12 @@ bool ClusterEngine::fail_stop(Worker& w, std::uint64_t epoch) {
   ResultBatch obituary;
   obituary.epoch = epoch;
   obituary.died = true;
-  w.outbox.send(std::move(obituary), now_us(), 0);
+  if (!w.outbox.send(std::move(obituary), now_us(), 0)) {
+    // The obituary itself was lost to a broken egress: deliver the death
+    // notice directly and stay drain-only — a supervised restart cannot
+    // outrun the tripped breaker.
+    return egress_lost(w);
+  }
   if (cfg_.recovery.supervise) {
     // Supervised: the thread exits and the supervisor restarts it from
     // the newest checkpoint plus the replay delta.
@@ -378,6 +448,21 @@ bool ClusterEngine::fail_stop(Worker& w, std::uint64_t epoch) {
   // Unsupervised: keep draining so the router's bounded link never wedges
   // on a dead node (replica failover / clean degradation take over).
   return true;
+}
+
+void ClusterEngine::abandon_worker(std::uint32_t index) {
+  HAL_CHECK(index < workers_.size(), "abandon_worker: index out of range");
+  Worker& w = *workers_[index];
+  if (w.retired.load(std::memory_order_acquire)) return;
+  // Same containment as an egress-side trip, from the main thread: the
+  // worker drains but its epochs stop counting, and collect_slot's wait
+  // is released through the merge slot (unsupervised) or the
+  // unrecoverable flag (supervised).
+  w.dropped.store(true, std::memory_order_release);
+  if (cfg_.recovery.supervise) {
+    w.unrecoverable.store(true, std::memory_order_release);
+  }
+  merge_[index]->died.store(true, std::memory_order_release);
 }
 
 void ClusterEngine::maybe_checkpoint(Worker& w, std::uint64_t epoch) {
@@ -542,7 +627,12 @@ void ClusterEngine::flush_slot(std::uint32_t slot, bool end_of_epoch) {
     batch.end_of_epoch = end_of_epoch;
     batch.tuples = staging;  // replicas each get their own copy
     const auto n = static_cast<std::uint64_t>(batch.tuples.size());
-    w.inbox.send(std::move(batch), now_us(), n);
+    if (w.inbox.breaker_open() || !w.inbox.send(std::move(batch), now_us(), n)) {
+      // The worker's ingress wire is gone (budget exhausted / breaker
+      // open): trip it off the serving path so its replica takes over
+      // instead of the epoch stalling against a wedged link.
+      abandon_worker(w.index);
+    }
   }
   staging.clear();
 }
@@ -611,15 +701,30 @@ core::RunReport ClusterEngine::process(const std::vector<Tuple>& tuples) {
   }
   Timer wall;
 
+  // Guarded ingress (hal::guard): shed BEFORE the exact-global tracker
+  // and the router, so a shed tuple reaches no window anywhere in the
+  // cluster and the output is exactly the reference join of
+  // (input − shed log). Disabled guards cost one branch per epoch.
+  const std::vector<Tuple>* input = &tuples;
+  if constexpr (guard::kEnabled) {
+    if (cfg_.guard.enabled) {
+      guard_.observe_delay_us(guard_.estimate_delay_us(tuples.size()));
+      admitted_.clear();
+      admitted_.reserve(tuples.size());
+      guard_.filter(tuples, admitted_);
+      input = &admitted_;
+    }
+  }
+
   // Batched ingress: the whole epoch routes as one span (one virtual-free
   // pass, no per-tuple scratch vector) and the tracker map is pre-sized,
   // so the router amortizes its per-tuple dispatch the way the engines do.
   if (cfg_.window_mode == WindowMode::kExactGlobal) {
-    tracker_.reserve(tuples.size());
-    for (const Tuple& t : tuples) tracker_.observe(t);
+    tracker_.reserve(input->size());
+    for (const Tuple& t : *input) tracker_.observe(t);
   }
   router_.route_span(
-      std::span<const Tuple>(tuples), [&](const Tuple& t, std::uint32_t slot) {
+      std::span<const Tuple>(*input), [&](const Tuple& t, std::uint32_t slot) {
         ++routed_tuples_;
         ++slot_epoch_tuples_[slot];
         auto& staging = slot_staging_[slot];
@@ -655,9 +760,15 @@ core::RunReport ClusterEngine::process(const std::vector<Tuple>& tuples) {
             });
 
   core::RunReport report;
-  report.tuples_processed = tuples.size();
+  report.tuples_processed = input->size();
   report.results_emitted = epoch_results.size();
   report.elapsed_seconds = wall.elapsed_seconds();
+  if constexpr (guard::kEnabled) {
+    if (cfg_.guard.enabled) {
+      guard_.update_service_rate(report.elapsed_seconds * 1e6,
+                                 input->size());
+    }
+  }
 
   input_tuples_ += tuples.size();
   merged_results_ += epoch_results.size();
@@ -724,6 +835,7 @@ std::uint32_t ClusterEngine::add_slot() {
       std::lock_guard<std::mutex> lock(topology_mu_);
       workers_.push_back(std::move(w));
       merge_.push_back(std::make_unique<MergeSlot>());
+      workers_.back()->merge_slot = merge_.back().get();
     }
     start_worker(*workers_.back());
   }
@@ -907,11 +1019,12 @@ ClusterReport ClusterEngine::report() const {
     wr.slot = w->slot;
     wr.replica = w->replica;
     wr.backend = w->backend_tag;  // outlives the engine (retired slots)
-    wr.tuples_in = w->tuples_in;
-    wr.results_out = w->results_out;
-    wr.data_batches_in = w->data_batches_in;
+    wr.tuples_in = w->tuples_in.load(std::memory_order_relaxed);
+    wr.results_out = w->results_out.load(std::memory_order_relaxed);
+    wr.data_batches_in =
+        w->data_batches_in.load(std::memory_order_relaxed);
     wr.result_batches_out = w->outbox.stats().batches;
-    wr.busy_seconds = w->busy_seconds;
+    wr.busy_seconds = w->busy_seconds.load(std::memory_order_relaxed);
     wr.dropped = w->dropped.load(std::memory_order_acquire);
     wr.pinned = w->pinned.load(std::memory_order_relaxed);
     wr.pin_cpu = w->pin_cpu;
@@ -922,8 +1035,14 @@ ClusterReport ClusterEngine::report() const {
     wr.checkpoint_bytes = w->checkpoint_bytes;
     wr.replayed_batches = w->replayed_batches;
     wr.heartbeat = w->heartbeat.load(std::memory_order_relaxed);
+    wr.slow_batches = w->slow_batches.load(std::memory_order_relaxed);
     wr.ingress = w->inbox.stats();
     wr.egress = w->outbox.stats();
+    rep.budget_exhausted +=
+        wr.ingress.budget_exhausted + wr.egress.budget_exhausted;
+    rep.breaker_drops += wr.ingress.breaker_drops + wr.egress.breaker_drops;
+    if (wr.ingress.breaker_open) ++rep.breaker_trips;
+    if (wr.egress.breaker_open) ++rep.breaker_trips;
     rep.recovery.checkpoints += wr.checkpoints;
     rep.recovery.checkpoint_bytes += wr.checkpoint_bytes;
     rep.recovery.restarts += wr.restarts;
@@ -950,6 +1069,8 @@ ClusterReport ClusterEngine::report() const {
   if (cfg_.partitioning == Partitioning::kKeyHash) {
     rep.keyspace_version = router_.keyspace().version();
   }
+  rep.guard_enabled = guard::kEnabled && cfg_.guard.enabled;
+  rep.guard = guard_.stats();
   return rep;
 }
 
@@ -1012,6 +1133,26 @@ void ClusterEngine::collect_metrics(obs::MetricRegistry& registry,
                        obs::Stability::kRuntime);
   registry.set_gauge(prefix + "elapsed_seconds", rep.elapsed_seconds,
                      obs::Stability::kRuntime);
+  // hal::guard: admission totals depend on the latch's timing history and
+  // breaker state on real wire behavior, so everything here is runtime.
+  if (rep.guard_enabled) {
+    registry.set_counter(prefix + "guard.admitted", rep.guard.admitted,
+                         obs::Stability::kRuntime);
+    registry.set_counter(prefix + "guard.shed", rep.guard.shed,
+                         obs::Stability::kRuntime);
+    registry.set_counter(prefix + "guard.latch_transitions",
+                         rep.guard.latch_transitions,
+                         obs::Stability::kRuntime);
+    registry.set_counter(prefix + "guard.overload_observations",
+                         rep.guard.overload_observations,
+                         obs::Stability::kRuntime);
+  }
+  registry.set_counter(prefix + "breaker.budget_exhausted",
+                       rep.budget_exhausted, obs::Stability::kRuntime);
+  registry.set_counter(prefix + "breaker.drops", rep.breaker_drops,
+                       obs::Stability::kRuntime);
+  registry.set_counter(prefix + "breaker.trips", rep.breaker_trips,
+                       obs::Stability::kRuntime);
   if (rep.net_enabled) {
     net::collect_metrics(registry, prefix + "net.", rep.net);
   }
@@ -1043,6 +1184,10 @@ void ClusterEngine::collect_metrics(obs::MetricRegistry& registry,
                        obs::Stability::kRuntime);
     registry.set_gauge(wp + "busy_seconds", wr.busy_seconds,
                        obs::Stability::kRuntime);
+    if (wr.slow_batches > 0) {
+      registry.set_counter(wp + "slow_batches", wr.slow_batches,
+                           obs::Stability::kRuntime);
+    }
     registry.set_counter(wp + "ingress.stall_spins", wr.ingress.stall_spins,
                          obs::Stability::kRuntime);
     registry.set_counter(wp + "egress.stall_spins", wr.egress.stall_spins,

@@ -46,6 +46,7 @@
 #include "cluster/transport.h"
 #include "common/timer.h"
 #include "core/stream_join.h"
+#include "guard/guard.h"
 
 namespace hal::cluster {
 
@@ -62,6 +63,14 @@ enum class FaultKind : std::uint8_t {
   // Link fault: extra one-way delay on the worker's ingress link for the
   // whole run (applied at construction; epoch/after_batches ignored).
   kDelayLink,
+  // Gray failure: the worker stays alive and correct but turns slow — an
+  // injected per-batch delay of extra_delay_us inside its busy section
+  // (so service-time accounting sees it, exactly like a thermal throttle
+  // or noisy neighbor would look) for duration_batches batches starting
+  // at the trigger. period > 1 makes it a stutter: only every period-th
+  // batch is delayed (GC-pause shaped). Output is unaffected — which is
+  // the point: only hal::guard's detector can tell.
+  kSlowWorker,
 };
 
 struct FaultEvent {
@@ -77,8 +86,13 @@ struct FaultEvent {
   // runs. Each event fires at most once, surviving worker restarts.
   std::uint64_t epoch = 0;
   std::uint32_t after_batches = 0;
-  // kDelayLink only.
+  // kDelayLink: permanent extra link latency. kSlowWorker: injected
+  // per-batch processing delay.
   double extra_delay_us = 0.0;
+  // kSlowWorker only: how many batches the degradation lasts (0 = the
+  // rest of the run) and the stutter period (1 = every batch is slow).
+  std::uint64_t duration_batches = 0;
+  std::uint32_t period = 1;
 };
 
 struct FaultPlan {
@@ -149,6 +163,12 @@ struct ClusterConfig {
   // Core pinning / NUMA-aware shard layout for the worker threads
   // (cluster/placement.h). Off by default.
   PlacementConfig placement;
+  // SLO-bounded admission at the cluster ingress (hal::guard): tuples are
+  // shed — with exact accounting — before routing and before the
+  // exact-global tracker, so the guarded output equals the reference
+  // join of (input − shed log). Off by default; with guard.enabled false
+  // the hot path pays one branch per epoch.
+  guard::GuardConfig guard;
 };
 
 // Per-worker engine window implied by the partitioning scheme (the
@@ -177,6 +197,7 @@ struct WorkerReport {
   std::uint64_t checkpoint_bytes = 0;
   std::uint64_t replayed_batches = 0;
   std::uint64_t heartbeat = 0;  // worker-loop liveness ticks
+  std::uint64_t slow_batches = 0;  // batches degraded by kSlowWorker
   LinkStats ingress;  // router → this worker (stalls charged to router)
   LinkStats egress;   // this worker → merger (stalls charged to worker)
 };
@@ -210,6 +231,13 @@ struct ClusterReport {
   // config().shards and keyspace_version == 1.
   std::uint32_t active_shards = 0;
   std::uint64_t keyspace_version = 0;
+  // hal::guard: ingress admission totals (zero when guard is disabled)
+  // and circuit-breaker accounting across all links.
+  bool guard_enabled = false;
+  guard::GuardStats guard;
+  std::uint64_t budget_exhausted = 0;  // sends abandoned at their budget
+  std::uint64_t breaker_drops = 0;     // fast-failed sends (breaker open)
+  std::uint64_t breaker_trips = 0;     // links whose breaker is open
 
   [[nodiscard]] double throughput_tuples_per_sec() const noexcept {
     return elapsed_seconds > 0.0
@@ -310,7 +338,22 @@ class ClusterEngine final : public core::StreamJoinEngine {
   void collect_metrics(obs::MetricRegistry& registry,
                        const std::string& prefix) const override;
 
+  // --- hal::guard -------------------------------------------------------
+  // The cluster-ingress admission guard (shed log, stats, latch state).
+  // Read between process() calls; non-null even when disabled.
+  [[nodiscard]] const guard::AdmissionGuard* admission_guard()
+      const noexcept override {
+    return &guard_;
+  }
+  // Trips one worker permanently off the serving path (main thread, used
+  // on ingress send failure; also callable from tests). The worker keeps
+  // draining but its epochs stop counting — replica failover or clean
+  // degradation take over, instead of the epoch stalling forever.
+  void abandon_worker(std::uint32_t index);
+
  private:
+  struct MergeSlot;
+
   struct Worker {
     Worker(std::uint32_t index, std::uint32_t slot, std::uint32_t replica,
            const LinkParams& ingress, const LinkParams& egress)
@@ -325,14 +368,30 @@ class ClusterEngine final : public core::StreamJoinEngine {
     Link<ResultBatch> outbox;
     std::thread thread;
 
-    // Worker-thread-owned; published to the main thread by the
-    // end-of-epoch / died message through the merger.
-    std::uint64_t tuples_in = 0;
-    std::uint64_t results_out = 0;
-    std::uint64_t data_batches_in = 0;
-    double busy_seconds = 0.0;
+    // Worker-thread-written; normally published to the main thread by the
+    // end-of-epoch / died message through the merger, but an abandoned
+    // worker keeps draining with no barrier left, so report() may read
+    // these live — relaxed atomics (single writer) keep that torn-free.
+    std::atomic<std::uint64_t> tuples_in{0};
+    std::atomic<std::uint64_t> results_out{0};
+    std::atomic<std::uint64_t> data_batches_in{0};
+    std::atomic<double> busy_seconds{0.0};
     std::vector<stream::ResultTuple> staged;  // results awaiting egress
     std::atomic<bool> dropped{false};
+
+    // This worker's merge slot (heap-stable; set before the thread
+    // starts). Lets the worker thread mark its own epoch dead when an
+    // egress-side breaker trip makes the obituary path itself unusable.
+    MergeSlot* merge_slot = nullptr;
+
+    // kSlowWorker state (worker-thread owned once consume() latches it).
+    std::uint64_t slow_remaining = 0;  // batches still degraded
+    double slow_us = 0.0;              // injected delay per slow batch
+    std::uint32_t slow_period = 1;     // stutter period (1 = every batch)
+    std::uint64_t slow_tick = 0;
+    // Total batches actually delayed; atomic for the same abandoned-worker
+    // live read as the counters above.
+    std::atomic<std::uint64_t> slow_batches{0};
 
     // Placement: CPU assigned by the policy (-1 = none); `pinned` set by
     // the worker thread once the affinity mask sticks (relaxed is enough —
@@ -407,6 +466,10 @@ class ClusterEngine final : public core::StreamJoinEngine {
   // Fail-stop bookkeeping shared by kills, injected errors and contained
   // hal::Error faults; returns the value consume() must return.
   bool fail_stop(Worker& w, std::uint64_t epoch);
+  // Worker-thread handling of an abandoned egress send (budget exhausted
+  // or breaker open): drain-only containment without a restart. Returns
+  // the value consume() must return (true — the thread keeps draining).
+  bool egress_lost(Worker& w);
   void maybe_checkpoint(Worker& w, std::uint64_t epoch);
   void supervisor_loop();
   void recover(Worker& w);
@@ -435,6 +498,8 @@ class ClusterEngine final : public core::StreamJoinEngine {
   PlacementPolicy placement_;
   WindowTracker tracker_;  // used iff window_mode == kExactGlobal
   Timer timer_;            // cluster clock: µs since construction
+  guard::AdmissionGuard guard_;          // cluster-ingress admission
+  std::vector<stream::Tuple> admitted_;  // guard scratch, reused per epoch
 
   // Net-backed link state (unused when link_transport == kInProcess).
   // Dialer ends are owned here; acceptor ends by the listener. Teardown

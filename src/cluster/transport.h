@@ -19,6 +19,8 @@
 // `ClusterReport` can attribute lost throughput to the congested link.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <mutex>
@@ -41,6 +43,20 @@ struct LinkParams {
   double latency_us = 0.0;
   // Bounded queue depth, in batches (backpressure threshold).
   std::size_t capacity_batches = 64;
+
+  // --- hal::guard send budgets / circuit breaker -----------------------
+  // Upper bound on how long one send() may stall against a full queue or
+  // exhausted credit window before giving up, in microseconds. 0 keeps
+  // the pre-guard behavior: retry forever (backpressure, never loss). A
+  // bounded budget turns a wedged consumer (partitioned TCP peer, dead
+  // worker behind a full queue) from an epoch-long stall into a counted
+  // send failure the cluster can fail over from.
+  double send_budget_us = 0.0;
+  // After this many *consecutive* budget-exhausted sends the breaker
+  // opens: every later send fails fast (one counted drop, no waiting)
+  // until the link is replaced. 0 disables the breaker (each send spends
+  // its full budget). Only meaningful with send_budget_us > 0.
+  std::uint32_t breaker_trip_failures = 1;
 };
 
 struct TransportParams {
@@ -62,6 +78,16 @@ struct TransportParams {
   // Wire faults injected on every net-backed ingress link (recovery is
   // the transport's job; the cluster's results must not change).
   net::FaultPlan net_fault;
+  // Restrict net_fault to these worker indices (empty = every worker).
+  // Lets a chaos plan partition exactly one worker's ingress wire while
+  // its replica stays healthy, so breaker-to-failover is observable.
+  std::vector<std::uint32_t> net_fault_workers;
+  // Net endpoint budget overrides for the cluster's links; 0 keeps the
+  // EndpointOptions default. Tightening stall_timeout_ms bounds how long
+  // a tail-loss reset takes; backoff_max_ms bounds redial latency.
+  double net_connect_timeout_s = 0.0;
+  double net_stall_timeout_ms = 0.0;
+  double net_backoff_max_ms = 0.0;
 
   // Derives link parameters from the distributed-pipeline parameter set
   // used by the dist:: deployment models: the router→worker hop crosses
@@ -98,14 +124,20 @@ struct ResultBatch {
   std::vector<stream::ResultTuple> results;
 };
 
-// Producer-side link statistics. Owned by the producer thread while the
-// cluster runs; read by the main thread only at epoch barriers (the
-// end-of-epoch message publishes them).
+// Producer-side link statistics, materialized by Link::stats(). Written
+// only by the producer thread; readable from the main thread at any time
+// (an abandoned worker keeps draining — and sending — with no epoch
+// barrier left to publish its counters, so the live counters inside Link
+// are relaxed atomics and this is a torn-free snapshot of them).
 struct LinkStats {
   std::uint64_t batches = 0;
   std::uint64_t payload_items = 0;
   std::uint64_t stall_spins = 0;     // failed pushes against a full queue
   std::size_t queue_high_water = 0;  // max observed occupancy, in batches
+  // hal::guard breaker accounting (all zero with send_budget_us == 0).
+  std::uint64_t budget_exhausted = 0;  // sends that gave up at the budget
+  std::uint64_t breaker_drops = 0;     // fast-failed sends (breaker open)
+  bool breaker_open = false;
 };
 
 // Batch ↔ wire-message bridging for net-backed links (transport.cc).
@@ -139,8 +171,15 @@ class Link {
   // Blocking send with backpressure accounting; stamps the delivery
   // deadline but never sleeps for pacing itself (the receiver pays the
   // modeled wire time, keeping a single producer able to feed N links at
-  // their aggregate rate).
-  void send(T msg, double now_us, std::uint64_t payload_items) {
+  // their aggregate rate). Returns false iff the send was abandoned — the
+  // budget ran out or the breaker was already open (send_budget_us > 0
+  // only; an unbudgeted link retries forever and always returns true).
+  [[nodiscard]] bool send(T msg, double now_us, std::uint64_t payload_items) {
+    if (breaker_open_) {
+      stats_.breaker_drops.fetch_add(1, std::memory_order_relaxed);
+      stats_.breaker_open.store(true, std::memory_order_relaxed);
+      return false;
+    }
     if (replay_enabled_) {
       // Sequence assignment and log append are one atomic step, so a
       // supervisor's replay_copy() either contains a batch or sees a
@@ -156,16 +195,20 @@ class Link {
       }
     }
     if (net_tx_ != nullptr) {
-      ++stats_.batches;
-      stats_.payload_items += payload_items;
+      stats_.batches.fetch_add(1, std::memory_order_relaxed);
+      stats_.payload_items.fetch_add(payload_items,
+                                     std::memory_order_relaxed);
       // A refused send is the wire's ready/valid stall: the peer's credit
       // window is exhausted, exactly like a full FIFO.
-      SpinBackoff backoff;
+      SpinBackoff backoff(SpinBackoff::hot_loop());
+      BudgetClock budget(params_.send_budget_us);
       while (!net_try_send(*net_tx_, msg)) {
-        ++stats_.stall_spins;
+        stats_.stall_spins.fetch_add(1, std::memory_order_relaxed);
+        if (budget.exhausted()) return give_up();
         backoff.pause();
       }
-      return;
+      consecutive_failures_ = 0;
+      return true;
     }
     double busy_us = 0.0;
     if (params_.bandwidth_tps > 0.0 && payload_items > 0) {
@@ -176,29 +219,47 @@ class Link {
     next_free_us_ = start_us + busy_us;
     msg.deliver_at_us = next_free_us_ + params_.latency_us;
 
-    // Accounting must precede the push: the moment the message is
-    // visible, the consumer may publish an epoch barrier, after which the
-    // main thread is allowed to read these counters.
-    ++stats_.batches;
-    stats_.payload_items += payload_items;
+    stats_.batches.fetch_add(1, std::memory_order_relaxed);
+    stats_.payload_items.fetch_add(payload_items, std::memory_order_relaxed);
     const std::size_t occupied = queue_.size_approx() + 1;  // incl. msg
     const std::size_t clamped =
         occupied < params_.capacity_batches ? occupied
                                             : params_.capacity_batches;
-    if (clamped > stats_.queue_high_water) stats_.queue_high_water = clamped;
-    SpinBackoff backoff;
+    if (clamped > stats_.queue_high_water.load(std::memory_order_relaxed)) {
+      stats_.queue_high_water.store(clamped, std::memory_order_relaxed);
+    }
+    SpinBackoff backoff(SpinBackoff::hot_loop());
+    BudgetClock budget(params_.send_budget_us);
     while (!queue_.try_push(std::move(msg))) {
-      ++stats_.stall_spins;
+      stats_.stall_spins.fetch_add(1, std::memory_order_relaxed);
+      if (budget.exhausted()) return give_up();
       backoff.pause();
     }
+    consecutive_failures_ = 0;
+    return true;
   }
+
+  // Breaker state (producer-side; the consumer never writes it).
+  [[nodiscard]] bool breaker_open() const noexcept { return breaker_open_; }
 
   [[nodiscard]] bool try_recv(T& out) {
     if (net_rx_ != nullptr) return net_try_recv(*net_rx_, out);
     return queue_.try_pop(out);
   }
 
-  [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] LinkStats stats() const noexcept {
+    LinkStats s;
+    s.batches = stats_.batches.load(std::memory_order_relaxed);
+    s.payload_items = stats_.payload_items.load(std::memory_order_relaxed);
+    s.stall_spins = stats_.stall_spins.load(std::memory_order_relaxed);
+    s.queue_high_water =
+        stats_.queue_high_water.load(std::memory_order_relaxed);
+    s.budget_exhausted =
+        stats_.budget_exhausted.load(std::memory_order_relaxed);
+    s.breaker_drops = stats_.breaker_drops.load(std::memory_order_relaxed);
+    s.breaker_open = stats_.breaker_open.load(std::memory_order_relaxed);
+    return s;
+  }
   [[nodiscard]] const LinkParams& params() const noexcept { return params_; }
 
   // --- Bounded replay log (hal::recovery) --------------------------------
@@ -255,12 +316,64 @@ class Link {
   }
 
  private:
+  // Lazily-armed wall-clock deadline for one send's retry loop. The clock
+  // is read only after the first failed try, so an uncontended send costs
+  // nothing; with budget_us <= 0 it never reads the clock at all.
+  class BudgetClock {
+   public:
+    explicit BudgetClock(double budget_us) noexcept : budget_us_(budget_us) {}
+    [[nodiscard]] bool exhausted() {
+      if (budget_us_ <= 0.0) return false;
+      const auto now = std::chrono::steady_clock::now();
+      if (!armed_) {
+        armed_ = true;
+        deadline_ = now + std::chrono::nanoseconds(
+                              static_cast<std::int64_t>(budget_us_ * 1e3));
+        return false;
+      }
+      return now >= deadline_;
+    }
+
+   private:
+    double budget_us_;
+    bool armed_ = false;
+    std::chrono::steady_clock::time_point deadline_;
+  };
+
+  // One send gave up at its budget; trips the breaker after the
+  // configured run of consecutive failures.
+  [[nodiscard]] bool give_up() {
+    stats_.budget_exhausted.fetch_add(1, std::memory_order_relaxed);
+    ++consecutive_failures_;
+    if (params_.breaker_trip_failures > 0 &&
+        consecutive_failures_ >= params_.breaker_trip_failures) {
+      breaker_open_ = true;
+      stats_.breaker_open.store(true, std::memory_order_relaxed);
+    }
+    return false;
+  }
+
+  // Live counters behind LinkStats. One writer (the producer thread), but
+  // the main thread snapshots them through stats() while an abandoned
+  // worker may still be sending, so every field is a relaxed atomic.
+  struct AtomicLinkStats {
+    std::atomic<std::uint64_t> batches{0};
+    std::atomic<std::uint64_t> payload_items{0};
+    std::atomic<std::uint64_t> stall_spins{0};
+    std::atomic<std::size_t> queue_high_water{0};
+    std::atomic<std::uint64_t> budget_exhausted{0};
+    std::atomic<std::uint64_t> breaker_drops{0};
+    std::atomic<bool> breaker_open{false};
+  };
+
   LinkParams params_;
   SpscQueue<T> queue_;
   net::Connection* net_tx_ = nullptr;  // producer-side net end (or null)
   net::Connection* net_rx_ = nullptr;  // consumer-side net end (or null)
   double next_free_us_ = 0.0;  // producer-owned serialization clock
-  LinkStats stats_;            // producer-owned
+  AtomicLinkStats stats_;
+  std::uint32_t consecutive_failures_ = 0;  // producer-owned
+  bool breaker_open_ = false;               // producer-owned
 
   bool replay_enabled_ = false;
   std::size_t replay_bound_ = 0;

@@ -4,6 +4,7 @@
 
 #include "cluster/cluster_engine.h"
 #include "common/assert.h"
+#include "guard/guarded_engine.h"
 #include "hw/biflow/engine.h"
 #include "hw/uniflow/engine.h"
 #include "sw/batch_join.h"
@@ -377,6 +378,10 @@ std::unique_ptr<StreamJoinEngine> make_cluster_from_facade(
       std::max<std::size_t>(1, std::min<std::size_t>(wire_batch, 256));
   ccfg.worker = cfg;
   ccfg.worker.backend = cfg.cluster_worker_backend;
+  // The cluster guards once, at its router ingress; per-worker guards
+  // would double-shed, so the workers' template runs unguarded.
+  ccfg.guard = cfg.guard;
+  ccfg.worker.guard = guard::GuardConfig{};
   ccfg.elastic.track_key_load = cfg.cluster_track_key_load;
   if (cluster::key_hashable(cfg.spec)) {
     ccfg.partitioning = cluster::Partitioning::kKeyHash;
@@ -436,17 +441,32 @@ obs::ObsSnapshot snapshot_run(const StreamJoinEngine& engine,
 }
 
 std::unique_ptr<StreamJoinEngine> make_engine(const EngineConfig& config) {
+  // Software backends get a guarded ingress (guard/guarded_engine.h) iff
+  // the guard is compiled in and enabled — a disabled guard never even
+  // constructs the decorator. The cluster guards at its own router
+  // ingress; hardware backends are cycle-accurate models where admission
+  // control would falsify the measured design, so they stay unguarded.
+  const auto maybe_guard = [&config](std::unique_ptr<StreamJoinEngine> e)
+      -> std::unique_ptr<StreamJoinEngine> {
+    if constexpr (guard::kEnabled) {
+      if (config.guard.enabled) {
+        return std::make_unique<guard::GuardedEngine>(std::move(e),
+                                                      config.guard);
+      }
+    }
+    return e;
+  };
   switch (config.backend) {
     case Backend::kHwUniflow:
       return std::make_unique<HwUniflowAdapter>(config);
     case Backend::kHwBiflow:
       return std::make_unique<HwBiflowAdapter>(config);
     case Backend::kSwSplitJoin:
-      return std::make_unique<SwSplitJoinAdapter>(config);
+      return maybe_guard(std::make_unique<SwSplitJoinAdapter>(config));
     case Backend::kSwHandshake:
-      return std::make_unique<SwHandshakeAdapter>(config);
+      return maybe_guard(std::make_unique<SwHandshakeAdapter>(config));
     case Backend::kSwBatch:
-      return std::make_unique<SwBatchAdapter>(config);
+      return maybe_guard(std::make_unique<SwBatchAdapter>(config));
     case Backend::kCluster:
       return make_cluster_from_facade(config);
   }

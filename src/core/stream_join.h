@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/window_image.h"
+#include "guard/guard.h"
 #include "hw/model/design_stats.h"
 #include "obs/metrics.h"
 #include "stream/join_spec.h"
@@ -89,6 +90,13 @@ struct EngineConfig {
   // skew that elastic::Controller::rebalance() acts on. Off by default
   // (costs one hash-map increment per routed tuple).
   bool cluster_track_key_load = false;
+
+  // SLO-bounded admission (hal::guard). With guard.enabled, software
+  // backends are wrapped in a guarded ingress (guard::GuardedEngine) and
+  // kCluster runs the guard at its router ingress; either way shed
+  // tuples are exactly accounted (engine->admission_guard()->log()).
+  // Disabled guards cost nothing: the wrapper is never constructed.
+  guard::GuardConfig guard;
 };
 
 struct RunReport {
@@ -159,6 +167,15 @@ class StreamJoinEngine {
                                const std::string& prefix) const {
     (void)registry;
     (void)prefix;
+  }
+
+  // The engine's ingress admission guard (hal::guard), or nullptr when
+  // the engine has none. Non-null implies exact shed accounting: the
+  // engine's emitted results equal the reference join of the offered
+  // input minus the guard's shed log. Read between process() calls.
+  [[nodiscard]] virtual const guard::AdmissionGuard* admission_guard()
+      const noexcept {
+    return nullptr;
   }
 };
 

@@ -140,6 +140,33 @@ MigrationReport Controller::remove_shards(std::uint32_t count) {
   return rep;
 }
 
+MigrationReport Controller::drain_slot(std::uint32_t slot) {
+  HAL_CHECK(slot < engine_.slot_count() && !engine_.slot_retired(slot),
+            "drain_slot needs a live slot");
+  const Timer pause;
+  MigrationReport rep;
+  rep.shards_before = engine_.active_slot_count();
+  HAL_CHECK(rep.shards_before >= 2,
+            "drain_slot must leave at least one live slot");
+  std::vector<std::uint32_t> live = live_slots();
+  std::vector<std::uint32_t> survivors;
+  for (const std::uint32_t s : live) {
+    if (s != slot) survivors.push_back(s);
+  }
+
+  KeyspaceMap next = engine_.keyspace();
+  for (const auto& [key, group] : engine_.keyspace().splits()) {
+    if (contains(group, slot)) next.unsplit(key);
+  }
+  next = balanced(next, survivors, keyslot_loads(next.splits()));
+  next.bump_version();
+  execute(std::move(next), {slot}, rep);
+  rep.shards_after = engine_.active_slot_count();
+  rep.pause_seconds = pause.elapsed_seconds();
+  history_.push_back(rep);
+  return rep;
+}
+
 MigrationReport Controller::split_key(std::uint32_t key, std::uint32_t ways) {
   HAL_CHECK(ways >= 2, "a hot-key split needs at least two members");
   const Timer pause;

@@ -114,6 +114,13 @@ class Controller {
   // the victims are retired. At least one slot must survive.
   MigrationReport remove_shards(std::uint32_t count);
 
+  // Evicts one *specific* live slot — the hal::guard quarantine path: the
+  // slot's splits dissolve, its keyslots re-route to the survivors, its
+  // state ships out, then it is retired. Same protocol as remove_shards,
+  // but the victim is chosen by the caller (a suspected-slow shard), not
+  // by slot id. At least one other slot must survive.
+  MigrationReport drain_slot(std::uint32_t slot);
+
   // Splits `key` across the `ways` least-loaded live slots (join-matrix
   // style); unsplit_key() collapses it back onto its keyslot's owner.
   MigrationReport split_key(std::uint32_t key, std::uint32_t ways);

@@ -1,0 +1,117 @@
+#include "guard/controller.h"
+
+#include <algorithm>
+
+namespace hal::guard {
+
+GuardController::GuardController(cluster::ClusterEngine& engine,
+                                 elastic::Controller& elastic,
+                                 GuardControllerConfig cfg)
+    : engine_(engine), elastic_(elastic), cfg_(cfg),
+      detector_(cfg.detector) {}
+
+GuardController::GuardController(cluster::ClusterEngine& engine,
+                                 elastic::Controller& elastic)
+    : GuardController(engine, elastic,
+                      GuardControllerConfig{
+                          .detector = engine.config().guard.detector}) {}
+
+std::vector<std::uint32_t> GuardController::step() {
+  ++steps_;
+  const cluster::ClusterReport rep = engine_.report();
+
+  // Feed per-slot service deltas. Evidence comes from the slot's active
+  // replica view: every live replica of a slot processes the same
+  // traffic, so summing replicas would just double the busy time —
+  // instead take the max (µs/tuple of the slowest replica is what the
+  // epoch barrier actually waits for).
+  for (const cluster::WorkerReport& w : rep.workers) {
+    if (w.index >= prev_busy_.size()) {
+      prev_busy_.resize(w.index + 1, 0.0);
+      prev_tuples_.resize(w.index + 1, 0);
+    }
+  }
+  const std::uint32_t slots = engine_.slot_count();
+  for (std::uint32_t slot = 0; slot < slots; ++slot) {
+    if (engine_.slot_retired(slot)) continue;
+    double worst_us_per_tuple = -1.0;
+    double best_busy_us = 0.0;
+    std::uint64_t best_tuples = 0;
+    for (const cluster::WorkerReport& w : rep.workers) {
+      if (w.slot != slot || w.dropped) continue;
+      const double busy_us =
+          (w.busy_seconds - prev_busy_[w.index]) * 1e6;
+      const std::uint64_t tuples = w.tuples_in - prev_tuples_[w.index];
+      if (tuples == 0) continue;
+      const double us_per_tuple = busy_us / static_cast<double>(tuples);
+      if (us_per_tuple > worst_us_per_tuple) {
+        worst_us_per_tuple = us_per_tuple;
+        best_busy_us = busy_us;
+        best_tuples = tuples;
+      }
+    }
+    if (best_tuples > 0) detector_.observe(slot, best_busy_us, best_tuples);
+  }
+  for (const cluster::WorkerReport& w : rep.workers) {
+    prev_busy_[w.index] = w.busy_seconds;
+    prev_tuples_[w.index] = w.tuples_in;
+  }
+
+  detector_.end_epoch();
+
+  std::vector<std::uint32_t> evicted;
+  if (!cfg_.auto_quarantine) return evicted;
+  for (const std::uint32_t slot : detector_.suspects()) {
+    if (quarantines_.size() >= cfg_.max_quarantines) break;
+    if (engine_.active_slot_count() <= cfg_.min_live_slots) break;
+    const ShardHealth* h = detector_.find(slot);
+    const double suspicion = h != nullptr ? h->suspicion : 0.0;
+    const elastic::MigrationReport mig = elastic_.drain_slot(slot);
+    detector_.forget(slot);
+    quarantines_.push_back(QuarantineEvent{
+        .slot = slot,
+        .suspicion = suspicion,
+        .step = steps_,
+        .pause_seconds = mig.pause_seconds,
+        .moved_keyslots = mig.moved_keyslots,
+        .moved_tuples = mig.moved_tuples,
+    });
+    evicted.push_back(slot);
+  }
+  return evicted;
+}
+
+void GuardController::collect_metrics(obs::MetricRegistry& registry,
+                                      const std::string& prefix) const {
+  std::uint64_t moved_tuples = 0;
+  std::uint64_t moved_keyslots = 0;
+  double pause = 0.0;
+  for (const QuarantineEvent& q : quarantines_) {
+    moved_tuples += q.moved_tuples;
+    moved_keyslots += q.moved_keyslots;
+    pause += q.pause_seconds;
+  }
+  // Everything here rides on measured service times, so none of it
+  // belongs in the deterministic projection.
+  registry.set_counter(prefix + "quarantines", quarantines_.size(),
+                       obs::Stability::kRuntime);
+  registry.set_counter(prefix + "quarantine_moved_keyslots", moved_keyslots,
+                       obs::Stability::kRuntime);
+  registry.set_counter(prefix + "quarantine_moved_tuples", moved_tuples,
+                       obs::Stability::kRuntime);
+  registry.set_gauge(prefix + "quarantine_pause_seconds_total", pause);
+  std::uint64_t suspected = 0;
+  for (const ShardHealth& h : detector_.health()) {
+    registry.set_gauge(prefix + "shard" + std::to_string(h.slot) +
+                           ".ewma_us_per_tuple",
+                       h.ewma_us_per_tuple);
+    registry.set_gauge(prefix + "shard" + std::to_string(h.slot) +
+                           ".suspicion",
+                       h.suspicion);
+    if (h.suspected) ++suspected;
+  }
+  registry.set_gauge(prefix + "suspected_shards",
+                     static_cast<double>(suspected));
+}
+
+}  // namespace hal::guard

@@ -1,0 +1,104 @@
+// GuardController — closes the gray-failure loop: detect, quarantine,
+// re-route.
+//
+// The cluster already had every mechanism a slow shard needs *except* the
+// decision: replica failover handles crash-stop, elastic migration moves
+// keyslots between live slots, and the per-worker report carries the
+// service-time evidence. The controller runs at the epoch barrier (same
+// thread and same freeze point as elastic::Controller), feeds each live
+// slot's busy-time/tuple deltas into the SlowShardDetector, and when a
+// shard's suspicion croses the threshold it:
+//
+//   1. drains the suspect: elastic::Controller::drain_slot() re-routes its
+//      keyslots to the healthy peers (full migration protocol — freeze,
+//      ship, rebuild, swap) and retires the slot, and
+//   2. forgets the slot in the detector so the peer median is computed
+//      over the survivors only.
+//
+// The result is the acceptance contract: a gray-slow shard is removed
+// from the serving path within `threshold/add` epochs of turning slow,
+// output stays exact (the migration is byte-identical to a fixed-topology
+// oracle), and full-rate service resumes on the survivors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_engine.h"
+#include "elastic/controller.h"
+#include "guard/detector.h"
+
+namespace hal::guard {
+
+struct QuarantineEvent {
+  std::uint32_t slot = 0;
+  double suspicion = 0.0;
+  std::uint64_t step = 0;        // step() call index that quarantined it
+  double pause_seconds = 0.0;    // migration pause (the MTTR numerator)
+  std::uint32_t moved_keyslots = 0;
+  std::uint64_t moved_tuples = 0;
+};
+
+struct GuardControllerConfig {
+  // Detector tuning; defaulted from the engine's GuardConfig when
+  // constructed through the two-argument constructor.
+  DetectorConfig detector;
+  // Quarantine suspects automatically during step(). Off = detect-only
+  // (suspects surface in health()/obs, nothing migrates).
+  bool auto_quarantine = true;
+  // Never quarantine below this many surviving live slots.
+  std::uint32_t min_live_slots = 2;
+  // Ceiling on total quarantines (a runaway detector must not evict the
+  // whole cluster).
+  std::uint32_t max_quarantines = 1;
+};
+
+class GuardController {
+ public:
+  // Both references must outlive the controller; all calls must happen on
+  // the thread that calls engine.process(), between process() calls.
+  GuardController(cluster::ClusterEngine& engine,
+                  elastic::Controller& elastic,
+                  GuardControllerConfig cfg);
+  // Detector config taken from engine.config().guard.detector.
+  GuardController(cluster::ClusterEngine& engine,
+                  elastic::Controller& elastic);
+
+  GuardController(const GuardController&) = delete;
+  GuardController& operator=(const GuardController&) = delete;
+
+  // One control-loop tick at the epoch barrier: feed per-slot service
+  // deltas, update suspicion, quarantine newly suspected slots (subject
+  // to config). Returns the slots quarantined by this call.
+  std::vector<std::uint32_t> step();
+
+  [[nodiscard]] const SlowShardDetector& detector() const noexcept {
+    return detector_;
+  }
+  [[nodiscard]] const std::vector<QuarantineEvent>& quarantines()
+      const noexcept {
+    return quarantines_;
+  }
+  [[nodiscard]] std::uint64_t steps() const noexcept { return steps_; }
+
+  // Totals under `prefix` ("guard."): quarantine counts and moved state
+  // are deterministic for a fixed fault schedule; pause time is not.
+  void collect_metrics(obs::MetricRegistry& registry,
+                       const std::string& prefix) const;
+
+ private:
+  cluster::ClusterEngine& engine_;
+  elastic::Controller& elastic_;
+  GuardControllerConfig cfg_;
+  SlowShardDetector detector_;
+  std::uint64_t steps_ = 0;
+  std::vector<QuarantineEvent> quarantines_;
+
+  // Previous-epoch per-worker totals (indexed by worker index) so step()
+  // feeds deltas, not lifetime sums.
+  std::vector<double> prev_busy_;
+  std::vector<std::uint64_t> prev_tuples_;
+};
+
+}  // namespace hal::guard

@@ -1,0 +1,105 @@
+#include "guard/detector.h"
+
+#include <algorithm>
+
+namespace hal::guard {
+
+ShardHealth& SlowShardDetector::slot_entry(std::uint32_t slot) {
+  for (auto& h : health_) {
+    if (h.slot == slot) return h;
+  }
+  health_.push_back(ShardHealth{.slot = slot});
+  return health_.back();
+}
+
+void SlowShardDetector::observe(std::uint32_t slot, double busy_us,
+                                std::uint64_t tuples) {
+  if (tuples == 0) return;  // idle shard: no service-time evidence
+  auto& h = slot_entry(slot);
+  const double sample = busy_us / static_cast<double>(tuples);
+  if (h.epochs_observed == 0) {
+    h.ewma_us_per_tuple = sample;
+  } else {
+    h.ewma_us_per_tuple += cfg_.alpha * (sample - h.ewma_us_per_tuple);
+  }
+  ++h.epochs_observed;
+  touched_.push_back(slot);
+}
+
+bool SlowShardDetector::end_epoch() {
+  // Count the shards with enough history; a lone shard has no peers to
+  // be judged against, so nothing is ever suspected below two.
+  std::size_t eligible = 0;
+  for (const auto& h : health_) {
+    if (h.epochs_observed >= cfg_.min_epochs) ++eligible;
+  }
+  bool newly_suspected = false;
+  if (eligible < 2) {
+    touched_.clear();
+    return false;
+  }
+
+  for (auto& h : health_) {
+    const bool observed =
+        std::find(touched_.begin(), touched_.end(), h.slot) != touched_.end();
+    if (!observed || h.epochs_observed < cfg_.min_epochs) continue;
+    // Peer baseline: median EWMA over the *other* eligible shards. A
+    // median (not mean) keeps one pathological shard from dragging the
+    // baseline up, and excluding self means even a two-shard cluster's
+    // sick half cannot mask itself behind its own sample.
+    scratch_.clear();
+    for (const auto& peer : health_) {
+      if (peer.slot != h.slot && peer.epochs_observed >= cfg_.min_epochs) {
+        scratch_.push_back(peer.ewma_us_per_tuple);
+      }
+    }
+    std::nth_element(scratch_.begin(),
+                     scratch_.begin() + static_cast<long>(scratch_.size() / 2),
+                     scratch_.end());
+    const double median = scratch_[scratch_.size() / 2];
+    h.slow_epoch = median > 0.0 &&
+                   h.ewma_us_per_tuple > cfg_.slow_ratio * median;
+    if (h.slow_epoch) {
+      h.suspicion += cfg_.suspicion_add;
+    } else {
+      h.suspicion = std::max(0.0, h.suspicion - cfg_.suspicion_decay);
+    }
+    const bool was = h.suspected;
+    h.suspected = h.suspicion >= cfg_.suspicion_threshold;
+    if (h.suspected && !was) newly_suspected = true;
+  }
+  touched_.clear();
+  return newly_suspected;
+}
+
+void SlowShardDetector::forget(std::uint32_t slot) {
+  health_.erase(std::remove_if(health_.begin(), health_.end(),
+                               [slot](const ShardHealth& h) {
+                                 return h.slot == slot;
+                               }),
+                health_.end());
+}
+
+std::vector<std::uint32_t> SlowShardDetector::suspects() const {
+  std::vector<const ShardHealth*> s;
+  for (const auto& h : health_) {
+    if (h.suspected) s.push_back(&h);
+  }
+  std::sort(s.begin(), s.end(), [](const ShardHealth* a, const ShardHealth* b) {
+    return a->suspicion != b->suspicion ? a->suspicion > b->suspicion
+                                        : a->slot < b->slot;
+  });
+  std::vector<std::uint32_t> out;
+  out.reserve(s.size());
+  for (const auto* h : s) out.push_back(h->slot);
+  return out;
+}
+
+const ShardHealth* SlowShardDetector::find(std::uint32_t slot) const {
+  for (const auto& h : health_) {
+    if (h.slot == slot) return &h;
+  }
+  return nullptr;
+}
+
+}  // namespace hal::guard

@@ -1,0 +1,72 @@
+// Windowed slow-shard (gray-failure) detector.
+//
+// Crash-stop failures announce themselves: the worker thread exits and the
+// merger sees a died marker. Gray failures do not — a shard that turned
+// 10× slower (thermal throttle, noisy neighbor, half-broken NIC) still
+// answers every epoch, it just drags the whole epoch barrier down with it.
+// The detector finds those by *comparison against peers*, not absolute
+// thresholds, so it needs no calibration per machine or workload:
+//
+//   per epoch, per live shard:  service = busy_µs / tuples   (EWMA-smoothed)
+//   peer baseline            =  median of all live shards' EWMAs
+//   slow this epoch          ⇔  ewma > slow_ratio × median
+//
+// A phi-accrual-style suspicion score accumulates over slow epochs and
+// decays over healthy ones; only a *sustained* degradation crosses the
+// quarantine threshold. That asymmetry is deliberate: a single stutter
+// (one suspicious epoch) decays away, while suspicion from a genuinely
+// sick shard ratchets up in a few epochs — detection latency is
+// `threshold / add` consecutive slow epochs at the defaults.
+//
+// The detector is passive bookkeeping on epoch-report deltas; it runs on
+// the main thread between epochs and costs nothing in any hot loop.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "guard/guard.h"
+
+namespace hal::guard {
+
+struct ShardHealth {
+  std::uint32_t slot = 0;
+  double ewma_us_per_tuple = 0.0;
+  double suspicion = 0.0;
+  std::uint32_t epochs_observed = 0;
+  bool slow_epoch = false;  // flagged slow in the most recent epoch
+  bool suspected = false;   // suspicion crossed the threshold
+};
+
+class SlowShardDetector {
+ public:
+  explicit SlowShardDetector(const DetectorConfig& cfg) : cfg_(cfg) {}
+
+  // Feed one shard's epoch delta (inner-engine busy time and tuples
+  // processed this epoch). Call for every live shard, then end_epoch().
+  void observe(std::uint32_t slot, double busy_us, std::uint64_t tuples);
+
+  // Compares every observed shard against the peer median and updates
+  // suspicion scores. Returns true when any shard is newly suspected.
+  bool end_epoch();
+
+  // Remove a shard from the peer set (quarantined or retired).
+  void forget(std::uint32_t slot);
+
+  [[nodiscard]] const std::vector<ShardHealth>& health() const noexcept {
+    return health_;
+  }
+  // Suspected shards, most suspicious first.
+  [[nodiscard]] std::vector<std::uint32_t> suspects() const;
+  [[nodiscard]] const ShardHealth* find(std::uint32_t slot) const;
+
+ private:
+  ShardHealth& slot_entry(std::uint32_t slot);
+
+  DetectorConfig cfg_;
+  std::vector<ShardHealth> health_;
+  std::vector<std::uint32_t> touched_;  // slots observed this epoch
+  std::vector<double> scratch_;         // median scratch
+};
+
+}  // namespace hal::guard

@@ -1,0 +1,20 @@
+// Compile-time switch for the hal::guard overload-control layer.
+//
+// Build with -DHAL_GUARD=0 (CMake: -DHAL_GUARD=OFF) to compile the guard
+// out entirely: the facade never wraps engines in a guarded ingress and
+// the cluster's admission hook short-circuits at a constexpr branch, so a
+// disabled build carries zero runtime and zero memory overhead — the same
+// contract hal::obs gives the figure benches (src/obs/enabled.h).
+//
+// Kept dependency-free so any header can include it.
+#pragma once
+
+#ifndef HAL_GUARD
+#define HAL_GUARD 1
+#endif
+
+namespace hal::guard {
+
+inline constexpr bool kEnabled = (HAL_GUARD != 0);
+
+}  // namespace hal::guard

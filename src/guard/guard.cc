@@ -1,0 +1,108 @@
+#include "guard/guard.h"
+
+#include <algorithm>
+
+namespace hal::guard {
+
+const char* to_string(ShedPolicy p) noexcept {
+  switch (p) {
+    case ShedPolicy::kOff:
+      return "off";
+    case ShedPolicy::kTailDrop:
+      return "tail-drop";
+    case ShedPolicy::kKeySample:
+      return "key-sample";
+  }
+  return "?";
+}
+
+std::unordered_set<std::uint64_t> ShedLog::seq_set() const {
+  std::unordered_set<std::uint64_t> seqs;
+  seqs.reserve(records_.size());
+  for (const auto& r : records_) seqs.insert(r.seq);
+  return seqs;
+}
+
+std::vector<stream::Tuple> minus_shed(const std::vector<stream::Tuple>& input,
+                                      const ShedLog& log) {
+  if (log.empty()) return input;
+  const auto shed = log.seq_set();
+  std::vector<stream::Tuple> kept;
+  kept.reserve(input.size() - std::min(input.size(), shed.size()));
+  for (const auto& t : input) {
+    if (!shed.contains(t.seq)) kept.push_back(t);
+  }
+  return kept;
+}
+
+bool key_sheds(std::uint32_t key, std::uint64_t seed,
+               std::uint32_t drop_permille) noexcept {
+  // SplitMix64 finalizer over (seed ^ key): cheap, seed-sensitive, and
+  // independent of the router's keyslot hash so sampling never aliases
+  // with shard placement.
+  std::uint64_t z = seed ^ (0x9e3779b97f4a7c15ULL * (key + 1ULL));
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return (z % 1000) < drop_permille;
+}
+
+void AdmissionGuard::observe_delay_us(double delay_us) {
+  if (!cfg_.enabled) return;
+  last_delay_us_ = delay_us;
+  ++stats_.observations;
+  if (latched_) {
+    if (delay_us <= cfg_.low_us()) latched_ = false;
+  } else if (delay_us >= cfg_.high_us()) {
+    latched_ = true;
+    ++stats_.latch_transitions;
+  }
+  if (overloaded()) ++stats_.overload_observations;
+}
+
+void AdmissionGuard::update_service_rate(double busy_us,
+                                         std::uint64_t tuples) {
+  if (!cfg_.enabled || tuples == 0) return;
+  const double sample = busy_us / static_cast<double>(tuples);
+  if (!have_rate_) {
+    ewma_us_per_tuple_ = sample;
+    have_rate_ = true;
+  } else {
+    ewma_us_per_tuple_ +=
+        cfg_.service_alpha * (sample - ewma_us_per_tuple_);
+  }
+}
+
+bool AdmissionGuard::admit(const stream::Tuple& t) {
+  if (!overloaded() || cfg_.policy == ShedPolicy::kOff) {
+    ++stats_.admitted;
+    return true;
+  }
+  bool shed = false;
+  switch (cfg_.policy) {
+    case ShedPolicy::kOff:
+      break;
+    case ShedPolicy::kTailDrop:
+      shed = true;
+      break;
+    case ShedPolicy::kKeySample:
+      shed = key_sheds(t.key, cfg_.seed, cfg_.drop_permille);
+      break;
+  }
+  if (shed) {
+    log_.append(t);
+    ++stats_.shed;
+    return false;
+  }
+  ++stats_.admitted;
+  return true;
+}
+
+void AdmissionGuard::filter(const std::vector<stream::Tuple>& in,
+                            std::vector<stream::Tuple>& out) {
+  for (const auto& t : in) {
+    if (admit(t)) out.push_back(t);
+  }
+}
+
+}  // namespace hal::guard

@@ -1,0 +1,70 @@
+// Guarded ingress for single-node engines: a core::StreamJoinEngine
+// decorator that runs every process() batch through an AdmissionGuard
+// before the inner engine sees it.
+//
+// The overload signal at this stage is the engine's own measured service
+// rate: the guard keeps an EWMA of µs/tuple from each batch's RunReport
+// and, before admitting the next batch, estimates its queue delay as
+// batch_size × ewma. When that estimate crosses the high watermark the
+// stage is latched into shedding until it falls below the low watermark.
+// Shed tuples never touch a window, so the inner engine's output is
+// exactly ReferenceJoin(minus_shed(input)) — see guard/guard.h for why
+// that identity is timing-independent.
+//
+// prefill() bypasses the guard (warm-up is not offered load); program(),
+// snapshot/restore and take_results() delegate unchanged. make_engine()
+// wraps sw backends in this decorator iff cfg.guard.enabled — a disabled
+// guard costs nothing because the decorator is never constructed.
+#pragma once
+
+#include <memory>
+
+#include "core/stream_join.h"
+#include "guard/guard.h"
+
+namespace hal::guard {
+
+class GuardedEngine final : public core::StreamJoinEngine {
+ public:
+  GuardedEngine(std::unique_ptr<core::StreamJoinEngine> inner,
+                const GuardConfig& cfg)
+      : inner_(std::move(inner)), guard_(cfg) {}
+
+  core::RunReport process(const std::vector<stream::Tuple>& tuples) override;
+  void prefill(const std::vector<stream::Tuple>& tuples) override {
+    inner_->prefill(tuples);
+  }
+  void program(const stream::JoinSpec& spec) override {
+    inner_->program(spec);
+  }
+  std::vector<stream::ResultTuple> take_results() override {
+    return inner_->take_results();
+  }
+  [[nodiscard]] core::Backend backend() const noexcept override {
+    return inner_->backend();
+  }
+  [[nodiscard]] std::optional<hw::DesignStats> design_stats() const override {
+    return inner_->design_stats();
+  }
+  [[nodiscard]] bool snapshot(core::WindowImage& out) override {
+    return inner_->snapshot(out);
+  }
+  [[nodiscard]] bool restore(const core::WindowImage& image) override {
+    return inner_->restore(image);
+  }
+  void collect_metrics(obs::MetricRegistry& registry,
+                       const std::string& prefix) const override;
+
+  [[nodiscard]] const AdmissionGuard* admission_guard() const noexcept
+      override {
+    return &guard_;
+  }
+  [[nodiscard]] core::StreamJoinEngine& inner() noexcept { return *inner_; }
+
+ private:
+  std::unique_ptr<core::StreamJoinEngine> inner_;
+  AdmissionGuard guard_;
+  std::vector<stream::Tuple> admitted_;  // reused per batch
+};
+
+}  // namespace hal::guard

@@ -13,6 +13,8 @@ const char* to_string(ChaosKind kind) noexcept {
     case ChaosKind::kLinkDelay: return "delay";
     case ChaosKind::kCorrupt: return "corrupt";
     case ChaosKind::kPartition: return "partition";
+    case ChaosKind::kSlow: return "slow";
+    case ChaosKind::kStutter: return "stutter";
   }
   return "?";
 }
@@ -48,6 +50,24 @@ ChaosPlan ChaosPlan::generate(std::uint64_t seed, const ChaosOptions& opts) {
     ev.kind = ChaosKind::kLinkDelay;
     ev.worker = static_cast<std::uint32_t>(rng.next_below(workers));
     ev.delay_us = rng.next_double() * opts.max_delay_us;
+    plan.events_.push_back(ev);
+  }
+  for (std::uint32_t i = 0; i < opts.slow_workers; ++i) {
+    ChaosEvent ev;
+    ev.kind = ChaosKind::kSlow;
+    draw_position(ev);
+    ev.delay_us = opts.max_slow_us * (0.5 + 0.5 * rng.next_double());
+    // Long enough to span several detector epochs from any trigger point.
+    ev.duration_batches = 0;  // rest of the run
+    plan.events_.push_back(ev);
+  }
+  for (std::uint32_t i = 0; i < opts.stutters; ++i) {
+    ChaosEvent ev;
+    ev.kind = ChaosKind::kStutter;
+    draw_position(ev);
+    ev.delay_us = opts.max_slow_us * (0.5 + 0.5 * rng.next_double());
+    ev.duration_batches = 0;
+    ev.period = opts.stutter_period == 0 ? 1 : opts.stutter_period;
     plan.events_.push_back(ev);
   }
   if (opts.wire_corrupt) {
@@ -90,6 +110,10 @@ cluster::FaultPlan ChaosPlan::cluster_faults() const {
       case ChaosKind::kLinkDelay:
         out.kind = cluster::FaultKind::kDelayLink;
         break;
+      case ChaosKind::kSlow:
+      case ChaosKind::kStutter:
+        out.kind = cluster::FaultKind::kSlowWorker;
+        break;
       case ChaosKind::kCorrupt:
       case ChaosKind::kPartition:
         continue;  // wire-level, not the cluster's concern
@@ -98,6 +122,8 @@ cluster::FaultPlan ChaosPlan::cluster_faults() const {
     out.epoch = ev.epoch;
     out.after_batches = ev.after_batches;
     out.extra_delay_us = ev.delay_us;
+    out.duration_batches = ev.duration_batches;
+    out.period = ev.period;
     plan.events.push_back(out);
   }
   return plan;
@@ -137,6 +163,16 @@ std::string ChaosPlan::describe() const {
       case ChaosKind::kLinkDelay:
         out += " w" + std::to_string(ev.worker) + " +" +
                std::to_string(ev.delay_us) + "us";
+        break;
+      case ChaosKind::kSlow:
+      case ChaosKind::kStutter:
+        out += " w" + std::to_string(ev.worker) + " @e" +
+               std::to_string(ev.epoch) + "+" +
+               std::to_string(ev.after_batches) + " +" +
+               std::to_string(ev.delay_us) + "us";
+        if (ev.period > 1) {
+          out += " every " + std::to_string(ev.period);
+        }
         break;
       case ChaosKind::kCorrupt:
       case ChaosKind::kPartition:

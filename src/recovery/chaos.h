@@ -25,6 +25,13 @@ enum class ChaosKind : std::uint8_t {
   kLinkDelay,   // cluster::FaultKind::kDelayLink
   kCorrupt,     // net::FaultPlan::corrupt_every (wire transports)
   kPartition,   // net::FaultPlan::partition_after_frames
+  // Gray failures (cluster::FaultKind::kSlowWorker): the worker stays
+  // alive and correct but turns slow. kSlow degrades for a stretch of
+  // batches; kStutter delays only every period-th batch (GC-pause
+  // shaped). Neither changes any output — only hal::guard's detector
+  // can tell a gray-slow shard from a healthy one.
+  kSlow,
+  kStutter,
 };
 
 [[nodiscard]] const char* to_string(ChaosKind kind) noexcept;
@@ -34,8 +41,12 @@ struct ChaosEvent {
   std::uint32_t worker = 0;       // flat worker index (kill/error/delay)
   std::uint64_t epoch = 0;        // 1-based trigger epoch (kill/error)
   std::uint32_t after_batches = 0;
-  double delay_us = 0.0;          // kLinkDelay only
+  double delay_us = 0.0;          // kLinkDelay/kSlow/kStutter
   std::uint64_t every_frames = 0; // kCorrupt/kPartition trigger period
+  // kSlow/kStutter: degradation length in batches (0 = rest of run) and
+  // the stutter period (1 = every batch).
+  std::uint64_t duration_batches = 0;
+  std::uint32_t period = 1;
 };
 
 struct ChaosOptions {
@@ -49,6 +60,14 @@ struct ChaosOptions {
   std::uint32_t errors = 0;
   std::uint32_t link_delays = 0;
   double max_delay_us = 200.0;
+  // Gray failures (hal::guard detection targets). Slow events draw their
+  // per-batch delay from [max_slow_us/2, max_slow_us] — large enough to
+  // dominate the peer median, so detector tests converge; stutters fire
+  // every stutter_period-th batch for the rest of the run.
+  std::uint32_t slow_workers = 0;
+  std::uint32_t stutters = 0;
+  double max_slow_us = 2000.0;
+  std::uint32_t stutter_period = 4;
   // Wire faults (ignored by kInProcess transports).
   bool wire_corrupt = false;
   bool wire_partition = false;

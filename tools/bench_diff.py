@@ -82,6 +82,24 @@ SPECS = {
         # still catches order-of-magnitude slips in the stepper hot loop.
         ("uniflow_2048_f2.serial_mevals_per_sec", "higher", "rel", 0.5),
     ],
+    "overload_guard": [
+        # Wall-clock p99 ratio (guarded / unguarded under overload): the
+        # injected delays dominate the host, so the direction is stable;
+        # the absolute band just requires shedding to keep a real margin
+        # below the unguarded latency.
+        ("overload.p99_ratio", "lower", "abs", 0.35),
+        # Deterministic for the pinned fault schedule: the phi-accrual
+        # math fixes the conviction step (±1 epoch of EWMA slack), the
+        # keyslot map fixes what a quarantine moves, and the right shard
+        # is a correctness bit, not a perf number.
+        ("detection.epochs_to_quarantine", "lower", "abs", 1.0),
+        ("detection.moved_keyslots", "lower", "abs", 0.0),
+        ("detection.right_shard", "higher", "abs", 0.0),
+        # Throughput ratio near 1: absolute band generous enough for
+        # shared CI hardware, still catches an accidental always-on
+        # ingress copy.
+        ("tax.observe_ratio", "higher", "abs", 0.4),
+    ],
     "recovery_cost": [
         # Fractions (the bench claims log_overhead < 0.02).
         ("fast_path.log_overhead", "lower", "abs", 0.02),
